@@ -1,0 +1,280 @@
+//! The annealing-engine abstraction and shared hot-loop machinery.
+//!
+//! An [`AnnealEngine`] consumes an Ising problem, a device profile, a
+//! schedule and (for reverse schedules) a programmed initial state, and
+//! returns one classical readout — exactly one "anneal read" of the paper's
+//! hardware. Two engines are provided:
+//!
+//! * [`crate::pimc::PimcEngine`] — path-integral (Trotterized) quantum Monte
+//!   Carlo, the standard classical simulation of transverse-field annealing.
+//! * [`crate::svmc::SvmcEngine`] — spin-vector Monte Carlo, the
+//!   semi-classical O(2)-rotor model often used to mimic D-Wave devices.
+//!
+//! Time calibration: schedules are expressed in microseconds of *programmed*
+//! anneal time; engines convert at [`AnnealParams::sweeps_per_us`] Monte
+//! Carlo sweeps per microsecond. All wall-clock metrics in `hqw-core` charge
+//! programmed microseconds (as the paper does), never simulator CPU time, so
+//! this constant only controls simulation fidelity.
+
+use crate::dwave::DWaveProfile;
+use crate::schedule::AnnealSchedule;
+use hqw_math::Rng64;
+use hqw_qubo::Ising;
+
+/// Transverse-field-gated kinetics ("freeze-out").
+///
+/// On analog hardware, computational-basis spin flips are *mediated by the
+/// transverse field*: in the weak-coupling open-system picture, thermal
+/// transition rates scale with the qubit tunneling amplitude, vanishing as
+/// `A(s) → 0`. Plain Metropolis dynamics has no such gate — it keeps
+/// performing classical repair arbitrarily late in the anneal, which makes
+/// the simulator behave like simulated annealing (flattering forward
+/// annealing and erasing the freeze-out that locks in both FA's diabatic
+/// errors and RA's programmed state).
+///
+/// The gate multiplies every acceptance probability by
+/// `g(s) = min(1, (A(s)/a_ref)^exponent)` — a *lazy* Metropolis chain, so
+/// the stationary distribution is untouched while the kinetics slow and
+/// stop as fluctuations vanish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreezeOut {
+    /// Transverse-field scale (GHz) above which dynamics runs at full rate.
+    pub a_ref_ghz: f64,
+    /// Rate exponent (2.0 ≈ golden-rule scaling of single-qubit flips).
+    pub exponent: f64,
+}
+
+impl Default for FreezeOut {
+    fn default() -> Self {
+        FreezeOut {
+            a_ref_ghz: 2.0,
+            exponent: 2.0,
+        }
+    }
+}
+
+impl FreezeOut {
+    /// Rate factor `g(s) ∈ [0, 1]` at transverse field `a_ghz`.
+    #[inline]
+    pub fn gate(&self, a_ghz: f64) -> f64 {
+        let ratio = (a_ghz / self.a_ref_ghz).max(0.0);
+        ratio.powf(self.exponent).min(1.0)
+    }
+}
+
+/// Engine-independent simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealParams {
+    /// Monte Carlo sweeps simulated per programmed microsecond.
+    pub sweeps_per_us: usize,
+    /// Override the device inverse temperature (1/GHz); `None` uses the
+    /// profile's physical `β`.
+    pub beta_override: Option<f64>,
+    /// Transverse-field-gated kinetics; `None` disables the gate (pure
+    /// Metropolis dynamics, SA-like late-anneal behaviour).
+    pub freeze_out: Option<FreezeOut>,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            sweeps_per_us: 32,
+            beta_override: None,
+            freeze_out: Some(FreezeOut::default()),
+        }
+    }
+}
+
+impl AnnealParams {
+    /// Effective inverse temperature for a profile.
+    pub fn beta(&self, profile: &DWaveProfile) -> f64 {
+        self.beta_override.unwrap_or_else(|| profile.beta())
+    }
+
+    /// Kinetic gate factor at transverse field `a_ghz` (1.0 when disabled).
+    #[inline]
+    pub fn gate(&self, a_ghz: f64) -> f64 {
+        match &self.freeze_out {
+            Some(f) => f.gate(a_ghz),
+            None => 1.0,
+        }
+    }
+
+    /// Number of sweeps for a schedule (at least 1).
+    pub fn total_sweeps(&self, schedule: &AnnealSchedule) -> usize {
+        ((schedule.duration_us() * self.sweeps_per_us as f64).round() as usize).max(1)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics when `sweeps_per_us == 0`, a non-positive beta override, or a
+    /// non-positive freeze-out reference field.
+    pub fn validate(&self) {
+        assert!(
+            self.sweeps_per_us > 0,
+            "AnnealParams: sweeps_per_us must be > 0"
+        );
+        if let Some(b) = self.beta_override {
+            assert!(b > 0.0, "AnnealParams: beta override must be > 0");
+        }
+        if let Some(f) = &self.freeze_out {
+            assert!(f.a_ref_ghz > 0.0, "AnnealParams: a_ref must be > 0");
+            assert!(
+                f.exponent > 0.0,
+                "AnnealParams: freeze-out exponent must be > 0"
+            );
+        }
+    }
+}
+
+/// One anneal read: problem in, classical state out.
+pub trait AnnealEngine: Send + Sync {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs one read.
+    ///
+    /// `initial` is required exactly when `schedule.requires_initial_state()`
+    /// (reverse annealing); forward schedules ignore it.
+    ///
+    /// # Panics
+    /// Panics when a reverse schedule is given no initial state, or the
+    /// initial state length mismatches the problem.
+    fn run(
+        &self,
+        problem: &Ising,
+        profile: &DWaveProfile,
+        schedule: &AnnealSchedule,
+        params: &AnnealParams,
+        initial: Option<&[i8]>,
+        rng: &mut Rng64,
+    ) -> Vec<i8>;
+}
+
+/// Flattened CSR view of an Ising problem for hot loops.
+///
+/// `Ising`'s adjacency is `Vec<Vec<(usize, f64)>>`; engines convert once per
+/// read to contiguous arrays (conversion is `O(edges)`, negligible next to
+/// the sweep work).
+#[derive(Debug, Clone)]
+pub(crate) struct FlatIsing {
+    pub n: usize,
+    pub h: Vec<f64>,
+    /// Neighbor list offsets: neighbors of `i` live at `offsets[i]..offsets[i+1]`.
+    pub offsets: Vec<u32>,
+    pub neighbors: Vec<u32>,
+    pub weights: Vec<f64>,
+}
+
+impl FlatIsing {
+    pub fn from_ising(ising: &Ising) -> Self {
+        let n = ising.num_vars();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0u32);
+        for i in 0..n {
+            for &(j, w) in ising.neighbors(i) {
+                neighbors.push(j as u32);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        FlatIsing {
+            n,
+            h: ising.h_slice().to_vec(),
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Local field `h_i + Σ_j J_ij s_j` over an arbitrary spin slice.
+    #[inline]
+    pub fn local_field(&self, spins: &[i8], i: usize) -> f64 {
+        let mut f = self.h[i];
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        for k in lo..hi {
+            f += self.weights[k] * spins[self.neighbors[k] as usize] as f64;
+        }
+        f
+    }
+}
+
+/// Validates and resolves the initial state for a schedule.
+///
+/// # Panics
+/// See [`AnnealEngine::run`].
+pub(crate) fn resolve_initial(
+    schedule: &AnnealSchedule,
+    n: usize,
+    initial: Option<&[i8]>,
+) -> Option<Vec<i8>> {
+    if schedule.requires_initial_state() {
+        let init = initial
+            .expect("reverse annealing schedule requires a programmed initial state (paper §4.1)");
+        assert_eq!(init.len(), n, "initial state length mismatch");
+        debug_assert!(init.iter().all(|&s| s == 1 || s == -1));
+        Some(init.to_vec())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_ising_local_fields_match_sparse() {
+        let mut rng = Rng64::new(3);
+        let q = hqw_qubo::generator::random_qubo(12, &mut rng);
+        let (ising, _) = q.to_ising();
+        let flat = FlatIsing::from_ising(&ising);
+        let spins: Vec<i8> = (0..12)
+            .map(|_| if rng.next_bool() { 1 } else { -1 })
+            .collect();
+        for i in 0..12 {
+            assert!((flat.local_field(&spins, i) - ising.local_field(&spins, i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_sweeps_scales_with_duration() {
+        let p = AnnealParams {
+            sweeps_per_us: 10,
+            ..Default::default()
+        };
+        let s = AnnealSchedule::forward(2.5).unwrap();
+        assert_eq!(p.total_sweeps(&s), 25);
+        let tiny = AnnealSchedule::forward(0.001).unwrap();
+        assert_eq!(p.total_sweeps(&tiny), 1, "at least one sweep");
+    }
+
+    #[test]
+    fn beta_override_takes_precedence() {
+        let profile = DWaveProfile::default();
+        let default = AnnealParams::default();
+        assert!((default.beta(&profile) - profile.beta()).abs() < 1e-12);
+        let custom = AnnealParams {
+            beta_override: Some(7.0),
+            ..Default::default()
+        };
+        assert_eq!(custom.beta(&profile), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a programmed initial state")]
+    fn reverse_without_initial_panics() {
+        let s = AnnealSchedule::reverse(0.5, 1.0).unwrap();
+        resolve_initial(&s, 4, None);
+    }
+
+    #[test]
+    fn forward_ignores_initial() {
+        let s = AnnealSchedule::forward(1.0).unwrap();
+        assert!(resolve_initial(&s, 4, Some(&[1, 1, -1, 1])).is_none());
+    }
+}

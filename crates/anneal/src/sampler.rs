@@ -1,0 +1,584 @@
+//! The D-Wave-like sampler front end.
+//!
+//! [`QuantumSampler`] reproduces the workflow the paper ran against the real
+//! 2000Q (§2): program a QUBO/Ising problem, submit `N_s` reads under an
+//! anneal schedule (optionally with a reverse-anneal initial state), and
+//! collect the sample set, "the best sample (e.g. the one with the lowest
+//! QUBO cost function) selected as the final solution".
+//!
+//! Front-end behaviours modeled after the hardware stack:
+//!
+//! * **Auto-scaling** — the programmed Ising is normalized to the device's
+//!   `[-1, 1]` coefficient range (does not change the argmin).
+//! * **ICE noise** — each read perturbs the programmed coefficients
+//!   ([`IceModel`]), while reported energies are evaluated on the *intended*
+//!   problem, as the D-Wave stack does.
+//! * **Parallel reads** — reads are independent, so they fan out across
+//!   threads (crossbeam scoped threads); per-read RNG streams are derived
+//!   from the seed, making results bit-identical regardless of thread count.
+//! * **QPU time accounting** — programming / per-read anneal / readout
+//!   charges, in *programmed microseconds*; the paper's TTS metric consumes
+//!   the schedule duration.
+
+use crate::dwave::DWaveProfile;
+use crate::engine::{AnnealEngine, AnnealParams};
+use crate::noise::IceModel;
+use crate::pimc::PimcEngine;
+use crate::schedule::AnnealSchedule;
+use crate::svmc::SvmcEngine;
+use hqw_math::Rng64;
+use hqw_qubo::solution::{bits_to_spins, spins_to_bits};
+use hqw_qubo::{Ising, Qubo, SampleSet};
+
+/// Which simulation engine backs the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Path-integral quantum Monte Carlo with the given Trotter slices.
+    Pimc {
+        /// Number of Trotter slices (≥ 2).
+        trotter_slices: usize,
+    },
+    /// Spin-vector (semi-classical) Monte Carlo.
+    Svmc,
+}
+
+impl Default for EngineKind {
+    fn default() -> Self {
+        EngineKind::Pimc { trotter_slices: 16 }
+    }
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Number of anneal reads per submission (`N_s`).
+    pub num_reads: usize,
+    /// Simulation engine.
+    pub engine: EngineKind,
+    /// Time-discretization and temperature parameters.
+    pub params: AnnealParams,
+    /// Analog coefficient noise per read.
+    pub ice: IceModel,
+    /// Normalize programmed coefficients to `[-1, 1]` (device auto-scale).
+    pub auto_scale: bool,
+    /// Worker threads for parallel reads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            num_reads: 100,
+            engine: EngineKind::default(),
+            params: AnnealParams::default(),
+            ice: IceModel::none(),
+            auto_scale: true,
+            threads: 0,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero reads or invalid engine parameters.
+    pub fn validate(&self) {
+        assert!(self.num_reads > 0, "SamplerConfig: num_reads must be > 0");
+        self.params.validate();
+        if let EngineKind::Pimc { trotter_slices } = self.engine {
+            assert!(
+                trotter_slices >= 2,
+                "SamplerConfig: need ≥ 2 Trotter slices"
+            );
+        }
+    }
+
+    fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// QPU-time accounting for one submission (all values in microseconds).
+///
+/// Constants follow the 2000Q-era service: ~10 ms programming, ~120 µs
+/// readout and ~20 µs inter-read delay per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpuTiming {
+    /// One-time problem programming cost.
+    pub programming_us: f64,
+    /// Programmed anneal duration per read (the schedule's duration — what
+    /// the paper's TTS charges).
+    pub anneal_us_per_read: f64,
+    /// Readout cost per read.
+    pub readout_us_per_read: f64,
+    /// Inter-read delay per read.
+    pub delay_us_per_read: f64,
+    /// Number of reads.
+    pub num_reads: usize,
+}
+
+impl QpuTiming {
+    fn new(schedule: &AnnealSchedule, num_reads: usize) -> Self {
+        QpuTiming {
+            programming_us: 10_000.0,
+            anneal_us_per_read: schedule.duration_us(),
+            readout_us_per_read: 123.0,
+            delay_us_per_read: 21.0,
+            num_reads,
+        }
+    }
+
+    /// Pure sampling time: `reads × (anneal + readout + delay)`.
+    pub fn sampling_us(&self) -> f64 {
+        self.num_reads as f64
+            * (self.anneal_us_per_read + self.readout_us_per_read + self.delay_us_per_read)
+    }
+
+    /// Full QPU access time including programming.
+    pub fn qpu_access_us(&self) -> f64 {
+        self.programming_us + self.sampling_us()
+    }
+}
+
+/// One submission's output.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Aggregated samples with energies of the *intended* problem.
+    pub samples: SampleSet,
+    /// QPU time accounting.
+    pub timing: QpuTiming,
+}
+
+/// The sampler: a device profile plus a configuration.
+#[derive(Debug, Clone)]
+pub struct QuantumSampler {
+    /// Device energy scales and temperature.
+    pub profile: DWaveProfile,
+    /// Submission configuration.
+    pub config: SamplerConfig,
+}
+
+impl QuantumSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(profile: DWaveProfile, config: SamplerConfig) -> Self {
+        config.validate();
+        QuantumSampler { profile, config }
+    }
+
+    /// Sampler with the calibrated 2000Q-like profile (see
+    /// [`DWaveProfile::calibrated`]) and default configuration.
+    pub fn with_defaults() -> Self {
+        QuantumSampler::new(DWaveProfile::calibrated(), SamplerConfig::default())
+    }
+
+    /// Samples a QUBO. `initial_bits` programs the reverse-anneal initial
+    /// state and is required exactly when the schedule starts at `s = 1`.
+    ///
+    /// Reported energies are QUBO energies of the intended problem.
+    ///
+    /// # Panics
+    /// Panics when a reverse schedule lacks an initial state or lengths
+    /// mismatch.
+    pub fn sample_qubo(
+        &self,
+        qubo: &Qubo,
+        schedule: &AnnealSchedule,
+        initial_bits: Option<&[u8]>,
+        seed: u64,
+    ) -> AnnealResult {
+        let (ising, _offset) = qubo.to_ising();
+        let initial_spins = initial_bits.map(bits_to_spins);
+        let states = self.run_reads(&ising, schedule, initial_spins.as_deref(), seed);
+        let samples = SampleSet::from_reads(states.into_iter().map(|spins| {
+            let bits = spins_to_bits(&spins);
+            let energy = qubo.energy(&bits);
+            (bits, energy)
+        }));
+        AnnealResult {
+            samples,
+            timing: QpuTiming::new(schedule, self.config.num_reads),
+        }
+    }
+
+    /// Samples an Ising problem directly; energies are Ising energies of the
+    /// intended problem (bits are the usual `q = (s+1)/2` view).
+    ///
+    /// # Panics
+    /// As [`QuantumSampler::sample_qubo`].
+    pub fn sample_ising(
+        &self,
+        ising: &Ising,
+        schedule: &AnnealSchedule,
+        initial: Option<&[i8]>,
+        seed: u64,
+    ) -> AnnealResult {
+        let states = self.run_reads(ising, schedule, initial, seed);
+        let samples = SampleSet::from_reads(states.into_iter().map(|spins| {
+            let energy = ising.energy(&spins);
+            (spins_to_bits(&spins), energy)
+        }));
+        AnnealResult {
+            samples,
+            timing: QpuTiming::new(schedule, self.config.num_reads),
+        }
+    }
+
+    /// Samples a QUBO **through a Chimera minor-embedding** — the full
+    /// hardware compilation path: embed the logical Ising onto the hardware
+    /// graph with chains, anneal the physical problem, unembed each read by
+    /// majority vote, and report energies of the intended logical QUBO.
+    ///
+    /// Reverse-anneal initial states are expanded to chain-consistent
+    /// physical states (unused qubits randomized).
+    ///
+    /// Returns the result plus the fraction of broken chains across all
+    /// reads (`broken chains / (reads × logical variables)`).
+    ///
+    /// # Panics
+    /// Panics when the embedding size mismatches the QUBO, or on the usual
+    /// reverse-schedule initial-state requirements.
+    pub fn sample_qubo_embedded(
+        &self,
+        qubo: &Qubo,
+        embedding: &crate::embedding::CliqueEmbedding,
+        strength: crate::embedding::ChainStrength,
+        schedule: &AnnealSchedule,
+        initial_bits: Option<&[u8]>,
+        seed: u64,
+    ) -> (AnnealResult, f64) {
+        assert_eq!(
+            embedding.num_logical(),
+            qubo.num_vars(),
+            "sample_qubo_embedded: embedding size mismatch"
+        );
+        let (logical, _offset) = qubo.to_ising();
+        let physical = embedding.embed(&logical, strength);
+
+        // Expand the reverse-anneal initial state through the chains.
+        let mut init_rng = Rng64::new(seed ^ 0xE1BE_DDED);
+        let physical_init = initial_bits.map(|bits| {
+            let spins = bits_to_spins(bits);
+            embedding.embed_state(&spins, &mut init_rng)
+        });
+
+        let states = self.run_reads(&physical, schedule, physical_init.as_deref(), seed);
+        let mut broken_total = 0usize;
+        let reads = states.len();
+        let samples = SampleSet::from_reads(states.into_iter().map(|phys| {
+            let (logical_spins, broken) = embedding.unembed(&phys);
+            broken_total += broken;
+            let bits = spins_to_bits(&logical_spins);
+            let energy = qubo.energy(&bits);
+            (bits, energy)
+        }));
+        let chain_break_fraction =
+            broken_total as f64 / (reads * embedding.num_logical()).max(1) as f64;
+        (
+            AnnealResult {
+                samples,
+                timing: QpuTiming::new(schedule, self.config.num_reads),
+            },
+            chain_break_fraction,
+        )
+    }
+
+    /// Runs the configured number of reads, in parallel, deterministically.
+    fn run_reads(
+        &self,
+        intended: &Ising,
+        schedule: &AnnealSchedule,
+        initial: Option<&[i8]>,
+        seed: u64,
+    ) -> Vec<Vec<i8>> {
+        self.config.validate();
+        // Program the device: auto-scale the intended problem.
+        let mut programmed = intended.clone();
+        if self.config.auto_scale {
+            programmed.normalize();
+        }
+
+        // Per-read RNG seeds from the master seed: thread-count invariant.
+        let mut master = Rng64::new(seed);
+        let read_seeds: Vec<u64> = (0..self.config.num_reads)
+            .map(|_| master.next_u64())
+            .collect();
+
+        let threads = self.config.resolve_threads().min(self.config.num_reads);
+        let mut states: Vec<Option<Vec<i8>>> = vec![None; self.config.num_reads];
+
+        let run_one = |read_seed: u64| -> Vec<i8> {
+            let mut rng = Rng64::new(read_seed);
+            let engine: Box<dyn AnnealEngine> = match self.config.engine {
+                EngineKind::Pimc { trotter_slices } => Box::new(PimcEngine::new(trotter_slices)),
+                EngineKind::Svmc => Box::new(SvmcEngine),
+            };
+            let problem = if self.config.ice.is_none() {
+                programmed.clone()
+            } else {
+                self.config.ice.perturb(&programmed, &mut rng)
+            };
+            engine.run(
+                &problem,
+                &self.profile,
+                schedule,
+                &self.config.params,
+                initial,
+                &mut rng,
+            )
+        };
+
+        if threads <= 1 {
+            for (slot, &read_seed) in states.iter_mut().zip(&read_seeds) {
+                *slot = Some(run_one(read_seed));
+            }
+        } else {
+            let chunk = self.config.num_reads.div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for (slot_chunk, seed_chunk) in
+                    states.chunks_mut(chunk).zip(read_seeds.chunks(chunk))
+                {
+                    let run_one = &run_one;
+                    scope.spawn(move |_| {
+                        for (slot, &read_seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                            *slot = Some(run_one(read_seed));
+                        }
+                    });
+                }
+            })
+            .expect("sampler worker thread panicked");
+        }
+
+        states
+            .into_iter()
+            .map(|s| s.expect("all reads completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FreezeOut;
+    use hqw_qubo::exact::exhaustive_minimum;
+    use hqw_qubo::generator::random_qubo;
+
+    fn quick_config(reads: usize) -> SamplerConfig {
+        SamplerConfig {
+            num_reads: reads,
+            engine: EngineKind::Pimc { trotter_slices: 8 },
+            params: AnnealParams {
+                sweeps_per_us: 24,
+                beta_override: None,
+                freeze_out: Some(FreezeOut::default()),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn forward_sampling_finds_small_optima() {
+        let mut rng = Rng64::new(41);
+        let q = random_qubo(8, &mut rng);
+        let (_, e_best) = exhaustive_minimum(&q);
+        let sampler = QuantumSampler::new(DWaveProfile::default(), quick_config(60));
+        let schedule = AnnealSchedule::forward(2.0).unwrap();
+        let out = sampler.sample_qubo(&q, &schedule, None, 7);
+        assert_eq!(out.samples.total_reads(), 60);
+        assert!(
+            (out.samples.best_energy() - e_best).abs() < 1e-9,
+            "FA sampling missed an 8-var optimum: {} vs {e_best}",
+            out.samples.best_energy()
+        );
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let mut rng = Rng64::new(43);
+        let q = random_qubo(6, &mut rng);
+        let schedule = AnnealSchedule::forward(1.0).unwrap();
+        let mut one = quick_config(16);
+        one.threads = 1;
+        let mut many = quick_config(16);
+        many.threads = 4;
+        let a =
+            QuantumSampler::new(DWaveProfile::default(), one).sample_qubo(&q, &schedule, None, 9);
+        let b =
+            QuantumSampler::new(DWaveProfile::default(), many).sample_qubo(&q, &schedule, None, 9);
+        let av: Vec<_> = a
+            .samples
+            .iter()
+            .map(|s| (s.bits.clone(), s.occurrences))
+            .collect();
+        let bv: Vec<_> = b
+            .samples
+            .iter()
+            .map(|s| (s.bits.clone(), s.occurrences))
+            .collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn reverse_requires_initial_state() {
+        let mut rng = Rng64::new(45);
+        let q = random_qubo(4, &mut rng);
+        let schedule = AnnealSchedule::reverse(0.5, 1.0).unwrap();
+        let sampler = QuantumSampler::new(DWaveProfile::default(), quick_config(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sampler.sample_qubo(&q, &schedule, None, 1)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reverse_with_initial_state_runs() {
+        let mut rng = Rng64::new(47);
+        let q = random_qubo(6, &mut rng);
+        let schedule = AnnealSchedule::reverse(0.4, 1.0).unwrap();
+        let sampler = QuantumSampler::new(DWaveProfile::default(), quick_config(8));
+        let init = vec![0u8, 1, 0, 1, 0, 1];
+        let out = sampler.sample_qubo(&q, &schedule, Some(&init), 3);
+        assert_eq!(out.samples.total_reads(), 8);
+    }
+
+    #[test]
+    fn ice_noise_changes_samples_not_reported_energies() {
+        let mut rng = Rng64::new(49);
+        let q = random_qubo(8, &mut rng);
+        let schedule = AnnealSchedule::forward(1.0).unwrap();
+        let mut noisy_cfg = quick_config(20);
+        noisy_cfg.ice = IceModel::new(0.2, 0.2);
+        let sampler = QuantumSampler::new(DWaveProfile::default(), noisy_cfg);
+        let out = sampler.sample_qubo(&q, &schedule, None, 5);
+        // Reported energies must be consistent with the intended problem.
+        for s in out.samples.iter() {
+            assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timing_charges_schedule_duration() {
+        let mut rng = Rng64::new(51);
+        let q = random_qubo(4, &mut rng);
+        let schedule = AnnealSchedule::reverse(0.4, 1.0).unwrap(); // duration 2.2
+        let sampler = QuantumSampler::new(DWaveProfile::default(), quick_config(10));
+        let out = sampler.sample_qubo(&q, &schedule, Some(&[0, 0, 1, 1]), 2);
+        assert!((out.timing.anneal_us_per_read - 2.2).abs() < 1e-9);
+        assert_eq!(out.timing.num_reads, 10);
+        assert!(out.timing.qpu_access_us() > out.timing.sampling_us());
+    }
+
+    #[test]
+    fn svmc_engine_is_selectable() {
+        let mut rng = Rng64::new(53);
+        let q = random_qubo(6, &mut rng);
+        let mut cfg = quick_config(10);
+        cfg.engine = EngineKind::Svmc;
+        let sampler = QuantumSampler::new(DWaveProfile::default(), cfg);
+        let out = sampler.sample_qubo(&q, &AnnealSchedule::forward(1.0).unwrap(), None, 11);
+        assert_eq!(out.samples.total_reads(), 10);
+    }
+}
+
+#[cfg(test)]
+mod embedded_tests {
+    use super::*;
+    use crate::embedding::{ChainStrength, CliqueEmbedding};
+    use crate::engine::FreezeOut;
+    use crate::topology::Chimera;
+    use hqw_qubo::generator::random_qubo;
+
+    fn quick_sampler(reads: usize) -> QuantumSampler {
+        QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: reads,
+                engine: EngineKind::Pimc { trotter_slices: 4 },
+                params: AnnealParams {
+                    sweeps_per_us: 16,
+                    beta_override: None,
+                    freeze_out: Some(FreezeOut::default()),
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn embedded_sampling_reports_logical_energies() {
+        let mut rng = Rng64::new(61);
+        let q = random_qubo(4, &mut rng);
+        let embedding = CliqueEmbedding::new(Chimera::new(1), 4);
+        let sampler = quick_sampler(10);
+        let schedule = AnnealSchedule::forward(1.0).unwrap();
+        let (result, breaks) = sampler.sample_qubo_embedded(
+            &q,
+            &embedding,
+            ChainStrength::RelativeToMax(2.0),
+            &schedule,
+            None,
+            5,
+        );
+        assert_eq!(result.samples.total_reads(), 10);
+        assert!((0.0..=1.0).contains(&breaks));
+        for s in result.samples.iter() {
+            assert_eq!(s.bits.len(), 4);
+            assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embedded_reverse_holds_strong_seed() {
+        // Reverse anneal at very high s_p through the embedding: the
+        // programmed logical state must survive chains + unembedding.
+        let mut rng = Rng64::new(67);
+        let q = random_qubo(4, &mut rng);
+        let embedding = CliqueEmbedding::new(Chimera::new(1), 4);
+        let sampler = quick_sampler(8);
+        let schedule = AnnealSchedule::reverse(0.97, 0.1).unwrap();
+        let init = vec![1u8, 0, 1, 0];
+        let (result, _breaks) = sampler.sample_qubo_embedded(
+            &q,
+            &embedding,
+            ChainStrength::RelativeToMax(4.0),
+            &schedule,
+            Some(&init),
+            7,
+        );
+        let preserved: u64 = result
+            .samples
+            .iter()
+            .filter(|s| s.bits == init)
+            .map(|s| s.occurrences)
+            .sum();
+        assert!(
+            preserved >= 6,
+            "embedded shallow RA should mostly preserve the seed ({preserved}/8)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding size mismatch")]
+    fn embedded_sampling_rejects_size_mismatch() {
+        let mut rng = Rng64::new(71);
+        let q = random_qubo(5, &mut rng);
+        let embedding = CliqueEmbedding::new(Chimera::new(1), 4);
+        quick_sampler(2).sample_qubo_embedded(
+            &q,
+            &embedding,
+            ChainStrength::Fixed(1.0),
+            &AnnealSchedule::forward(1.0).unwrap(),
+            None,
+            1,
+        );
+    }
+}

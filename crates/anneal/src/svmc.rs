@@ -1,0 +1,216 @@
+//! Spin-vector Monte Carlo (SVMC) — the semi-classical annealer model.
+//!
+//! Each qubit is an O(2) rotor, a unit vector in the x-z plane at angle
+//! `θ_i ∈ [0, π]` (θ = 0 ↦ spin +1, θ = π ↦ spin −1, θ = π/2 ↦ fully
+//! "quantum" x-alignment). The classical energy mirrors the transverse-field
+//! Hamiltonian with operators replaced by their expectation on product
+//! states (Shin-Smith-Smolin-Vazirani):
+//!
+//! ```text
+//!   E(θ) = −A(s)/2 Σ_i sin θ_i + B(s)/2 ( Σ_i h_i cos θ_i + Σ_{ij} J_ij cos θ_i cos θ_j )
+//! ```
+//!
+//! Metropolis dynamics on the angles at the device temperature. SVMC
+//! reproduces much of D-Wave's *incoherent* behaviour (thermal hopping over
+//! mean-field barriers) while PIMC additionally captures imaginary-time
+//! tunneling — the two together bound what the hardware does, which is why
+//! the ablation bench runs both engines on the same workload.
+//!
+//! Reverse annealing initializes the rotors at the programmed classical
+//! poles; readout is `sign(cos θ)`.
+
+use crate::dwave::DWaveProfile;
+use crate::engine::{resolve_initial, AnnealEngine, AnnealParams, FlatIsing};
+use crate::schedule::AnnealSchedule;
+use hqw_math::Rng64;
+use hqw_qubo::Ising;
+
+/// Spin-vector Monte Carlo engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvmcEngine;
+
+impl AnnealEngine for SvmcEngine {
+    fn name(&self) -> &'static str {
+        "SVMC"
+    }
+
+    fn run(
+        &self,
+        problem: &Ising,
+        profile: &DWaveProfile,
+        schedule: &AnnealSchedule,
+        params: &AnnealParams,
+        initial: Option<&[i8]>,
+        rng: &mut Rng64,
+    ) -> Vec<i8> {
+        params.validate();
+        let flat = FlatIsing::from_ising(problem);
+        let n = flat.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let beta = params.beta(profile);
+        let init = resolve_initial(schedule, n, initial);
+
+        // Rotor angles and their cosines (the cosines enter neighbors'
+        // fields, so cache them).
+        let mut theta: Vec<f64> = match &init {
+            Some(state) => state
+                .iter()
+                .map(|&s| if s > 0 { 0.0 } else { std::f64::consts::PI })
+                .collect(),
+            // Forward start: transverse field dominates ⇒ x-aligned rotors.
+            None => vec![std::f64::consts::FRAC_PI_2; n],
+        };
+        let mut cos_t: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
+
+        let total_sweeps = params.total_sweeps(schedule);
+        let duration = schedule.duration_us();
+
+        for sweep in 0..total_sweeps {
+            let t = (sweep as f64 + 0.5) * duration / total_sweeps as f64;
+            let s = schedule.s_at(t);
+            let a_half = profile.a_ghz(s) / 2.0;
+            let b_half = profile.b_ghz(s) / 2.0;
+            let gate = params.gate(profile.a_ghz(s));
+            if gate <= 0.0 {
+                continue; // fully frozen
+            }
+
+            for i in 0..n {
+                // Mean field from the problem Hamiltonian in cos-space.
+                let mut field = flat.h[i];
+                let lo = flat.offsets[i] as usize;
+                let hi = flat.offsets[i + 1] as usize;
+                for k in lo..hi {
+                    field += flat.weights[k] * cos_t[flat.neighbors[k] as usize];
+                }
+                // Propose a fresh angle uniformly in [0, π]; lazy-chain gate
+                // scales the acceptance (freeze-out).
+                let proposal = rng.next_range(0.0, std::f64::consts::PI);
+                let delta = b_half * field * (proposal.cos() - cos_t[i])
+                    - a_half * (proposal.sin() - theta[i].sin());
+                let accept = if delta <= 0.0 {
+                    gate
+                } else {
+                    gate * (-beta * delta).exp()
+                };
+                if rng.next_f64() < accept {
+                    theta[i] = proposal;
+                    cos_t[i] = proposal.cos();
+                }
+            }
+        }
+
+        cos_t
+            .iter()
+            .map(|&c| if c >= 0.0 { 1 } else { -1 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FreezeOut;
+    use hqw_qubo::solution::bits_to_spins;
+
+    fn ferromagnet(n: usize) -> Ising {
+        let mut ising = Ising::new(n);
+        for i in 0..n {
+            ising.set_h(i, -0.4);
+            if i + 1 < n {
+                ising.set_coupling(i, i + 1, -1.0);
+            }
+        }
+        ising
+    }
+
+    #[test]
+    fn forward_anneal_finds_ferromagnetic_ground_state() {
+        let ising = ferromagnet(8);
+        let profile = DWaveProfile::default();
+        let schedule = AnnealSchedule::forward(2.0).unwrap();
+        let params = AnnealParams {
+            sweeps_per_us: 64,
+            beta_override: None,
+            freeze_out: Some(FreezeOut::default()),
+        };
+        let mut rng = Rng64::new(21);
+        let mut hits = 0;
+        for _ in 0..10 {
+            let out = SvmcEngine.run(&ising, &profile, &schedule, &params, None, &mut rng);
+            if out.iter().all(|&s| s == 1) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 8, "SVMC FA found the ferromagnet {hits}/10 times");
+    }
+
+    #[test]
+    fn shallow_reverse_preserves_initial_state() {
+        // All-down is a local (not global) minimum of the field-pinned-up
+        // ferromagnet; shallow RA must not escape it.
+        let ising = ferromagnet(8);
+        let profile = DWaveProfile::default();
+        let schedule = AnnealSchedule::reverse(0.95, 0.2).unwrap();
+        let params = AnnealParams::default();
+        let init = bits_to_spins(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rng = Rng64::new(23);
+        let mut preserved = 0;
+        for _ in 0..10 {
+            let out = SvmcEngine.run(&ising, &profile, &schedule, &params, Some(&init), &mut rng);
+            if out == init {
+                preserved += 1;
+            }
+        }
+        assert!(preserved >= 8, "shallow SVMC RA preserved {preserved}/10");
+    }
+
+    #[test]
+    fn deep_reverse_escapes_excited_state() {
+        let ising = ferromagnet(6);
+        let profile = DWaveProfile::default();
+        let schedule = AnnealSchedule::reverse(0.05, 1.0).unwrap();
+        let params = AnnealParams {
+            sweeps_per_us: 64,
+            beta_override: None,
+            freeze_out: Some(FreezeOut::default()),
+        };
+        let init = vec![-1i8; 6];
+        let mut rng = Rng64::new(27);
+        let mut recovered = 0;
+        for _ in 0..10 {
+            let out = SvmcEngine.run(&ising, &profile, &schedule, &params, Some(&init), &mut rng);
+            if out.iter().all(|&s| s == 1) {
+                recovered += 1;
+            }
+        }
+        assert!(recovered >= 7, "deep SVMC RA recovered {recovered}/10");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ising = ferromagnet(5);
+        let profile = DWaveProfile::default();
+        let schedule = AnnealSchedule::forward(1.0).unwrap();
+        let params = AnnealParams::default();
+        let a = SvmcEngine.run(
+            &ising,
+            &profile,
+            &schedule,
+            &params,
+            None,
+            &mut Rng64::new(31),
+        );
+        let b = SvmcEngine.run(
+            &ising,
+            &profile,
+            &schedule,
+            &params,
+            None,
+            &mut Rng64::new(31),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the annealer substrate.
+
+use hqw_anneal::embedding::CliqueEmbedding;
+use hqw_anneal::engine::{AnnealParams, FreezeOut};
+use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
+use hqw_anneal::schedule::AnnealSchedule;
+use hqw_anneal::topology::Chimera;
+use hqw_anneal::DWaveProfile;
+use hqw_math::Rng64;
+use hqw_qubo::generator::random_qubo;
+use hqw_qubo::solution::bits_to_spins;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ra_schedules_satisfy_paper_identities(s_p in 0.01f64..0.99, t_p in 0.0f64..4.0) {
+        let sched = AnnealSchedule::reverse(s_p, t_p).unwrap();
+        // Duration identity from §4.1: 2(1−s_p) + t_p.
+        prop_assert!((sched.duration_us() - (2.0 * (1.0 - s_p) + t_p)).abs() < 1e-9);
+        prop_assert!(sched.requires_initial_state());
+        prop_assert!((sched.min_s() - s_p).abs() < 1e-9);
+        // s(t) stays within [s_p, 1].
+        for k in 0..=20 {
+            let t = sched.duration_us() * k as f64 / 20.0;
+            let s = sched.s_at(t);
+            prop_assert!(s >= s_p - 1e-9 && s <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fa_pause_schedules_are_monotone_outside_the_pause(
+        s_p in 0.05f64..0.95, t_p in 0.0f64..3.0, extra in 0.05f64..2.0
+    ) {
+        let t_a = s_p + extra;
+        let sched = AnnealSchedule::forward_with_pause(s_p, t_p, t_a).unwrap();
+        prop_assert!((sched.duration_us() - (t_a + t_p)).abs() < 1e-9);
+        // s is non-decreasing for forward schedules.
+        let mut prev = -1.0;
+        for k in 0..=40 {
+            let t = sched.duration_us() * k as f64 / 40.0;
+            let s = sched.s_at(t);
+            prop_assert!(s >= prev - 1e-9, "s(t) decreased on a forward schedule");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn fr_schedules_touch_cp_then_sp(
+        s_p in 0.05f64..0.8, d in 0.05f64..0.19, t_p in 0.0f64..2.0
+    ) {
+        let c_p = (s_p + d).min(0.99);
+        prop_assume!(c_p > s_p && c_p < 1.0);
+        let t_a = s_p + 1.0;
+        let sched = AnnealSchedule::forward_reverse(c_p, s_p, t_p, t_a).unwrap();
+        prop_assert!((sched.s_at(c_p) - c_p).abs() < 1e-9, "peak misses c_p");
+        prop_assert!((sched.s_at(2.0 * c_p - s_p) - s_p).abs() < 1e-9, "valley misses s_p");
+        prop_assert!(!sched.requires_initial_state());
+    }
+
+    #[test]
+    fn freeze_gate_is_monotone_and_bounded(a_ref in 0.1f64..5.0, exp in 0.2f64..4.0) {
+        let gate = FreezeOut { a_ref_ghz: a_ref, exponent: exp };
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let a = k as f64 * 0.5;
+            let g = gate.gate(a);
+            prop_assert!((0.0..=1.0).contains(&g));
+            prop_assert!(g >= prev - 1e-12, "gate not monotone in A");
+            prev = g;
+        }
+        prop_assert_eq!(gate.gate(0.0), 0.0);
+        prop_assert_eq!(gate.gate(a_ref * 2.0), 1.0);
+    }
+
+    #[test]
+    fn chimera_ids_and_coords_are_bijective(m in 1usize..6) {
+        let c = Chimera::new(m);
+        for id in (0..c.num_qubits()).step_by(7) {
+            prop_assert_eq!(c.id(c.coord(id)), id);
+        }
+        // Coupling is symmetric.
+        let mut rng = Rng64::new(m as u64);
+        for _ in 0..16 {
+            let a = rng.next_index(c.num_qubits());
+            let b = rng.next_index(c.num_qubits());
+            prop_assert_eq!(c.coupled(a, b), c.coupled(b, a));
+        }
+    }
+
+    #[test]
+    fn embedding_round_trips_arbitrary_logical_states(
+        m in 1usize..4, seed in any::<u64>()
+    ) {
+        let graph = Chimera::new(m);
+        let n = 4 * m;
+        let emb = CliqueEmbedding::new(graph, n);
+        let mut rng = Rng64::new(seed);
+        let logical: Vec<i8> = (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect();
+        let physical = emb.embed_state(&logical, &mut rng);
+        let (back, broken) = emb.unembed(&physical);
+        prop_assert_eq!(back, logical);
+        prop_assert_eq!(broken, 0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_thread_invariant(
+        seed in any::<u64>(), n in 2usize..10, reads in 1usize..12
+    ) {
+        let mut rng = Rng64::new(seed);
+        let q = random_qubo(n, &mut rng);
+        let schedule = AnnealSchedule::forward(0.5).unwrap();
+        let mk = |threads| QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: reads,
+                engine: EngineKind::Pimc { trotter_slices: 4 },
+                params: AnnealParams { sweeps_per_us: 8, ..Default::default() },
+                threads,
+                ..Default::default()
+            },
+        );
+        let a = mk(1).sample_qubo(&q, &schedule, None, seed);
+        let b = mk(2).sample_qubo(&q, &schedule, None, seed);
+        let av: Vec<_> = a.samples.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+        let bv: Vec<_> = b.samples.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+        prop_assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn reverse_reads_report_consistent_energies(seed in any::<u64>(), n in 2usize..8) {
+        let mut rng = Rng64::new(seed);
+        let q = random_qubo(n, &mut rng);
+        let init: Vec<u8> = (0..n).map(|_| rng.next_bool() as u8).collect();
+        let sampler = QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: 6,
+                engine: EngineKind::Pimc { trotter_slices: 4 },
+                params: AnnealParams { sweeps_per_us: 8, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let schedule = AnnealSchedule::reverse(0.6, 0.5).unwrap();
+        let out = sampler.sample_qubo(&q, &schedule, Some(&init), seed);
+        for s in out.samples.iter() {
+            prop_assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9);
+            prop_assert_eq!(s.bits.len(), n);
+        }
+        prop_assert_eq!(out.samples.total_reads(), 6);
+        // Spin view of the initial state is well-formed.
+        let spins = bits_to_spins(&init);
+        prop_assert!(spins.iter().all(|&s| s == 1 || s == -1));
+    }
+}

@@ -1,0 +1,165 @@
+//! Criterion benchmarks of the workspace's hot kernels.
+//!
+//! These quantify the compute costs behind the paper's Challenge 3
+//! (pipelining): what a classical initializer costs versus a simulated
+//! anneal read, and the per-component costs of the reduction pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
+use hqw_anneal::{AnnealSchedule, DWaveProfile};
+use hqw_math::linalg::QrReal;
+use hqw_math::{RMatrix, Rng64};
+use hqw_phy::detect::{Detector, KBest, SphereDecoder, ZeroForcing};
+use hqw_phy::instance::{DetectionInstance, InstanceConfig};
+use hqw_phy::modulation::Modulation;
+use hqw_phy::reduction::reduce_to_qubo;
+use hqw_qubo::generator::random_qubo;
+use hqw_qubo::sa::{sample_qubo, SaParams};
+use hqw_qubo::tabu::{tabu_from_random, TabuParams};
+use hqw_qubo::{greedy_search, Qubo};
+use std::hint::black_box;
+
+fn bench_qubo_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubo");
+    for &n in &[16usize, 36, 64] {
+        let mut rng = Rng64::new(1);
+        let q = random_qubo(n, &mut rng);
+        let bits: Vec<u8> = (0..n).map(|_| rng.next_bool() as u8).collect();
+        group.bench_with_input(BenchmarkId::new("energy", n), &n, |b, _| {
+            b.iter(|| black_box(q.energy(black_box(&bits))))
+        });
+        group.bench_with_input(BenchmarkId::new("flip_delta", n), &n, |b, _| {
+            b.iter(|| black_box(q.flip_delta(black_box(&bits), n / 2)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_search", n), &n, |b, _| {
+            b.iter(|| black_box(greedy_search(&q, Default::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classical_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_solvers");
+    group.sample_size(20);
+    let mut rng = Rng64::new(2);
+    let q: Qubo = random_qubo(36, &mut rng);
+    group.bench_function("sa_36var_32reads", |b| {
+        let params = SaParams {
+            num_reads: 32,
+            sweeps: 64,
+            ..Default::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sample_qubo(&q, &params, &mut Rng64::new(seed)))
+        })
+    });
+    group.bench_function("tabu_36var", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(tabu_from_random(
+                &q,
+                &TabuParams::default(),
+                &mut Rng64::new(seed),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    for &(users, m) in &[(8usize, Modulation::Qam16), (18, Modulation::Qpsk)] {
+        let mut rng = Rng64::new(3);
+        let inst = DetectionInstance::generate(&InstanceConfig::paper(users, m), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("ml_to_qubo", format!("{}x{}", users, m.name())),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    black_box(reduce_to_qubo(
+                        black_box(&inst.system),
+                        black_box(&inst.h),
+                        black_box(&inst.y),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors");
+    group.sample_size(20);
+    let mut rng = Rng64::new(4);
+    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
+    group.bench_function("zf_8x8_qam16", |b| {
+        b.iter(|| black_box(ZeroForcing.detect(&inst.system, &inst.h, &inst.y)))
+    });
+    group.bench_function("kbest8_8x8_qam16", |b| {
+        let det = KBest::new(8);
+        b.iter(|| black_box(det.detect(&inst.system, &inst.h, &inst.y)))
+    });
+    group.bench_function("sphere_8x8_qam16_noiseless", |b| {
+        let det = SphereDecoder::exact();
+        b.iter(|| black_box(det.detect(&inst.system, &inst.h, &inst.y)))
+    });
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for &n in &[16usize, 64] {
+        let mut rng = Rng64::new(5);
+        let a = RMatrix::from_fn(n, n, |_, _| rng.next_gaussian());
+        group.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
+            b.iter(|| black_box(QrReal::new(black_box(&a))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_anneal_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anneal");
+    group.sample_size(10);
+    let mut rng = Rng64::new(6);
+    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
+    let (gs_bits, _) = greedy_search(&inst.reduction.qubo, Default::default());
+    for (label, engine) in [
+        ("pimc16", EngineKind::Pimc { trotter_slices: 16 }),
+        ("svmc", EngineKind::Svmc),
+    ] {
+        let sampler = QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: 8,
+                engine,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let ra = AnnealSchedule::reverse(0.69, 1.0).unwrap();
+        group.bench_function(format!("ra_8reads_32var_{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sampler.sample_qubo(&inst.reduction.qubo, &ra, Some(&gs_bits), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qubo_kernels,
+    bench_classical_solvers,
+    bench_reduction,
+    bench_detectors,
+    bench_linalg,
+    bench_anneal_read
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Minimal shared CLI for the figure binaries.
+//!
+//! Flags (all optional):
+//! * `--quick`    — test-scale run (seconds).
+//! * `--full`     — publication-scale run (long).
+//! * `--seed <n>` — RNG seed (default 2026).
+//! * `--out <dir>`— CSV output directory (default `results/`).
+
+use hqw_core::experiments::Scale;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Human-readable scale name.
+    pub scale_name: &'static str,
+    /// RNG seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl Options {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`Options::from_args`]).
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = Scale::standard();
+        let mut scale_name = "standard";
+        let mut seed = 2026u64;
+        let mut out_dir = PathBuf::from("results");
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    scale = Scale::quick();
+                    scale_name = "quick";
+                }
+                "--full" => {
+                    scale = Scale::full();
+                    scale_name = "full";
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    seed = v.parse().expect("--seed needs an integer");
+                }
+                "--out" => {
+                    out_dir = PathBuf::from(args.next().expect("--out needs a path"));
+                }
+                other => {
+                    panic!("unknown flag '{other}' (expected --quick|--full|--seed N|--out DIR)")
+                }
+            }
+        }
+        Options {
+            scale,
+            scale_name,
+            seed,
+            out_dir,
+        }
+    }
+
+    /// Path for a named CSV in the output directory.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// Prints the standard experiment header.
+    pub fn banner(&self, figure: &str, what: &str) {
+        println!("=== {figure}: {what}");
+        println!(
+            "    scale={} seed={} (see EXPERIMENTS.md for paper-vs-measured notes)",
+            self.scale_name, self.seed
+        );
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> + use<> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn defaults_are_standard_scale() {
+        let o = Options::parse(args(&[]));
+        assert_eq!(o.scale_name, "standard");
+        assert_eq!(o.seed, 2026);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn quick_and_full_switch_scales() {
+        assert_eq!(Options::parse(args(&["--quick"])).scale_name, "quick");
+        assert_eq!(Options::parse(args(&["--full"])).scale_name, "full");
+        // Later flags win.
+        let o = Options::parse(args(&["--quick", "--full"]));
+        assert_eq!(o.scale_name, "full");
+    }
+
+    #[test]
+    fn seed_and_out_parse_values() {
+        let o = Options::parse(args(&["--seed", "7", "--out", "/tmp/x"]));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.csv_path("a.csv"), PathBuf::from("/tmp/x/a.csv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        Options::parse(args(&["--nope"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed needs an integer")]
+    fn bad_seed_panics() {
+        Options::parse(args(&["--seed", "xyz"]));
+    }
+}

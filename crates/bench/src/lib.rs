@@ -1,0 +1,17 @@
+//! # hqw-bench — benchmark harness
+//!
+//! Two kinds of targets:
+//!
+//! * **Figure-regeneration binaries** (`src/bin/`): one per figure/claim in
+//!   the paper's evaluation; each prints the series the paper plots and
+//!   writes CSV under `results/`. Run e.g.
+//!   `cargo run -p hqw-bench --release --bin fig8 -- --quick`.
+//! * **Criterion benches** (`benches/`): micro/meso benchmarks of the hot
+//!   kernels (QUBO energy, solvers, annealing sweeps, the ML→QUBO
+//!   transform, embedding, detectors).
+//!
+//! Shared CLI conventions live in [`cli`].
+
+#![warn(missing_docs)]
+
+pub mod cli;

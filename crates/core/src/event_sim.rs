@@ -1,0 +1,219 @@
+//! Discrete-event latency simulation of the pipelined computation structure
+//! (the paper's Figure 2 and Challenge 3).
+//!
+//! "Data bits from successive channel uses are processed in stages of the
+//! computational pipeline" — channel uses arrive periodically, flow through
+//! classical and quantum stages in order, and each stage serves one item at
+//! a time. The paper highlights that pipelined systems need "balancing,
+//! buffering, and costs" analysis; this simulator computes exactly those:
+//! per-use end-to-end latency, stage utilization, inter-stage queue depths,
+//! sustained throughput, and deadline violations against a link-layer
+//! turnaround budget.
+//!
+//! The model is the classic pipeline recurrence
+//! `start_k(i) = max(finish_{k−1}(i), finish_k(i−1))` with deterministic
+//! per-item service times, which is exact for FIFO single-server stages.
+
+/// One stage of the pipeline: a name plus per-item service times (µs).
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name ("classical", "quantum", …).
+    pub name: String,
+    /// Service time per item, in arrival order (µs). Must match the item
+    /// count given to [`simulate_pipeline`].
+    pub service_us: Vec<f64>,
+}
+
+/// Pipeline simulation output.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// End-to-end latency of each item (µs from arrival to final finish).
+    pub latency_us: Vec<f64>,
+    /// Sustained throughput: items per millisecond of simulated time.
+    pub throughput_per_ms: f64,
+    /// Per-stage utilization in `[0, 1]` (busy time over makespan).
+    pub utilization: Vec<f64>,
+    /// Maximum queue depth observed in front of each stage.
+    pub max_queue_depth: Vec<usize>,
+    /// Number of items whose latency exceeded the deadline.
+    pub deadline_violations: usize,
+    /// Total simulated time from first arrival to last completion (µs).
+    pub makespan_us: f64,
+}
+
+/// Simulates `n` channel uses arriving every `arrival_period_us` through the
+/// given stages, against a per-use `deadline_us` (the link-layer turnaround
+/// budget).
+///
+/// # Panics
+/// Panics when there are no stages, stage service vectors disagree in
+/// length, or the arrival period / deadline are non-positive.
+pub fn simulate_pipeline(
+    arrival_period_us: f64,
+    stages: &[Stage],
+    deadline_us: f64,
+) -> PipelineReport {
+    assert!(
+        !stages.is_empty(),
+        "simulate_pipeline: need at least one stage"
+    );
+    assert!(
+        arrival_period_us > 0.0,
+        "simulate_pipeline: arrival period must be > 0"
+    );
+    assert!(deadline_us > 0.0, "simulate_pipeline: deadline must be > 0");
+    let n = stages[0].service_us.len();
+    assert!(n > 0, "simulate_pipeline: need at least one item");
+    for s in stages {
+        assert_eq!(
+            s.service_us.len(),
+            n,
+            "simulate_pipeline: stage '{}' length mismatch",
+            s.name
+        );
+    }
+
+    let k = stages.len();
+    // finish[j][i]: completion time of item i at stage j.
+    let mut finish = vec![vec![0.0f64; n]; k];
+    let mut ready = vec![0.0f64; n]; // when item i is available to stage j
+    let mut busy = vec![0.0f64; k];
+    for (i, r) in ready.iter_mut().enumerate() {
+        *r = i as f64 * arrival_period_us; // arrival times
+    }
+
+    for j in 0..k {
+        let mut stage_free = 0.0f64;
+        for i in 0..n {
+            let start = ready[i].max(stage_free);
+            let fin = start + stages[j].service_us[i];
+            finish[j][i] = fin;
+            busy[j] += stages[j].service_us[i];
+            stage_free = fin;
+        }
+        // Items become available to the next stage when this one finishes.
+        ready.copy_from_slice(&finish[j]);
+    }
+
+    let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * arrival_period_us).collect();
+    let latency_us: Vec<f64> = (0..n).map(|i| finish[k - 1][i] - arrivals[i]).collect();
+    let makespan_us = finish[k - 1][n - 1] - arrivals[0];
+    let deadline_violations = latency_us.iter().filter(|&&l| l > deadline_us).count();
+
+    // Queue depth in front of stage j at the time item i starts there:
+    // items already finished at stage j−1 (or arrived, for j = 0) but not
+    // yet started at stage j.
+    let mut max_queue_depth = vec![0usize; k];
+    for j in 0..k {
+        for i in 0..n {
+            let start_i = finish[j][i] - stages[j].service_us[i];
+            let upstream_done = |m: usize| -> f64 {
+                if j == 0 {
+                    arrivals[m]
+                } else {
+                    finish[j - 1][m]
+                }
+            };
+            // Number of items m ≥ i that were ready strictly before item i
+            // started service (item i itself waits in the queue too).
+            let depth = (i..n)
+                .take_while(|&m| upstream_done(m) < start_i - 1e-12)
+                .count();
+            max_queue_depth[j] = max_queue_depth[j].max(depth);
+        }
+    }
+
+    let utilization = busy.iter().map(|b| (b / makespan_us).min(1.0)).collect();
+
+    PipelineReport {
+        latency_us,
+        throughput_per_ms: n as f64 / makespan_us * 1000.0,
+        utilization,
+        max_queue_depth,
+        deadline_violations,
+        makespan_us,
+    }
+}
+
+/// Convenience: constant-service stage.
+pub fn uniform_stage(name: &str, service_us: f64, n: usize) -> Stage {
+    Stage {
+        name: name.to_string(),
+        service_us: vec![service_us; n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_no_contention() {
+        // Arrivals every 10 µs, service 5 µs: every item's latency is 5 µs.
+        let report = simulate_pipeline(10.0, &[uniform_stage("s", 5.0, 4)], 100.0);
+        for &l in &report.latency_us {
+            assert!((l - 5.0).abs() < 1e-12);
+        }
+        assert_eq!(report.deadline_violations, 0);
+        assert_eq!(report.max_queue_depth, vec![0]);
+    }
+
+    #[test]
+    fn bottleneck_stage_builds_queue_and_latency() {
+        // Arrivals every 1 µs, service 10 µs: latency grows linearly.
+        let report = simulate_pipeline(1.0, &[uniform_stage("slow", 10.0, 5)], 20.0);
+        assert!(report.latency_us[4] > report.latency_us[0]);
+        // Item 4 waits for 4 services: latency = 4·10 − 4·1 + 10 = 46.
+        assert!((report.latency_us[4] - 46.0).abs() < 1e-9);
+        assert!(report.deadline_violations >= 2);
+        assert!(report.max_queue_depth[0] >= 2);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // Two balanced stages of 5 µs, arrivals every 5 µs: steady state
+        // latency = 10 µs (no queueing), throughput = 1 per 5 µs.
+        let n = 10;
+        let stages = [uniform_stage("a", 5.0, n), uniform_stage("b", 5.0, n)];
+        let report = simulate_pipeline(5.0, &stages, 100.0);
+        for &l in &report.latency_us {
+            assert!((l - 10.0).abs() < 1e-9, "latency {l}");
+        }
+        // Makespan = 9·5 (last arrival) + 10 − 0 = 55; throughput ≈ 0.18/µs.
+        assert!((report.makespan_us - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_balance() {
+        let n = 50;
+        let stages = [
+            uniform_stage("fast", 1.0, n),
+            uniform_stage("slow", 10.0, n),
+        ];
+        let report = simulate_pipeline(1.0, &stages, 1e9);
+        assert!(report.utilization[1] > 0.9, "slow stage should saturate");
+        assert!(report.utilization[0] < 0.2, "fast stage should idle");
+    }
+
+    #[test]
+    fn sequential_vs_pipelined_throughput() {
+        // The Figure-2 argument: with stages overlapped, throughput is set by
+        // the slowest stage, not the sum. Compare against a single merged
+        // stage of the summed latency.
+        let n = 20;
+        let pipelined = simulate_pipeline(
+            6.0,
+            &[uniform_stage("c", 5.0, n), uniform_stage("q", 6.0, n)],
+            1e9,
+        );
+        let merged = simulate_pipeline(6.0, &[uniform_stage("cq", 11.0, n)], 1e9);
+        assert!(pipelined.throughput_per_ms > merged.throughput_per_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_stages_rejected() {
+        let stages = [uniform_stage("a", 1.0, 3), uniform_stage("b", 1.0, 4)];
+        simulate_pipeline(1.0, &stages, 1.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Iterative and variable-prefixing hybrid structures (§2's survey, made
+//! concrete).
+//!
+//! Beyond the paper's sequential GS→RA prototype, its related-work section
+//! catalogs richer classical-quantum couplings:
+//!
+//! * "Classical computing can also ease the problem by prefixing some
+//!   variables **as part of iterative loops** \[28\]" — sample persistence:
+//!   after each quantum round, variables that agree across the best samples
+//!   are frozen and the next round anneals a smaller problem.
+//! * Repeated reverse annealing, where each round is seeded by the best
+//!   state found so far — the natural closed-loop extension of the
+//!   prototype (and what D-Wave's `reinitialize_state=false` mode
+//!   approximates in hardware).
+//!
+//! Both are built from the same substrate pieces (preprocess-style
+//! reduction, the sampler, the metrics) and are exercised by the
+//! `ext_iterative` bench binary.
+
+use crate::metrics::GROUND_TOL;
+use crate::protocol::Protocol;
+use hqw_anneal::sampler::QuantumSampler;
+use hqw_math::Rng64;
+use hqw_qubo::{Qubo, SampleSet};
+
+/// Outcome of one iterative-refinement round.
+#[derive(Debug, Clone)]
+pub struct Round {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Best energy after this round.
+    pub best_energy: f64,
+    /// Number of variables still free (differs from the problem size only
+    /// for the prefixing strategy).
+    pub free_vars: usize,
+}
+
+/// Result of an iterative hybrid run.
+#[derive(Debug, Clone)]
+pub struct IterativeResult {
+    /// Best bits found (full problem labeling).
+    pub best_bits: Vec<u8>,
+    /// Best energy found.
+    pub best_energy: f64,
+    /// Per-round progress.
+    pub rounds: Vec<Round>,
+    /// Total programmed anneal time spent (µs, across all reads and rounds).
+    pub total_anneal_us: f64,
+}
+
+/// Repeated reverse annealing: each round re-anneals from the best state
+/// found so far ("iterated reverse annealing"). Stops early when a round
+/// fails to improve, or after `max_rounds`.
+///
+/// # Panics
+/// Panics when `max_rounds == 0` or the seed state length mismatches.
+pub fn iterated_reverse_annealing(
+    sampler: &QuantumSampler,
+    qubo: &Qubo,
+    s_p: f64,
+    seed_state: &[u8],
+    max_rounds: usize,
+    seed: u64,
+) -> IterativeResult {
+    assert!(
+        max_rounds > 0,
+        "iterated_reverse_annealing: max_rounds must be > 0"
+    );
+    assert_eq!(
+        seed_state.len(),
+        qubo.num_vars(),
+        "iterated_reverse_annealing: seed length mismatch"
+    );
+    let schedule = Protocol::paper_ra(s_p)
+        .schedule()
+        .expect("valid RA parameters");
+
+    let mut best_bits = seed_state.to_vec();
+    let mut best_energy = qubo.energy(&best_bits);
+    let mut rounds = Vec::new();
+    let mut total_anneal_us = 0.0;
+
+    for round in 0..max_rounds {
+        let result = sampler.sample_qubo(
+            qubo,
+            &schedule,
+            Some(&best_bits),
+            seed.wrapping_add(round as u64 * 0x9E37),
+        );
+        total_anneal_us += result.timing.anneal_us_per_read * result.timing.num_reads as f64;
+        let improved = match result.samples.best() {
+            Some(s) if s.energy < best_energy - GROUND_TOL => {
+                best_energy = s.energy;
+                best_bits = s.bits.clone();
+                true
+            }
+            _ => false,
+        };
+        rounds.push(Round {
+            round,
+            best_energy,
+            free_vars: qubo.num_vars(),
+        });
+        if !improved && round > 0 {
+            break; // converged
+        }
+    }
+
+    IterativeResult {
+        best_bits,
+        best_energy,
+        rounds,
+        total_anneal_us,
+    }
+}
+
+/// Fraction of the best samples that must agree on a variable before the
+/// prefixing strategy freezes it.
+pub const PERSISTENCE_CONSENSUS: f64 = 0.9;
+
+/// Sample-persistence prefixing (Karimi & Rosenberg \[28\]): anneal, freeze
+/// the variables on which the elite samples agree, re-anneal the reduced
+/// problem seeded with the best state's free part, and repeat.
+///
+/// `elite_fraction` selects which lowest-energy reads vote (e.g. 0.2 = the
+/// best 20%). Freezing substitutes values into the QUBO exactly (folding
+/// couplings into neighbor diagonals), so energies remain comparable.
+///
+/// # Panics
+/// Panics on an empty elite fraction, zero rounds, or mismatched seed.
+pub fn sample_persistence_solve(
+    sampler: &QuantumSampler,
+    qubo: &Qubo,
+    s_p: f64,
+    seed_state: &[u8],
+    elite_fraction: f64,
+    max_rounds: usize,
+    seed: u64,
+) -> IterativeResult {
+    assert!(
+        elite_fraction > 0.0 && elite_fraction <= 1.0,
+        "sample_persistence_solve: elite fraction out of (0, 1]"
+    );
+    assert!(
+        max_rounds > 0,
+        "sample_persistence_solve: max_rounds must be > 0"
+    );
+    let n = qubo.num_vars();
+    assert_eq!(seed_state.len(), n, "sample_persistence_solve: seed length");
+
+    let schedule = Protocol::paper_ra(s_p)
+        .schedule()
+        .expect("valid RA parameters");
+
+    // `fixed[i]` = Some(bit) once variable i is frozen.
+    let mut fixed: Vec<Option<u8>> = vec![None; n];
+    let mut best_bits = seed_state.to_vec();
+    let mut best_energy = qubo.energy(&best_bits);
+    let mut rounds = Vec::new();
+    let mut total_anneal_us = 0.0;
+    let mut rng = Rng64::new(seed);
+
+    for round in 0..max_rounds {
+        // Build the reduced problem over the free variables.
+        let free: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+        if free.is_empty() {
+            break;
+        }
+        let mut reduced = Qubo::new(free.len());
+        for (ri, &oi) in free.iter().enumerate() {
+            let mut diag = qubo.diagonal(oi);
+            for (j, f) in fixed.iter().enumerate() {
+                if let Some(1) = f {
+                    if j != oi {
+                        diag += qubo.get(oi, j);
+                    }
+                }
+            }
+            reduced.set(ri, ri, diag);
+            for (rj, &oj) in free.iter().enumerate().skip(ri + 1) {
+                let c = qubo.get(oi, oj);
+                if c != 0.0 {
+                    reduced.set(ri, rj, c);
+                }
+            }
+        }
+
+        // Anneal the reduced problem from the best state's free part.
+        let init: Vec<u8> = free.iter().map(|&i| best_bits[i]).collect();
+        let result = sampler.sample_qubo(&reduced, &schedule, Some(&init), rng.next_u64());
+        total_anneal_us += result.timing.anneal_us_per_read * result.timing.num_reads as f64;
+
+        // Expand samples back to full states and track the best.
+        let template = best_bits.clone();
+        for s in result.samples.iter() {
+            let mut full = template.clone();
+            for (ri, &oi) in free.iter().enumerate() {
+                full[oi] = s.bits[ri];
+            }
+            let e = qubo.energy(&full);
+            if e < best_energy - GROUND_TOL {
+                best_energy = e;
+                best_bits = full;
+            }
+        }
+
+        // Vote: freeze free variables on which the elite samples agree.
+        let elites = elite_samples(&result.samples, elite_fraction);
+        if !elites.is_empty() {
+            for (ri, &oi) in free.iter().enumerate() {
+                let ones: u64 = elites
+                    .iter()
+                    .map(|(bits, occ)| if bits[ri] == 1 { *occ } else { 0 })
+                    .sum();
+                let total: u64 = elites.iter().map(|(_, occ)| *occ).sum();
+                let frac = ones as f64 / total as f64;
+                if frac >= PERSISTENCE_CONSENSUS {
+                    fixed[oi] = Some(1);
+                } else if frac <= 1.0 - PERSISTENCE_CONSENSUS {
+                    fixed[oi] = Some(0);
+                }
+            }
+            // Keep the frozen variables consistent with the incumbent best:
+            // persistence must never freeze against the best-known state, or
+            // later rounds can't reach it.
+            for (i, f) in fixed.iter_mut().enumerate() {
+                if let Some(b) = f {
+                    if *b != best_bits[i] {
+                        *f = None;
+                    }
+                }
+            }
+        }
+
+        rounds.push(Round {
+            round,
+            best_energy,
+            free_vars: fixed.iter().filter(|f| f.is_none()).count(),
+        });
+    }
+
+    IterativeResult {
+        best_bits,
+        best_energy,
+        rounds,
+        total_anneal_us,
+    }
+}
+
+/// The elite (lowest-energy) slice of a sample set as `(bits, occurrences)`.
+fn elite_samples(samples: &SampleSet, fraction: f64) -> Vec<(Vec<u8>, u64)> {
+    let budget = ((samples.total_reads() as f64 * fraction).ceil() as u64).max(1);
+    let mut taken = 0u64;
+    let mut out = Vec::new();
+    for s in samples.iter() {
+        if taken >= budget {
+            break;
+        }
+        let take = s.occurrences.min(budget - taken);
+        out.push((s.bits.clone(), take));
+        taken += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqw_anneal::sampler::{EngineKind, SamplerConfig};
+    use hqw_anneal::DWaveProfile;
+    use hqw_phy::instance::{DetectionInstance, InstanceConfig};
+    use hqw_phy::modulation::Modulation;
+
+    fn sampler(reads: usize) -> QuantumSampler {
+        QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: reads,
+                engine: EngineKind::Pimc { trotter_slices: 8 },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn instance() -> DetectionInstance {
+        let mut rng = Rng64::new(12);
+        DetectionInstance::generate(&InstanceConfig::paper(4, Modulation::Qam16), &mut rng)
+    }
+
+    #[test]
+    fn iterated_ra_never_regresses() {
+        let inst = instance();
+        let (gs_bits, gs_e) = hqw_qubo::greedy_search(&inst.reduction.qubo, Default::default());
+        let result =
+            iterated_reverse_annealing(&sampler(15), &inst.reduction.qubo, 0.69, &gs_bits, 4, 7);
+        assert!(result.best_energy <= gs_e + 1e-9);
+        // Rounds are monotone non-increasing in best energy.
+        for w in result.rounds.windows(2) {
+            assert!(w[1].best_energy <= w[0].best_energy + 1e-9);
+        }
+        assert!((inst.reduction.qubo.energy(&result.best_bits) - result.best_energy).abs() < 1e-9);
+        assert!(result.total_anneal_us > 0.0);
+    }
+
+    #[test]
+    fn iterated_ra_from_ground_stays_at_ground() {
+        let inst = instance();
+        let result = iterated_reverse_annealing(
+            &sampler(10),
+            &inst.reduction.qubo,
+            0.85,
+            &inst.tx_natural_bits,
+            3,
+            9,
+        );
+        assert!((result.best_energy - inst.ground_energy()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn persistence_never_regresses_and_shrinks_the_problem() {
+        let inst = instance();
+        let (gs_bits, gs_e) = hqw_qubo::greedy_search(&inst.reduction.qubo, Default::default());
+        let result = sample_persistence_solve(
+            &sampler(20),
+            &inst.reduction.qubo,
+            0.69,
+            &gs_bits,
+            0.25,
+            3,
+            5,
+        );
+        assert!(result.best_energy <= gs_e + 1e-9);
+        assert!((inst.reduction.qubo.energy(&result.best_bits) - result.best_energy).abs() < 1e-9);
+        // Free-variable counts never grow.
+        for w in result.rounds.windows(2) {
+            assert!(w[1].free_vars <= w[0].free_vars);
+        }
+    }
+
+    #[test]
+    fn elite_selection_respects_the_budget() {
+        let set = SampleSet::from_reads(vec![
+            (vec![0], -3.0),
+            (vec![0], -3.0),
+            (vec![0], -3.0),
+            (vec![1], -1.0),
+            (vec![1], -1.0),
+            (vec![1], -1.0),
+        ]);
+        let elites = elite_samples(&set, 0.5);
+        let total: u64 = elites.iter().map(|(_, occ)| occ).sum();
+        assert_eq!(total, 3); // ceil(6 · 0.5)
+                              // Lowest energies first.
+        assert_eq!(elites[0].0, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rounds must be > 0")]
+    fn zero_rounds_rejected() {
+        let inst = instance();
+        iterated_reverse_annealing(
+            &sampler(2),
+            &inst.reduction.qubo,
+            0.7,
+            &inst.tx_natural_bits,
+            0,
+            1,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # hqw-core — hybrid classical-quantum computation structures
+//!
+//! The paper's contribution: a framework for composing classical and quantum
+//! processing stages for wireless-network optimization problems, its
+//! GS+Reverse-Annealing prototype, the metrics it evaluates with, and the
+//! pipelined computation structure it envisions.
+//!
+//! * [`protocol`] — FA / RA / FR protocol definitions (§4.1, Figure 5).
+//! * [`stages`] — classical initializers: the paper's Greedy Search plus the
+//!   §5 application-specific solvers (ZF, K-best, FCSD), random and oracle
+//!   controls.
+//! * [`solver`] — [`solver::HybridSolver`]: classical stage → quantum stage →
+//!   best-sample selection (Figure 1).
+//! * [`metrics`] — ΔE%, success probability `p★`, TTS (Eq. 2).
+//! * [`harvest`] — initial-state harvesting by ΔE_IS% (Figures 7–8
+//!   methodology).
+//! * [`sweep`] — `s_p`/`c_p` parameter sweeps with median-best selection
+//!   (Challenge 2).
+//! * [`pipeline`] / [`event_sim`] — the Figure-2 pipelined computation
+//!   structure: a real threaded pipeline and a discrete-event latency
+//!   analyzer (Challenge 3).
+//! * [`iterative`] — the richer hybrid couplings of §2's survey: iterated
+//!   reverse annealing and sample-persistence variable prefixing.
+//! * [`experiments`] — canned runners for every figure in the evaluation.
+//! * [`report`] — table/CSV rendering for the bench binaries.
+
+#![warn(missing_docs)]
+
+pub mod event_sim;
+pub mod experiments;
+pub mod harvest;
+pub mod iterative;
+pub mod metrics;
+pub mod pipeline;
+pub mod protocol;
+pub mod report;
+pub mod solver;
+pub mod stages;
+pub mod sweep;
+
+pub use protocol::Protocol;
+pub use solver::{HybridConfig, HybridResult, HybridSolver};
+pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};

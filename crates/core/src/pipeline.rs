@@ -1,0 +1,203 @@
+//! Threaded execution pipeline over successive channel uses (Figure 2).
+//!
+//! Where [`crate::event_sim`] *analyzes* the pipeline in programmed
+//! microseconds, this module *executes* it: a classical-stage thread runs
+//! initializers while quantum-stage workers run the annealer on earlier
+//! channel uses, connected by bounded crossbeam channels — the
+//! classical/quantum overlap of the paper's Figure 2 as real concurrency.
+//!
+//! Results are deterministic: each channel use gets a seed derived from the
+//! batch seed and its index, so the pipelined output is bit-identical to a
+//! sequential run of the same solver.
+
+use crate::solver::{HybridResult, HybridSolver};
+use crate::stages::InitialState;
+use hqw_math::Rng64;
+use hqw_phy::instance::DetectionInstance;
+use hqw_qubo::SampleSet;
+
+/// Per-item seed derivation shared by the sequential and pipelined paths.
+fn item_seed(batch_seed: u64, index: usize) -> u64 {
+    let mut rng = Rng64::new(batch_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.next_u64()
+}
+
+/// Runs the solver over a batch sequentially (reference implementation).
+pub fn run_sequential(
+    solver: &HybridSolver,
+    instances: &[DetectionInstance],
+    batch_seed: u64,
+) -> Vec<HybridResult> {
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| solver.solve(inst, item_seed(batch_seed, i)))
+        .collect()
+}
+
+/// Runs the solver over a batch with the classical stage pipelined ahead of
+/// the quantum stage.
+///
+/// `queue_depth` bounds the buffer between the stages (the paper's
+/// "buffering" consideration); the classical thread stalls when the quantum
+/// stage falls behind by more than this many channel uses.
+///
+/// # Panics
+/// Panics when `queue_depth == 0` or a worker thread panics.
+pub fn run_pipelined(
+    solver: &HybridSolver,
+    instances: &[DetectionInstance],
+    batch_seed: u64,
+    queue_depth: usize,
+) -> Vec<HybridResult> {
+    assert!(queue_depth > 0, "run_pipelined: queue depth must be > 0");
+    if instances.is_empty() {
+        return Vec::new();
+    }
+
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, Option<InitialState>, u64)>(queue_depth);
+    let mut results: Vec<Option<HybridResult>> = Vec::new();
+    results.resize_with(instances.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        // Classical stage: compute initializers in arrival order.
+        let protocol = solver.config.protocol;
+        let initializer = &solver.config.initializer;
+        scope.spawn(move |_| {
+            for (i, inst) in instances.iter().enumerate() {
+                let seed = item_seed(batch_seed, i);
+                let mut rng = Rng64::new(seed);
+                let initial = if protocol.requires_initial_state() {
+                    Some(initializer.initialize(inst, &mut rng))
+                } else {
+                    None
+                };
+                // The quantum stage continues the same RNG stream.
+                let quantum_seed = rng.next_u64();
+                if tx.send((i, initial, quantum_seed)).is_err() {
+                    return; // receiver dropped (quantum stage panicked)
+                }
+            }
+        });
+
+        // Quantum stage: consume in order, anneal, select.
+        let schedule = solver
+            .config
+            .protocol
+            .schedule()
+            .expect("invalid protocol parameters");
+        for (i, initial, quantum_seed) in rx.iter() {
+            let inst = &instances[i];
+            let annealed = solver.sampler.sample_qubo(
+                &inst.reduction.qubo,
+                &schedule,
+                initial.as_ref().map(|s| s.bits.as_slice()),
+                quantum_seed,
+            );
+            results[i] = Some(assemble(initial, annealed.samples, annealed.timing));
+        }
+    })
+    .expect("pipeline worker panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("all items processed"))
+        .collect()
+}
+
+fn assemble(
+    initial: Option<InitialState>,
+    samples: SampleSet,
+    timing: hqw_anneal::sampler::QpuTiming,
+) -> HybridResult {
+    let classical_us = initial.as_ref().map(|i| i.latency_us).unwrap_or(0.0);
+    let (best_bits, best_energy) = match (samples.best(), &initial) {
+        (Some(sample), Some(init)) if init.energy < sample.energy => {
+            (init.bits.clone(), init.energy)
+        }
+        (Some(sample), _) => (sample.bits.clone(), sample.energy),
+        (None, Some(init)) => (init.bits.clone(), init.energy),
+        (None, None) => unreachable!("sampler always returns ≥ 1 read"),
+    };
+    HybridResult {
+        best_bits,
+        best_energy,
+        initial,
+        samples,
+        quantum_timing: timing,
+        classical_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use crate::solver::HybridConfig;
+    use crate::stages::GreedyInitializer;
+    use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
+    use hqw_anneal::DWaveProfile;
+    use hqw_phy::instance::InstanceConfig;
+    use hqw_phy::modulation::Modulation;
+
+    fn solver(reads: usize) -> HybridSolver {
+        HybridSolver::new(
+            QuantumSampler::new(
+                DWaveProfile::calibrated(),
+                SamplerConfig {
+                    num_reads: reads,
+                    engine: EngineKind::Pimc { trotter_slices: 8 },
+                    threads: 1,
+                    ..Default::default()
+                },
+            ),
+            HybridConfig {
+                protocol: Protocol::paper_ra(0.7),
+                initializer: Box::new(GreedyInitializer::default()),
+            },
+        )
+    }
+
+    fn batch(n: usize) -> Vec<DetectionInstance> {
+        let mut rng = Rng64::new(8);
+        DetectionInstance::generate_batch(&InstanceConfig::paper(3, Modulation::Qpsk), n, &mut rng)
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_bit_for_bit() {
+        let solver = solver(8);
+        let instances = batch(6);
+        let seq = run_sequential(&solver, &instances, 77);
+        let pip = run_pipelined(&solver, &instances, 77, 2);
+        assert_eq!(seq.len(), pip.len());
+        for (a, b) in seq.iter().zip(&pip) {
+            assert_eq!(a.best_bits, b.best_bits);
+            assert_eq!(a.best_energy, b.best_energy);
+            assert_eq!(
+                a.initial.as_ref().map(|i| i.bits.clone()),
+                b.initial.as_ref().map(|i| i.bits.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let solver = solver(4);
+        assert!(run_pipelined(&solver, &[], 1, 4).is_empty());
+    }
+
+    #[test]
+    fn small_queue_depth_still_completes() {
+        let solver = solver(4);
+        let instances = batch(5);
+        let results = run_pipelined(&solver, &instances, 3, 1);
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be > 0")]
+    fn zero_queue_depth_rejected() {
+        let solver = solver(4);
+        run_pipelined(&solver, &batch(1), 1, 0);
+    }
+}

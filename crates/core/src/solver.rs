@@ -1,0 +1,263 @@
+//! The hybrid classical-quantum solver — the paper's prototype (§4.1).
+//!
+//! ```text
+//!   classical initializer ──candidate──▶ reverse annealer ──samples──▶ best
+//! ```
+//!
+//! The final answer is "the best sample (e.g. the one with the lowest QUBO
+//! cost function)" across the quantum samples *and* the classical candidate
+//! itself (the refinement stage can only help, never hurt). Forward-only
+//! protocols skip the initializer and run fully quantum, so the same type
+//! drives every arm of the paper's comparison.
+
+use crate::metrics::{delta_e_percent, success_probability, time_to_solution};
+use crate::protocol::Protocol;
+use crate::stages::{ClassicalInitializer, InitialState};
+use hqw_anneal::sampler::{QpuTiming, QuantumSampler};
+use hqw_math::Rng64;
+use hqw_phy::instance::DetectionInstance;
+use hqw_qubo::SampleSet;
+
+/// Hybrid solver configuration.
+pub struct HybridConfig {
+    /// The annealing protocol for the quantum stage.
+    pub protocol: Protocol,
+    /// The classical stage (ignored by forward-only protocols).
+    pub initializer: Box<dyn ClassicalInitializer>,
+}
+
+impl std::fmt::Debug for HybridConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HybridConfig({} + {})",
+            self.initializer.name(),
+            self.protocol.name()
+        )
+    }
+}
+
+/// Output of one hybrid solve.
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Best bits found (natural/QUBO labeling).
+    pub best_bits: Vec<u8>,
+    /// Best QUBO energy found.
+    pub best_energy: f64,
+    /// The classical candidate, when the protocol used one.
+    pub initial: Option<InitialState>,
+    /// All quantum samples.
+    pub samples: SampleSet,
+    /// QPU time accounting for the quantum stage.
+    pub quantum_timing: QpuTiming,
+    /// Classical stage latency (µs; 0 without an initializer).
+    pub classical_us: f64,
+}
+
+impl HybridResult {
+    /// ΔE% of the final answer against a known ground energy.
+    pub fn delta_e_percent(&self, ground_energy: f64) -> f64 {
+        delta_e_percent(self.best_energy, ground_energy)
+    }
+
+    /// ΔE_IS% of the classical candidate (`None` for forward protocols).
+    pub fn initial_delta_e_percent(&self, ground_energy: f64) -> Option<f64> {
+        self.initial
+            .as_ref()
+            .map(|i| delta_e_percent(i.energy, ground_energy))
+    }
+
+    /// Per-read ground-state probability of the quantum samples.
+    pub fn success_probability(&self, ground_energy: f64) -> f64 {
+        success_probability(&self.samples, ground_energy)
+    }
+
+    /// TTS of the quantum stage at the given confidence (paper Eq. 2).
+    pub fn time_to_solution(&self, ground_energy: f64, confidence_pct: f64) -> f64 {
+        time_to_solution(
+            self.quantum_timing.anneal_us_per_read,
+            self.success_probability(ground_energy),
+            confidence_pct,
+        )
+    }
+}
+
+/// The hybrid classical-quantum solver.
+pub struct HybridSolver {
+    /// The simulated QPU.
+    pub sampler: QuantumSampler,
+    /// Stage configuration.
+    pub config: HybridConfig,
+}
+
+impl std::fmt::Debug for HybridSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HybridSolver({:?})", self.config)
+    }
+}
+
+impl HybridSolver {
+    /// Creates a solver.
+    pub fn new(sampler: QuantumSampler, config: HybridConfig) -> Self {
+        HybridSolver { sampler, config }
+    }
+
+    /// The paper's prototype: Greedy Search + Reverse Annealing at `s_p`,
+    /// on the given sampler.
+    pub fn paper_prototype(sampler: QuantumSampler, s_p: f64) -> Self {
+        HybridSolver::new(
+            sampler,
+            HybridConfig {
+                protocol: Protocol::paper_ra(s_p),
+                initializer: Box::new(crate::stages::GreedyInitializer::default()),
+            },
+        )
+    }
+
+    /// Solves one detection instance.
+    ///
+    /// # Panics
+    /// Panics when the protocol parameters are invalid.
+    pub fn solve(&self, instance: &DetectionInstance, seed: u64) -> HybridResult {
+        let mut rng = Rng64::new(seed);
+        let schedule = self
+            .config
+            .protocol
+            .schedule()
+            .expect("invalid protocol parameters");
+
+        let (initial, classical_us) = if self.config.protocol.requires_initial_state() {
+            let init = self.config.initializer.initialize(instance, &mut rng);
+            let latency = init.latency_us;
+            (Some(init), latency)
+        } else {
+            (None, 0.0)
+        };
+
+        let result = self.sampler.sample_qubo(
+            &instance.reduction.qubo,
+            &schedule,
+            initial.as_ref().map(|i| i.bits.as_slice()),
+            rng.next_u64(),
+        );
+
+        // Final selection: best quantum sample, or the classical candidate
+        // when it is still the lowest-energy state seen.
+        let (best_bits, best_energy) = match (result.samples.best(), &initial) {
+            (Some(sample), Some(init)) if init.energy < sample.energy => {
+                (init.bits.clone(), init.energy)
+            }
+            (Some(sample), _) => (sample.bits.clone(), sample.energy),
+            (None, Some(init)) => (init.bits.clone(), init.energy),
+            (None, None) => unreachable!("sampler always returns ≥ 1 read"),
+        };
+
+        HybridResult {
+            best_bits,
+            best_energy,
+            initial,
+            samples: result.samples,
+            quantum_timing: result.timing,
+            classical_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{GreedyInitializer, OracleInitializer, RandomInitializer};
+    use hqw_anneal::sampler::{EngineKind, SamplerConfig};
+    use hqw_anneal::DWaveProfile;
+    use hqw_phy::instance::InstanceConfig;
+    use hqw_phy::modulation::Modulation;
+
+    fn quick_sampler(reads: usize) -> QuantumSampler {
+        QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: reads,
+                engine: EngineKind::Pimc { trotter_slices: 8 },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn instance() -> DetectionInstance {
+        let mut rng = Rng64::new(99);
+        DetectionInstance::generate(&InstanceConfig::paper(3, Modulation::Qam16), &mut rng)
+    }
+
+    #[test]
+    fn prototype_never_returns_worse_than_its_initializer() {
+        let inst = instance();
+        let solver = HybridSolver::paper_prototype(quick_sampler(20), 0.65);
+        let result = solver.solve(&inst, 5);
+        let init = result.initial.as_ref().expect("RA uses an initializer");
+        assert!(result.best_energy <= init.energy + 1e-9);
+        assert!((inst.reduction.qubo.energy(&result.best_bits) - result.best_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_seeded_ra_returns_the_ground_state() {
+        let inst = instance();
+        let solver = HybridSolver::new(
+            quick_sampler(10),
+            HybridConfig {
+                protocol: Protocol::paper_ra(0.8),
+                initializer: Box::new(OracleInitializer),
+            },
+        );
+        let result = solver.solve(&inst, 3);
+        assert!((result.best_energy - inst.ground_energy()).abs() < 1e-6);
+        assert_eq!(result.delta_e_percent(inst.ground_energy()), 0.0);
+    }
+
+    #[test]
+    fn forward_protocol_skips_the_initializer() {
+        let inst = instance();
+        let solver = HybridSolver::new(
+            quick_sampler(10),
+            HybridConfig {
+                protocol: Protocol::paper_fa(0.45),
+                initializer: Box::new(GreedyInitializer::default()),
+            },
+        );
+        let result = solver.solve(&inst, 3);
+        assert!(result.initial.is_none());
+        assert_eq!(result.classical_us, 0.0);
+    }
+
+    #[test]
+    fn result_metrics_are_consistent() {
+        let inst = instance();
+        let solver = HybridSolver::new(
+            quick_sampler(25),
+            HybridConfig {
+                protocol: Protocol::paper_ra(0.7),
+                initializer: Box::new(RandomInitializer),
+            },
+        );
+        let result = solver.solve(&inst, 11);
+        let eg = inst.ground_energy();
+        let p = result.success_probability(eg);
+        assert!((0.0..=1.0).contains(&p));
+        let tts = result.time_to_solution(eg, 99.0);
+        if p > 0.0 {
+            assert!(tts >= result.quantum_timing.anneal_us_per_read);
+        } else {
+            assert!(tts.is_infinite());
+        }
+        assert!(result.initial_delta_e_percent(eg).is_some());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = instance();
+        let solver = HybridSolver::paper_prototype(quick_sampler(10), 0.7);
+        let a = solver.solve(&inst, 42);
+        let b = solver.solve(&inst, 42);
+        assert_eq!(a.best_bits, b.best_bits);
+        assert_eq!(a.best_energy, b.best_energy);
+    }
+}

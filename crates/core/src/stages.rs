@@ -1,0 +1,305 @@
+//! Classical initializer stages for the hybrid solver.
+//!
+//! The hybrid structure (paper Figure 1) is: **classical stage produces a
+//! candidate → quantum stage refines it**. The paper's prototype uses Greedy
+//! Search "by choosing the simplest classical module"; its §5 proposes
+//! application-specific alternatives — linear solvers (zero-forcing) and
+//! tree-based solvers (K-best, FCSD) — which are wrapped here as
+//! [`DetectorInitializer`] so the framework can compose any of them.
+//!
+//! Each initializer reports an estimated classical latency so the pipeline
+//! studies (Figure 2) can budget stages. The estimates are simple documented
+//! operation-count models (cycles at a notional 1 GHz base-station DSP), not
+//! wall-clock measurements — the same convention as the annealer's
+//! programmed-microsecond accounting.
+
+use hqw_math::Rng64;
+use hqw_phy::detect::Detector;
+use hqw_phy::instance::DetectionInstance;
+use hqw_qubo::greedy::{greedy_search, GreedyConfig};
+
+/// A candidate solution from a classical stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitialState {
+    /// Natural-labeled (QUBO-variable) bits.
+    pub bits: Vec<u8>,
+    /// QUBO energy of the candidate.
+    pub energy: f64,
+    /// Estimated classical compute latency (µs).
+    pub latency_us: f64,
+}
+
+/// A classical stage that produces reverse-anneal initial states.
+pub trait ClassicalInitializer: Send + Sync {
+    /// Stage name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes a candidate for one detection instance.
+    fn initialize(&self, instance: &DetectionInstance, rng: &mut Rng64) -> InitialState;
+}
+
+/// Notional DSP clock for latency models (operations per microsecond).
+const OPS_PER_US: f64 = 1000.0;
+
+/// The paper's Greedy Search stage (§4.1): "a good initial guess that
+/// requires nearly negligible computation time".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyInitializer {
+    /// Greedy variant/order configuration.
+    pub config: GreedyConfig,
+}
+
+impl ClassicalInitializer for GreedyInitializer {
+    fn name(&self) -> &'static str {
+        "GS"
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, _rng: &mut Rng64) -> InitialState {
+        let (bits, energy) = greedy_search(&instance.reduction.qubo, self.config);
+        let n = instance.num_vars() as f64;
+        InitialState {
+            bits,
+            energy,
+            latency_us: n * n / OPS_PER_US, // O(N²) field updates
+        }
+    }
+}
+
+/// Uniform random initial state — the paper's Figure 6 (center) control,
+/// which "works worse than FA".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomInitializer;
+
+impl ClassicalInitializer for RandomInitializer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, rng: &mut Rng64) -> InitialState {
+        let bits: Vec<u8> = (0..instance.num_vars())
+            .map(|_| rng.next_bool() as u8)
+            .collect();
+        let energy = instance.reduction.qubo.energy(&bits);
+        InitialState {
+            bits,
+            energy,
+            latency_us: 0.0,
+        }
+    }
+}
+
+/// Ground-truth oracle — the paper's Figure 8 red-dashed reference
+/// (`ΔE_IS% = 0`). Only valid on noiseless instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleInitializer;
+
+impl ClassicalInitializer for OracleInitializer {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, _rng: &mut Rng64) -> InitialState {
+        InitialState {
+            bits: instance.tx_natural_bits.clone(),
+            energy: instance.ground_energy(),
+            latency_us: 0.0,
+        }
+    }
+}
+
+/// A fixed, externally-supplied initial state (used by the Figure 7/8
+/// harnesses, which harvest states of controlled ΔE_IS% from sample sets).
+#[derive(Debug, Clone)]
+pub struct FixedInitializer {
+    /// The candidate bits to return.
+    pub bits: Vec<u8>,
+}
+
+impl ClassicalInitializer for FixedInitializer {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, _rng: &mut Rng64) -> InitialState {
+        assert_eq!(
+            self.bits.len(),
+            instance.num_vars(),
+            "FixedInitializer: state length mismatch"
+        );
+        InitialState {
+            bits: self.bits.clone(),
+            energy: instance.reduction.qubo.energy(&self.bits),
+            latency_us: 0.0,
+        }
+    }
+}
+
+/// Tabu-search initializer — the classical component of D-Wave's commercial
+/// hybrid offering cited in the paper's §2 ("a solver block design
+/// consisting of multiple quantum annealing processors hybridized with Tabu
+/// search"). Stronger seeds than GS at correspondingly higher latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TabuInitializer {
+    /// Tabu-search parameters.
+    pub params: hqw_qubo::tabu::TabuParams,
+}
+
+impl ClassicalInitializer for TabuInitializer {
+    fn name(&self) -> &'static str {
+        "tabu"
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, _rng: &mut Rng64) -> InitialState {
+        // Deterministic start from greedy search, then tabu refinement.
+        let (start, _) = greedy_search(&instance.reduction.qubo, GreedyConfig::default());
+        let (bits, energy) =
+            hqw_qubo::tabu::tabu_search(&instance.reduction.qubo, &start, &self.params);
+        let n = instance.num_vars() as f64;
+        InitialState {
+            bits,
+            energy,
+            // O(iters · N) move evaluations of N-term deltas each.
+            latency_us: self.params.max_iters as f64 * n * n / OPS_PER_US,
+        }
+    }
+}
+
+/// Wraps any classical MIMO detector as an initializer — the
+/// "application-specific solvers" of the paper's §5.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorInitializer<D: Detector> {
+    detector: D,
+    /// Latency model: operations per channel use, divided by [`OPS_PER_US`].
+    ops_estimate: f64,
+}
+
+impl<D: Detector> DetectorInitializer<D> {
+    /// Wraps `detector` with an operation-count latency estimate.
+    pub fn new(detector: D, ops_estimate: f64) -> Self {
+        DetectorInitializer {
+            detector,
+            ops_estimate,
+        }
+    }
+}
+
+/// Zero-forcing initializer with its `O(N³)` solve latency model.
+pub fn zf_initializer(n_users: usize) -> DetectorInitializer<hqw_phy::detect::ZeroForcing> {
+    let n = (2 * n_users) as f64; // real-stacked dimension
+    DetectorInitializer::new(hqw_phy::detect::ZeroForcing, n * n * n)
+}
+
+/// K-best initializer; latency `O(K · levels · dim)`.
+pub fn kbest_initializer(k: usize, n_users: usize) -> DetectorInitializer<hqw_phy::detect::KBest> {
+    let dim = (2 * n_users) as f64;
+    DetectorInitializer::new(hqw_phy::detect::KBest::new(k), k as f64 * 8.0 * dim * dim)
+}
+
+/// FCSD initializer; latency `O(levels^ρ · dim²)`.
+pub fn fcsd_initializer(rho: usize, n_users: usize) -> DetectorInitializer<hqw_phy::detect::Fcsd> {
+    let dim = (2 * n_users) as f64;
+    let paths = 4f64.powi(rho as i32);
+    DetectorInitializer::new(hqw_phy::detect::Fcsd::new(rho), paths * dim * dim)
+}
+
+impl<D: Detector + Send + Sync> ClassicalInitializer for DetectorInitializer<D> {
+    fn name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    fn initialize(&self, instance: &DetectionInstance, _rng: &mut Rng64) -> InitialState {
+        let result = self
+            .detector
+            .detect(&instance.system, &instance.h, &instance.y);
+        let natural = instance.reduction.gray_to_natural(&result.gray_bits);
+        let energy = instance.reduction.qubo.energy(&natural);
+        InitialState {
+            bits: natural,
+            energy,
+            latency_us: self.ops_estimate / OPS_PER_US,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqw_phy::instance::InstanceConfig;
+    use hqw_phy::modulation::Modulation;
+
+    fn instance() -> DetectionInstance {
+        let mut rng = Rng64::new(7);
+        DetectionInstance::generate(&InstanceConfig::paper(4, Modulation::Qam16), &mut rng)
+    }
+
+    #[test]
+    fn oracle_returns_the_ground_state() {
+        let inst = instance();
+        let init = OracleInitializer.initialize(&inst, &mut Rng64::new(1));
+        assert_eq!(init.bits, inst.tx_natural_bits);
+        assert!((init.energy - inst.ground_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_energy_is_self_consistent_and_latency_positive() {
+        let inst = instance();
+        let init = GreedyInitializer::default().initialize(&inst, &mut Rng64::new(1));
+        assert!((inst.reduction.qubo.energy(&init.bits) - init.energy).abs() < 1e-9);
+        assert!(init.latency_us > 0.0);
+    }
+
+
+    #[test]
+    fn tabu_initializer_is_at_least_as_good_as_greedy() {
+        let inst = instance();
+        let greedy = GreedyInitializer::default().initialize(&inst, &mut Rng64::new(1));
+        let tabu = TabuInitializer::default().initialize(&inst, &mut Rng64::new(1));
+        assert!(tabu.energy <= greedy.energy + 1e-9, "tabu starts from greedy and only improves");
+        assert!(tabu.latency_us > greedy.latency_us, "tabu must cost more than its greedy start");
+        assert!((inst.reduction.qubo.energy(&tabu.bits) - tabu.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zf_initializer_solves_noiseless_instances_exactly() {
+        let inst = instance();
+        let init = zf_initializer(4).initialize(&inst, &mut Rng64::new(1));
+        assert_eq!(
+            init.bits, inst.tx_natural_bits,
+            "noiseless ZF must be exact"
+        );
+        assert!((init.energy - inst.ground_energy()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detector_initializers_report_names() {
+        assert_eq!(zf_initializer(4).name(), "ZF");
+        assert_eq!(kbest_initializer(4, 4).name(), "K-best");
+        assert_eq!(fcsd_initializer(1, 4).name(), "FCSD");
+    }
+
+    #[test]
+    fn random_initializer_uses_the_rng() {
+        let inst = instance();
+        let a = RandomInitializer.initialize(&inst, &mut Rng64::new(1));
+        let b = RandomInitializer.initialize(&inst, &mut Rng64::new(2));
+        assert_ne!(a.bits, b.bits);
+        // Deterministic per seed.
+        let c = RandomInitializer.initialize(&inst, &mut Rng64::new(1));
+        assert_eq!(a.bits, c.bits);
+    }
+
+    #[test]
+    fn fixed_initializer_round_trips() {
+        let inst = instance();
+        let bits = inst.tx_natural_bits.clone();
+        let init = FixedInitializer { bits: bits.clone() }.initialize(&inst, &mut Rng64::new(1));
+        assert_eq!(init.bits, bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn fixed_initializer_rejects_bad_length() {
+        let inst = instance();
+        FixedInitializer { bits: vec![0, 1] }.initialize(&inst, &mut Rng64::new(1));
+    }
+}

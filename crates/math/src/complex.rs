@@ -1,0 +1,280 @@
+//! Double-precision complex numbers.
+//!
+//! A minimal, allocation-free complex type with the arithmetic the MIMO
+//! processing chain needs. The representation is Cartesian (`re`, `im`);
+//! polar helpers are provided for channel synthesis (unit-gain random-phase
+//! channels are built from [`Complex64::from_polar`]).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root of [`Self::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns an all-NaN value when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    // Division by multiplication with the precomputed inverse; the `*` is
+    // intentional, not a typo'd `/`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(0.25, 4.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Complex64::real(25.0)));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_phase_has_unit_gain() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.4;
+            let z = Complex64::from_polar(1.0, theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inv_of_unit_is_conj() {
+        let z = Complex64::from_polar(1.0, 0.7);
+        assert!(close(z.inv(), z.conj()));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+    }
+}

@@ -1,0 +1,444 @@
+//! Descriptive statistics, percentiles, histograms and fixed-width binning.
+//!
+//! These utilities back the paper's analyses: the ΔE% percentile
+//! distributions of Figure 6, the 2%-wide ΔE_IS% bins of Figure 7, and the
+//! median-based parameter selection of §4.3.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+/// Computes summary statistics of a sample.
+///
+/// Returns `None` for an empty sample.
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let count = samples.len();
+    let mean = samples.iter().sum::<f64>() / count as f64;
+    let var = if count > 1 {
+        samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+    } else {
+        0.0
+    };
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+        median: percentile(samples, 50.0),
+    })
+}
+
+/// Computes the `p`-th percentile (0–100) with linear interpolation.
+///
+/// Sorts a copy of the input; suitable for analysis-sized sample sets.
+///
+/// # Panics
+/// Panics on an empty sample or `p` outside `[0, 100]`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile: empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile: p out of range");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in sample"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted sample (ascending).
+///
+/// # Panics
+/// Panics on an empty sample or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile: empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile: p out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median convenience wrapper.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+///
+/// Values outside the range are counted in `underflow` / `overflow` rather
+/// than silently dropped, so totals always reconcile.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Count of samples below `lo`.
+    pub underflow: u64,
+    /// Count of samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.width()) as usize;
+            // Guard against x == hi-epsilon rounding up to bins().
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total in-range count.
+    pub fn total_in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total_in_range() + self.underflow + self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.width()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.bin_lo(i) + 0.5 * self.width()
+    }
+
+    /// Normalized frequencies (fractions of the total including overflow).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+/// Groups `(key, value)` observations into fixed-width key bins and reduces
+/// each bin's values with a caller-supplied statistic.
+///
+/// This is the helper behind Figure 7's "ΔE_IS% binned in steps of δ = 2%":
+/// `bin_reduce(obs, 0.0, 10.0, 2.0, |v| ...)` yields one entry per bin with
+/// the bin center and the reduced value (`None` for empty bins).
+pub fn bin_reduce<F>(
+    observations: &[(f64, f64)],
+    lo: f64,
+    hi: f64,
+    width: f64,
+    mut reduce: F,
+) -> Vec<(f64, Option<f64>)>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(width > 0.0, "bin_reduce: width must be positive");
+    assert!(hi > lo, "bin_reduce: hi must exceed lo");
+    let nbins = ((hi - lo) / width).ceil() as usize;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); nbins];
+    for &(k, v) in observations {
+        if k < lo || k >= hi {
+            continue;
+        }
+        let idx = (((k - lo) / width) as usize).min(nbins - 1);
+        buckets[idx].push(v);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            let center = lo + (i as f64 + 0.5) * width;
+            let reduced = if vals.is_empty() {
+                None
+            } else {
+                Some(reduce(&vals))
+            };
+            (center, reduced)
+        })
+        .collect()
+}
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+///
+/// Used where sample sets are too large to keep in memory (e.g. million-read
+/// anneal sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1 denominator; 0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        // Sample std dev of 1..4 is sqrt(5/3).
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 25.0]);
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.underflow, 1); // -1.0
+        assert_eq!(h.overflow, 2); // 10.0, 25.0
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_lo(1), 2.0);
+        assert_eq!(h.bin_center(0), 1.0);
+    }
+
+    #[test]
+    fn histogram_frequencies_sum_below_one_with_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([0.1, 0.6, 2.0]);
+        let f = h.frequencies();
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_reduce_matches_figure7_binning() {
+        // Keys 0..10 in 2%-wide bins, reduce = mean.
+        let obs: Vec<(f64, f64)> = vec![
+            (0.5, 10.0),
+            (1.5, 20.0),  // bin [0,2): mean 15
+            (3.0, 5.0),   // bin [2,4): mean 5
+            (9.9, 1.0),   // bin [8,10): mean 1
+            (11.0, 99.0), // out of range, ignored
+        ];
+        let bins = bin_reduce(&obs, 0.0, 10.0, 2.0, |v| {
+            v.iter().sum::<f64>() / v.len() as f64
+        });
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins[0], (1.0, Some(15.0)));
+        assert_eq!(bins[1], (3.0, Some(5.0)));
+        assert_eq!(bins[2], (5.0, None));
+        assert_eq!(bins[4], (9.0, Some(1.0)));
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let mut rs = RunningStats::new();
+        for &x in &data {
+            rs.add(x);
+        }
+        let batch = summarize(&data).unwrap();
+        assert_eq!(rs.count(), 100);
+        assert!((rs.mean() - batch.mean).abs() < 1e-12);
+        assert!((rs.std_dev() - batch.std_dev).abs() < 1e-12);
+        assert_eq!(rs.min(), batch.min);
+        assert_eq!(rs.max(), batch.max);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..20] {
+            left.add(x);
+        }
+        for &x in &data[20..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.add(1.0);
+        a.add(2.0);
+        let b = RunningStats::new();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 2);
+        let mut empty = RunningStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 1.5).abs() < 1e-12);
+    }
+}

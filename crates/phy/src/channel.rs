@@ -1,0 +1,168 @@
+//! Wireless channel synthesis and noise injection.
+//!
+//! The paper's evaluation channel (§4.2) is "unit gain … with random phase":
+//! every entry of `H` is `e^{jθ}`, `θ ~ U[0, 2π)`, and **no AWGN** is added
+//! (the QUBO ground state is then exactly the transmitted symbol vector,
+//! which is what makes success probabilities measurable without search).
+//! Rayleigh fading and AWGN are provided for the extension experiments.
+
+use hqw_math::{CMatrix, CVector, Complex64, Rng64};
+
+/// Channel matrix models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelModel {
+    /// `H_ij = e^{jθ_ij}` with i.i.d. uniform phases — the paper's model.
+    UnitGainRandomPhase,
+    /// i.i.d. circularly-symmetric complex Gaussian entries,
+    /// `CN(0, 1)` (Rayleigh-fading magnitudes).
+    RayleighIid,
+    /// The identity channel (needs `n_rx == n_tx`); for calibration tests.
+    Identity,
+}
+
+impl ChannelModel {
+    /// Draws an `n_rx × n_tx` channel matrix.
+    ///
+    /// # Panics
+    /// Panics for [`ChannelModel::Identity`] when `n_rx != n_tx`.
+    pub fn generate(self, n_rx: usize, n_tx: usize, rng: &mut Rng64) -> CMatrix {
+        match self {
+            ChannelModel::UnitGainRandomPhase => CMatrix::from_fn(n_rx, n_tx, |_, _| {
+                Complex64::from_polar(1.0, rng.next_range(0.0, std::f64::consts::TAU))
+            }),
+            ChannelModel::RayleighIid => CMatrix::from_fn(n_rx, n_tx, |_, _| {
+                // CN(0,1): each component N(0, 1/2).
+                let sigma = (0.5f64).sqrt();
+                Complex64::new(
+                    rng.next_gaussian_with(0.0, sigma),
+                    rng.next_gaussian_with(0.0, sigma),
+                )
+            }),
+            ChannelModel::Identity => {
+                assert_eq!(n_rx, n_tx, "Identity channel requires n_rx == n_tx");
+                CMatrix::identity(n_rx)
+            }
+        }
+    }
+}
+
+/// Adds circularly-symmetric complex AWGN of total per-entry variance
+/// `noise_variance` (i.e. `N(0, σ²/2)` per real component) to `y` in place.
+pub fn add_awgn(y: &mut CVector, noise_variance: f64, rng: &mut Rng64) {
+    assert!(noise_variance >= 0.0, "add_awgn: negative variance");
+    if noise_variance == 0.0 {
+        return;
+    }
+    let sigma = (noise_variance / 2.0).sqrt();
+    for i in 0..y.len() {
+        y[i] += Complex64::new(
+            rng.next_gaussian_with(0.0, sigma),
+            rng.next_gaussian_with(0.0, sigma),
+        );
+    }
+}
+
+/// Converts an SNR in dB to the AWGN per-entry noise variance for unit-energy
+/// signaling (`E[|x|²] = 1` per transmit antenna, `n_tx` interferers summed
+/// at each receive antenna).
+pub fn snr_db_to_noise_variance(snr_db: f64, n_tx: usize) -> f64 {
+    let snr_linear = 10f64.powf(snr_db / 10.0);
+    n_tx as f64 / snr_linear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_gain_entries_have_unit_magnitude() {
+        let mut rng = Rng64::new(1);
+        let h = ChannelModel::UnitGainRandomPhase.generate(4, 6, &mut rng);
+        for r in 0..4 {
+            for c in 0..6 {
+                assert!((h[(r, c)].abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_gain_phases_cover_the_circle() {
+        let mut rng = Rng64::new(2);
+        let h = ChannelModel::UnitGainRandomPhase.generate(16, 16, &mut rng);
+        let mut quadrants = [false; 4];
+        for r in 0..16 {
+            for c in 0..16 {
+                let arg = h[(r, c)].arg();
+                let q = if arg >= 0.0 { 0 } else { 2 }
+                    + if arg.abs() > std::f64::consts::FRAC_PI_2 {
+                        1
+                    } else {
+                        0
+                    };
+                quadrants[q] = true;
+            }
+        }
+        assert!(
+            quadrants.iter().all(|&q| q),
+            "phases not spread: {quadrants:?}"
+        );
+    }
+
+    #[test]
+    fn rayleigh_mean_energy_is_one() {
+        let mut rng = Rng64::new(3);
+        let h = ChannelModel::RayleighIid.generate(64, 64, &mut rng);
+        let mean: f64 = (0..64)
+            .flat_map(|r| (0..64).map(move |c| (r, c)))
+            .map(|(r, c)| h[(r, c)].norm_sqr())
+            .sum::<f64>()
+            / (64.0 * 64.0);
+        assert!((mean - 1.0).abs() < 0.05, "E|h|²={mean}");
+    }
+
+    #[test]
+    fn identity_channel_passes_through() {
+        let mut rng = Rng64::new(4);
+        let h = ChannelModel::Identity.generate(3, 3, &mut rng);
+        let x = CVector::from_vec(vec![
+            Complex64::new(1.0, -1.0),
+            Complex64::new(0.5, 2.0),
+            Complex64::new(-3.0, 0.0),
+        ]);
+        let y = h.matvec(&x);
+        for i in 0..3 {
+            assert!((y[i] - x[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires n_rx == n_tx")]
+    fn identity_rejects_rectangular() {
+        ChannelModel::Identity.generate(2, 3, &mut Rng64::new(0));
+    }
+
+    #[test]
+    fn awgn_zero_variance_is_noop() {
+        let mut rng = Rng64::new(5);
+        let mut y = CVector::from_vec(vec![Complex64::new(1.0, 2.0)]);
+        add_awgn(&mut y, 0.0, &mut rng);
+        assert_eq!(y[0], Complex64::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn awgn_variance_matches_request() {
+        let mut rng = Rng64::new(6);
+        let n = 20_000;
+        let mut y = CVector::zeros(n);
+        add_awgn(&mut y, 0.5, &mut rng);
+        let measured: f64 = (0..n).map(|i| y[i].norm_sqr()).sum::<f64>() / n as f64;
+        assert!((measured - 0.5).abs() < 0.02, "variance {measured}");
+    }
+
+    #[test]
+    fn snr_conversion_reference_points() {
+        // 0 dB, 1 antenna → variance 1; 10 dB, 10 antennas → variance 1.
+        assert!((snr_db_to_noise_variance(0.0, 1) - 1.0).abs() < 1e-12);
+        assert!((snr_db_to_noise_variance(10.0, 10) - 1.0).abs() < 1e-12);
+    }
+}

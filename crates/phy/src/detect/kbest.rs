@@ -1,0 +1,136 @@
+//! K-best sphere decoding (breadth-first, fixed complexity).
+//!
+//! Named in the paper's §5 (Guo & Nilsson [17]) as a tree-based initializer
+//! with "tunable complexity, enabling parallelism, which could provide some
+//! control over ΔE_IS%": at each layer only the `K` lowest-cost partial
+//! paths survive, so complexity is fixed at `K·levels` extensions per layer
+//! and solution quality rises with `K`.
+
+use super::lattice::RealLattice;
+use super::{DetectionResult, Detector};
+use crate::mimo::MimoSystem;
+use hqw_math::{CMatrix, CVector};
+
+/// Breadth-first K-best detector.
+#[derive(Debug, Clone, Copy)]
+pub struct KBest {
+    /// Number of surviving partial paths per layer (`K ≥ 1`).
+    pub k: usize,
+}
+
+impl KBest {
+    /// Creates a K-best detector.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "KBest: k must be at least 1");
+        KBest { k }
+    }
+}
+
+#[derive(Clone)]
+struct Path {
+    x: Vec<f64>,
+    cost: f64,
+}
+
+impl Detector for KBest {
+    fn name(&self) -> &'static str {
+        "K-best"
+    }
+
+    fn detect(&self, system: &MimoSystem, h: &CMatrix, y: &CVector) -> DetectionResult {
+        let lattice = RealLattice::new(system, h, y);
+        let dim = lattice.dim();
+
+        let mut frontier = vec![Path {
+            x: vec![0.0; dim],
+            cost: 0.0,
+        }];
+        for d in (0..dim).rev() {
+            let mut extended: Vec<Path> = Vec::with_capacity(frontier.len() * 4);
+            for path in &frontier {
+                for &level in lattice.levels(d) {
+                    let cost = path.cost + lattice.layer_cost(d, level, &path.x);
+                    let mut x = path.x.clone();
+                    x[d] = level;
+                    extended.push(Path { x, cost });
+                }
+            }
+            extended.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("KBest: NaN cost"));
+            extended.truncate(self.k);
+            frontier = extended;
+        }
+
+        let best = &frontier[0];
+        let symbols = lattice.to_symbols(&best.x);
+        let gray_bits = system.demodulate(&symbols);
+        DetectionResult { symbols, gray_bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{add_awgn, ChannelModel};
+    use crate::detect::testutil::noiseless;
+    use crate::detect::SphereDecoder;
+    use crate::modulation::Modulation;
+    use hqw_math::Rng64;
+
+    #[test]
+    fn recovers_noiseless_transmissions_with_moderate_k() {
+        for m in Modulation::ALL {
+            let sc = noiseless(m, 4, 61);
+            let det = KBest::new(8).detect(&sc.system, &sc.h, &sc.y);
+            assert_eq!(det.gray_bits, sc.tx_bits, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn quality_is_monotone_in_k_statistically() {
+        let mut rng = Rng64::new(63);
+        let sys = MimoSystem::new(6, 6, Modulation::Qam16);
+        let mut metric_k1 = 0.0;
+        let mut metric_k16 = 0.0;
+        for _ in 0..10 {
+            let h = ChannelModel::RayleighIid.generate(6, 6, &mut rng);
+            let bits = sys.random_bits(&mut rng);
+            let x = sys.modulate(&bits);
+            let mut y = sys.transmit(&h, &x);
+            add_awgn(&mut y, 0.4, &mut rng);
+            metric_k1 += sys.ml_metric(&h, &y, &KBest::new(1).detect(&sys, &h, &y).symbols);
+            metric_k16 += sys.ml_metric(&h, &y, &KBest::new(16).detect(&sys, &h, &y).symbols);
+        }
+        assert!(
+            metric_k16 <= metric_k1 + 1e-9,
+            "K=16 ({metric_k16}) should not lose to K=1 ({metric_k1})"
+        );
+    }
+
+    #[test]
+    fn large_k_matches_exact_sphere_decoder() {
+        let mut rng = Rng64::new(65);
+        let sys = MimoSystem::new(3, 3, Modulation::Qpsk);
+        for _ in 0..5 {
+            let h = ChannelModel::RayleighIid.generate(3, 3, &mut rng);
+            let bits = sys.random_bits(&mut rng);
+            let x = sys.modulate(&bits);
+            let mut y = sys.transmit(&h, &x);
+            add_awgn(&mut y, 0.3, &mut rng);
+            // K = full width ⇒ exhaustive breadth-first ⇒ exact.
+            let kb = KBest::new(4096).detect(&sys, &h, &y);
+            let sd = SphereDecoder::exact().detect(&sys, &h, &y);
+            let m_kb = sys.ml_metric(&h, &y, &kb.symbols);
+            let m_sd = sys.ml_metric(&h, &y, &sd.symbols);
+            assert!((m_kb - m_sd).abs() < 1e-9, "{m_kb} vs {m_sd}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        KBest::new(0);
+    }
+}

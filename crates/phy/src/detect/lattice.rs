@@ -1,0 +1,255 @@
+//! Shared real-lattice representation for tree-search detectors.
+//!
+//! Sphere decoding and its fixed-complexity relatives search the
+//! real-stacked system `ỹ = H̃·x̃` after a QR decomposition: with
+//! `H̃ = Q·R`, minimizing `‖ỹ − H̃x̃‖²` equals minimizing
+//! `‖Qᵀỹ − R·x̃‖²` (up to a constant), and the upper-triangular `R` lets the
+//! residual accumulate one dimension at a time from the last row up — the
+//! classic depth-first tree.
+//!
+//! Dimensions `0..n_tx` are the users' I rails, `n_tx..2·n_tx` the Q rails;
+//! each dimension takes values from its rail's (scaled) PAM levels. BPSK's
+//! Q rail has the single level 0, which the tree handles uniformly.
+
+use crate::mimo::MimoSystem;
+use crate::modulation::Modulation;
+use hqw_math::linalg::QrReal;
+use hqw_math::{CMatrix, CVector, Complex64, RVector};
+
+/// QR-reduced real-valued search problem.
+#[derive(Debug, Clone)]
+pub struct RealLattice {
+    /// Upper-triangular factor `R` (`2·n_tx × 2·n_tx`).
+    r: Vec<Vec<f64>>,
+    /// Rotated observation `Qᵀ·ỹ`.
+    qty: Vec<f64>,
+    /// Candidate levels per dimension (already scaled).
+    levels: Vec<Vec<f64>>,
+    n_tx: usize,
+}
+
+impl RealLattice {
+    /// Builds the lattice for `(H, y)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or when `2·n_rx < 2·n_tx` (the QR
+    /// needs at least as many equations as unknowns).
+    pub fn new(system: &MimoSystem, h: &CMatrix, y: &CVector) -> Self {
+        assert_eq!(h.rows(), system.n_rx, "RealLattice: channel rows");
+        assert_eq!(h.cols(), system.n_tx, "RealLattice: channel cols");
+        assert_eq!(y.len(), system.n_rx, "RealLattice: observation length");
+        assert!(
+            system.n_rx >= system.n_tx,
+            "RealLattice: need n_rx ≥ n_tx for QR-based search"
+        );
+        let h_stacked = h.to_real_stacked();
+        let y_stacked = y.to_real_stacked();
+        let qr = QrReal::new(&h_stacked);
+        let qty_v: RVector = qr.qt_y(&y_stacked);
+        let dim = 2 * system.n_tx;
+
+        let r = (0..dim)
+            .map(|i| (0..dim).map(|j| qr.r()[(i, j)]).collect())
+            .collect();
+        let qty = (0..dim).map(|i| qty_v[i]).collect();
+
+        let scale = system.modulation.scale();
+        let i_levels: Vec<f64> = Modulation::rail_levels(system.modulation.i_bits())
+            .iter()
+            .map(|l| l * scale)
+            .collect();
+        let q_levels: Vec<f64> = Modulation::rail_levels(system.modulation.q_bits())
+            .iter()
+            .map(|l| l * scale)
+            .collect();
+        let mut levels = Vec::with_capacity(dim);
+        for _ in 0..system.n_tx {
+            levels.push(i_levels.clone());
+        }
+        for _ in 0..system.n_tx {
+            levels.push(q_levels.clone());
+        }
+
+        RealLattice {
+            r,
+            qty,
+            levels,
+            n_tx: system.n_tx,
+        }
+    }
+
+    /// Search-space dimensionality (`2·n_tx`).
+    pub fn dim(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Candidate levels for dimension `d`.
+    pub fn levels(&self, d: usize) -> &[f64] {
+        &self.levels[d]
+    }
+
+    /// Given the partial assignment `x[d+1..]` (entries below `d+1` unused),
+    /// the unconstrained optimum for dimension `d` and the residual term:
+    /// returns `(center, r_dd)` with per-level cost
+    /// `(r_dd·x_d − r_dd·center)² = r_dd²·(x_d − center)²`.
+    pub fn layer_center(&self, d: usize, x: &[f64]) -> (f64, f64) {
+        let dim = self.dim();
+        let mut acc = self.qty[d];
+        for j in d + 1..dim {
+            acc -= self.r[d][j] * x[j];
+        }
+        let rdd = self.r[d][d];
+        if rdd.abs() < 1e-12 {
+            (0.0, 0.0)
+        } else {
+            (acc / rdd, rdd)
+        }
+    }
+
+    /// Incremental cost of assigning `value` at dimension `d` given the
+    /// partial assignment above it.
+    pub fn layer_cost(&self, d: usize, value: f64, x: &[f64]) -> f64 {
+        let (center, rdd) = self.layer_center(d, x);
+        let diff = rdd * (value - center);
+        diff * diff
+    }
+
+    /// Babai (successive nearest-plane) point: greedy rounding from the last
+    /// dimension down. Returns `(x, total cost)` — a cheap upper bound for
+    /// search radii and the backbone of FCSD's non-expanded layers.
+    pub fn babai(&self) -> (Vec<f64>, f64) {
+        let dim = self.dim();
+        let mut x = vec![0.0; dim];
+        let mut cost = 0.0;
+        for d in (0..dim).rev() {
+            let (center, _) = self.layer_center(d, &x);
+            let best = nearest_level(&self.levels[d], center);
+            cost += self.layer_cost(d, best, &x);
+            x[d] = best;
+        }
+        (x, cost)
+    }
+
+    /// Full residual `‖Qᵀỹ − R·x‖²` of a complete assignment.
+    pub fn total_cost(&self, x: &[f64]) -> f64 {
+        let dim = self.dim();
+        assert_eq!(x.len(), dim, "total_cost: assignment length");
+        let mut cost = 0.0;
+        for d in 0..dim {
+            let mut acc = self.qty[d];
+            for j in d..dim {
+                acc -= self.r[d][j] * x[j];
+            }
+            cost += acc * acc;
+        }
+        cost
+    }
+
+    /// Converts a real lattice point back to complex per-user symbols.
+    pub fn to_symbols(&self, x: &[f64]) -> CVector {
+        assert_eq!(x.len(), self.dim(), "to_symbols: assignment length");
+        CVector::from_vec(
+            (0..self.n_tx)
+                .map(|u| Complex64::new(x[u], x[self.n_tx + u]))
+                .collect(),
+        )
+    }
+}
+
+/// Nearest value in a non-empty sorted-or-not level list.
+pub(crate) fn nearest_level(levels: &[f64], target: f64) -> f64 {
+    debug_assert!(!levels.is_empty());
+    let mut best = levels[0];
+    let mut best_dist = (levels[0] - target).abs();
+    for &l in &levels[1..] {
+        let d = (l - target).abs();
+        if d < best_dist {
+            best = l;
+            best_dist = d;
+        }
+    }
+    best
+}
+
+/// Levels sorted by distance to `target` (Schnorr-Euchner enumeration order).
+pub(crate) fn levels_by_distance(levels: &[f64], target: f64) -> Vec<f64> {
+    let mut sorted = levels.to_vec();
+    sorted.sort_by(|a, b| {
+        (a - target)
+            .abs()
+            .partial_cmp(&(b - target).abs())
+            .expect("levels_by_distance: NaN")
+    });
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::noiseless;
+    use crate::modulation::Modulation;
+
+    #[test]
+    fn truth_has_zero_cost_noiseless() {
+        for m in Modulation::ALL {
+            let sc = noiseless(m, 3, 5);
+            let lattice = RealLattice::new(&sc.system, &sc.h, &sc.y);
+            let x_true = sc.system.modulate(&sc.tx_bits);
+            let stacked: Vec<f64> = (0..3)
+                .map(|u| x_true[u].re)
+                .chain((0..3).map(|u| x_true[u].im))
+                .collect();
+            assert!(
+                lattice.total_cost(&stacked) < 1e-9,
+                "{}: truth cost {}",
+                m.name(),
+                lattice.total_cost(&stacked)
+            );
+        }
+    }
+
+    #[test]
+    fn babai_solves_noiseless_exactly() {
+        // With zero noise the nearest-plane point is the transmitted vector.
+        for m in Modulation::ALL {
+            let sc = noiseless(m, 4, 11);
+            let lattice = RealLattice::new(&sc.system, &sc.h, &sc.y);
+            let (x, cost) = lattice.babai();
+            assert!(cost < 1e-9, "{}: babai cost {cost}", m.name());
+            let symbols = lattice.to_symbols(&x);
+            assert_eq!(sc.system.demodulate(&symbols), sc.tx_bits, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn layer_costs_sum_to_total() {
+        let sc = noiseless(Modulation::Qam16, 3, 23);
+        let lattice = RealLattice::new(&sc.system, &sc.h, &sc.y);
+        // Any complete assignment: accumulate layer costs from top dim down.
+        let dim = lattice.dim();
+        let mut x = vec![0.0; dim];
+        let mut acc = 0.0;
+        for d in (0..dim).rev() {
+            let level = lattice.levels(d)[0];
+            acc += lattice.layer_cost(d, level, &x);
+            x[d] = level;
+        }
+        assert!((acc - lattice.total_cost(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bpsk_q_rail_is_pinned_to_zero() {
+        let sc = noiseless(Modulation::Bpsk, 4, 31);
+        let lattice = RealLattice::new(&sc.system, &sc.h, &sc.y);
+        for d in 4..8 {
+            assert_eq!(lattice.levels(d), &[0.0]);
+        }
+    }
+
+    #[test]
+    fn enumeration_order_is_by_distance() {
+        let order = levels_by_distance(&[-3.0, -1.0, 1.0, 3.0], 0.8);
+        assert_eq!(order, vec![1.0, -1.0, 3.0, -3.0]);
+        assert_eq!(nearest_level(&[-3.0, -1.0, 1.0, 3.0], 0.8), 1.0);
+    }
+}

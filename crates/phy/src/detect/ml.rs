@@ -1,0 +1,98 @@
+//! Brute-force maximum-likelihood detection.
+//!
+//! Enumerates every possible transmit vector — the gold standard that the
+//! sphere decoder must match exactly, and the explicit form of the objective
+//! the QUBO reduction encodes. Guarded to small systems.
+
+use super::{DetectionResult, Detector};
+use crate::mimo::MimoSystem;
+use hqw_math::{CMatrix, CVector};
+
+/// Exhaustive ML search over `order^{n_tx}` candidate vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MlBruteForce;
+
+/// Largest total bit-width this detector will enumerate (2²⁰ ≈ 10⁶ vectors).
+const MAX_TOTAL_BITS: usize = 20;
+
+impl Detector for MlBruteForce {
+    fn name(&self) -> &'static str {
+        "ML"
+    }
+
+    fn detect(&self, system: &MimoSystem, h: &CMatrix, y: &CVector) -> DetectionResult {
+        let total_bits = system.bits_per_use();
+        assert!(
+            total_bits <= MAX_TOTAL_BITS,
+            "MlBruteForce: {total_bits} bits exceeds the {MAX_TOTAL_BITS}-bit enumeration guard"
+        );
+        let mut best_bits = Vec::new();
+        let mut best_metric = f64::INFINITY;
+        for code in 0u64..(1u64 << total_bits) {
+            let bits: Vec<u8> = (0..total_bits).map(|k| ((code >> k) & 1) as u8).collect();
+            let x = system.modulate(&bits);
+            let metric = system.ml_metric(h, y, &x);
+            if metric < best_metric {
+                best_metric = metric;
+                best_bits = bits;
+            }
+        }
+        let symbols = system.modulate(&best_bits);
+        DetectionResult {
+            symbols,
+            gray_bits: best_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{add_awgn, ChannelModel};
+    use crate::detect::testutil::noiseless;
+    use crate::detect::ZeroForcing;
+    use crate::modulation::Modulation;
+    use hqw_math::Rng64;
+
+    #[test]
+    fn ml_recovers_noiseless_transmissions() {
+        for (m, n) in [
+            (Modulation::Bpsk, 6),
+            (Modulation::Qpsk, 4),
+            (Modulation::Qam16, 3),
+            (Modulation::Qam64, 2),
+        ] {
+            let sc = noiseless(m, n, 9);
+            let det = MlBruteForce.detect(&sc.system, &sc.h, &sc.y);
+            assert_eq!(det.gray_bits, sc.tx_bits, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn ml_is_at_least_as_good_as_zf_under_noise() {
+        let mut rng = Rng64::new(12);
+        let sys = MimoSystem::new(3, 3, Modulation::Qam16);
+        for _ in 0..10 {
+            let h = ChannelModel::RayleighIid.generate(3, 3, &mut rng);
+            let bits = sys.random_bits(&mut rng);
+            let x = sys.modulate(&bits);
+            let mut y = sys.transmit(&h, &x);
+            add_awgn(&mut y, 0.3, &mut rng);
+            let ml = MlBruteForce.detect(&sys, &h, &y);
+            let zf = ZeroForcing.detect(&sys, &h, &y);
+            let ml_metric = sys.ml_metric(&h, &y, &ml.symbols);
+            let zf_metric = sys.ml_metric(&h, &y, &zf.symbols);
+            assert!(
+                ml_metric <= zf_metric + 1e-9,
+                "ML metric {ml_metric} worse than ZF {zf_metric}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration guard")]
+    fn oversized_system_is_rejected() {
+        let sc = noiseless(Modulation::Qam64, 4, 1); // 24 bits > 20
+        MlBruteForce.detect(&sc.system, &sc.h, &sc.y);
+    }
+}

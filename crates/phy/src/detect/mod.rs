@@ -1,0 +1,98 @@
+//! Classical MIMO detectors.
+//!
+//! These serve two roles in the reproduction:
+//!
+//! * **Baselines** — the receivers a base station runs today (ZF, MMSE,
+//!   sphere-decoder family).
+//! * **Hybrid initializers** — the paper's §5 names linear solvers
+//!   (zero-forcing) and tree-based solvers (FCSD \[4\], K-best SD \[17\]) as the
+//!   candidate application-specific classical stages to seed Reverse
+//!   Annealing; `hqw-core` wraps any [`Detector`] as such a stage.
+//!
+//! | detector | optimality | complexity |
+//! |---|---|---|
+//! | [`ZeroForcing`] | none (linear) | one least-squares solve |
+//! | [`Mmse`] | none (linear) | one regularized solve |
+//! | [`MlBruteForce`] | exact ML | `O(2^{bits})` — tiny systems only |
+//! | [`SphereDecoder`] | exact ML | exponential worst case, fast in practice |
+//! | [`KBest`] | approximate | fixed `K·levels` per layer |
+//! | [`Fcsd`] | approximate | fixed `levels^ρ` paths |
+
+mod fcsd;
+mod kbest;
+mod lattice;
+mod linear;
+mod ml;
+mod sphere;
+
+pub use fcsd::Fcsd;
+pub use kbest::KBest;
+pub use lattice::RealLattice;
+pub use linear::{Mmse, ZeroForcing};
+pub use ml::MlBruteForce;
+pub use sphere::SphereDecoder;
+
+use crate::mimo::MimoSystem;
+use hqw_math::{CMatrix, CVector};
+
+/// Hard-decision output of a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// Detected transmit symbols (one per user, exact constellation points).
+    pub symbols: CVector,
+    /// Detected Gray-labeled bits, user-major.
+    pub gray_bits: Vec<u8>,
+}
+
+/// A hard-decision MIMO detector.
+pub trait Detector {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Detects the transmitted symbols from `(H, y)`.
+    fn detect(&self, system: &MimoSystem, h: &CMatrix, y: &CVector) -> DetectionResult;
+}
+
+/// Builds a [`DetectionResult`] by slicing per-user estimates to the nearest
+/// constellation point.
+pub(crate) fn result_from_estimates(system: &MimoSystem, estimates: &CVector) -> DetectionResult {
+    let mut symbols = CVector::zeros(system.n_tx);
+    let mut gray_bits = Vec::with_capacity(system.bits_per_use());
+    for u in 0..system.n_tx {
+        let (bits, sym) = system.modulation.slice(estimates[u]);
+        symbols[u] = sym;
+        gray_bits.extend(bits);
+    }
+    DetectionResult { symbols, gray_bits }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::modulation::Modulation;
+    use hqw_math::Rng64;
+
+    /// A noiseless random-phase scenario with known transmitted bits.
+    pub struct Scenario {
+        pub system: MimoSystem,
+        pub h: CMatrix,
+        pub y: CVector,
+        pub tx_bits: Vec<u8>,
+    }
+
+    pub fn noiseless(m: Modulation, n: usize, seed: u64) -> Scenario {
+        let mut rng = Rng64::new(seed);
+        let system = MimoSystem::new(n, n, m);
+        let h = ChannelModel::UnitGainRandomPhase.generate(n, n, &mut rng);
+        let tx_bits = system.random_bits(&mut rng);
+        let x = system.modulate(&tx_bits);
+        let y = system.transmit(&h, &x);
+        Scenario {
+            system,
+            h,
+            y,
+            tx_bits,
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Link-quality accounting: bit, symbol and vector error rates.
+
+/// Bit error rate between transmitted and detected bit vectors.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn bit_error_rate(tx: &[u8], rx: &[u8]) -> f64 {
+    assert_eq!(tx.len(), rx.len(), "bit_error_rate: length mismatch");
+    assert!(!tx.is_empty(), "bit_error_rate: empty input");
+    let errors = tx.iter().zip(rx).filter(|(a, b)| a != b).count();
+    errors as f64 / tx.len() as f64
+}
+
+/// Symbol error rate: fraction of per-user symbols (bit groups of size
+/// `bits_per_symbol`) containing at least one bit error.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or lengths not divisible by
+/// `bits_per_symbol`.
+pub fn symbol_error_rate(tx: &[u8], rx: &[u8], bits_per_symbol: usize) -> f64 {
+    assert_eq!(tx.len(), rx.len(), "symbol_error_rate: length mismatch");
+    assert!(
+        bits_per_symbol > 0,
+        "symbol_error_rate: zero bits per symbol"
+    );
+    assert!(
+        !tx.is_empty() && tx.len().is_multiple_of(bits_per_symbol),
+        "symbol_error_rate: length not a multiple of bits_per_symbol"
+    );
+    let symbols = tx.len() / bits_per_symbol;
+    let errors = tx
+        .chunks(bits_per_symbol)
+        .zip(rx.chunks(bits_per_symbol))
+        .filter(|(a, b)| a != b)
+        .count();
+    errors as f64 / symbols as f64
+}
+
+/// Whole-vector (channel-use) error indicator: 1.0 when any bit differs.
+pub fn vector_error(tx: &[u8], rx: &[u8]) -> f64 {
+    if tx == rx {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_counts_flips() {
+        assert_eq!(bit_error_rate(&[0, 1, 1, 0], &[0, 1, 1, 0]), 0.0);
+        assert_eq!(bit_error_rate(&[0, 1, 1, 0], &[1, 1, 1, 1]), 0.5);
+        assert_eq!(bit_error_rate(&[0], &[1]), 1.0);
+    }
+
+    #[test]
+    fn ser_groups_bits() {
+        // Two 2-bit symbols; one bit error in the first symbol only.
+        assert_eq!(symbol_error_rate(&[0, 0, 1, 1], &[0, 1, 1, 1], 2), 0.5);
+        assert_eq!(symbol_error_rate(&[0, 0, 1, 1], &[0, 0, 1, 1], 2), 0.0);
+        // Both bits wrong in one symbol is still one symbol error.
+        assert_eq!(symbol_error_rate(&[0, 0, 1, 1], &[1, 1, 1, 1], 2), 0.5);
+    }
+
+    #[test]
+    fn vector_error_is_all_or_nothing() {
+        assert_eq!(vector_error(&[0, 1], &[0, 1]), 0.0);
+        assert_eq!(vector_error(&[0, 1], &[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ber_rejects_mismatch() {
+        bit_error_rate(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The spatial-multiplexing MIMO system model.
+//!
+//! `n_tx` single-antenna users each transmit one modulated symbol per
+//! channel use; the base station observes `y = H·x + n` on `n_rx` antennas
+//! and must jointly detect all users' symbols — the Large MIMO detection
+//! problem the paper targets.
+
+use crate::modulation::Modulation;
+use hqw_math::{CMatrix, CVector, Rng64};
+
+/// Static description of a MIMO uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MimoSystem {
+    /// Number of transmitting users (= transmit antennas).
+    pub n_tx: usize,
+    /// Number of base-station receive antennas.
+    pub n_rx: usize,
+    /// Modulation used by every user.
+    pub modulation: Modulation,
+}
+
+impl MimoSystem {
+    /// Creates a system description.
+    ///
+    /// # Panics
+    /// Panics when either antenna count is zero.
+    pub fn new(n_tx: usize, n_rx: usize, modulation: Modulation) -> Self {
+        assert!(
+            n_tx > 0 && n_rx > 0,
+            "MimoSystem: antenna counts must be positive"
+        );
+        MimoSystem {
+            n_tx,
+            n_rx,
+            modulation,
+        }
+    }
+
+    /// Total transmitted bits per channel use (= QUBO variables).
+    pub fn bits_per_use(&self) -> usize {
+        self.n_tx * self.modulation.bits_per_symbol()
+    }
+
+    /// Draws uniform random transmit bits for one channel use
+    /// (Gray-labeled, user-major).
+    pub fn random_bits(&self, rng: &mut Rng64) -> Vec<u8> {
+        (0..self.bits_per_use())
+            .map(|_| rng.next_bool() as u8)
+            .collect()
+    }
+
+    /// Modulates per-user bits (Gray labels, user-major) into the transmit
+    /// vector `x`.
+    ///
+    /// # Panics
+    /// Panics when `bits.len() != bits_per_use()`.
+    pub fn modulate(&self, bits: &[u8]) -> CVector {
+        let bps = self.modulation.bits_per_symbol();
+        assert_eq!(
+            bits.len(),
+            self.bits_per_use(),
+            "modulate: bit count mismatch"
+        );
+        CVector::from_vec(
+            bits.chunks(bps)
+                .map(|chunk| self.modulation.modulate(chunk))
+                .collect(),
+        )
+    }
+
+    /// Demodulates a symbol vector back to Gray-labeled bits (user-major).
+    ///
+    /// # Panics
+    /// Panics when `symbols.len() != n_tx`.
+    pub fn demodulate(&self, symbols: &CVector) -> Vec<u8> {
+        assert_eq!(
+            symbols.len(),
+            self.n_tx,
+            "demodulate: symbol count mismatch"
+        );
+        (0..self.n_tx)
+            .flat_map(|u| self.modulation.demodulate(symbols[u]))
+            .collect()
+    }
+
+    /// Noiseless receive vector `y = H·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn transmit(&self, h: &CMatrix, x: &CVector) -> CVector {
+        assert_eq!(h.rows(), self.n_rx, "transmit: channel rows");
+        assert_eq!(h.cols(), self.n_tx, "transmit: channel cols");
+        h.matvec(x)
+    }
+
+    /// Maximum-likelihood objective `‖y − H·x‖²` for a candidate `x`.
+    pub fn ml_metric(&self, h: &CMatrix, y: &CVector, x: &CVector) -> f64 {
+        y.sub(&h.matvec(x)).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+
+    #[test]
+    fn modulate_demodulate_round_trip() {
+        let mut rng = Rng64::new(7);
+        for m in Modulation::ALL {
+            let sys = MimoSystem::new(4, 4, m);
+            let bits = sys.random_bits(&mut rng);
+            let x = sys.modulate(&bits);
+            assert_eq!(x.len(), 4);
+            assert_eq!(sys.demodulate(&x), bits, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn noiseless_identity_channel_is_transparent() {
+        let mut rng = Rng64::new(8);
+        let sys = MimoSystem::new(3, 3, Modulation::Qam16);
+        let h = ChannelModel::Identity.generate(3, 3, &mut rng);
+        let bits = sys.random_bits(&mut rng);
+        let x = sys.modulate(&bits);
+        let y = sys.transmit(&h, &x);
+        assert_eq!(sys.demodulate(&y), bits);
+    }
+
+    #[test]
+    fn ml_metric_zero_at_truth_positive_elsewhere() {
+        let mut rng = Rng64::new(9);
+        let sys = MimoSystem::new(4, 4, Modulation::Qpsk);
+        let h = ChannelModel::UnitGainRandomPhase.generate(4, 4, &mut rng);
+        let bits = sys.random_bits(&mut rng);
+        let x = sys.modulate(&bits);
+        let y = sys.transmit(&h, &x);
+        assert!(sys.ml_metric(&h, &y, &x) < 1e-12);
+
+        let mut other = bits.clone();
+        other[0] ^= 1;
+        let x2 = sys.modulate(&other);
+        assert!(sys.ml_metric(&h, &y, &x2) > 1e-6);
+    }
+
+    #[test]
+    fn bits_per_use_scales_with_modulation() {
+        assert_eq!(MimoSystem::new(9, 9, Modulation::Qam16).bits_per_use(), 36);
+        assert_eq!(MimoSystem::new(18, 18, Modulation::Qpsk).bits_per_use(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "antenna counts must be positive")]
+    fn zero_antennas_rejected() {
+        MimoSystem::new(0, 4, Modulation::Bpsk);
+    }
+}

@@ -1,0 +1,101 @@
+//! Failure-injection tests: degenerate channels and hostile inputs must fail
+//! loudly (panics with clear messages), never silently corrupt results.
+
+use hqw_math::{CMatrix, CVector, Complex64, Rng64};
+use hqw_phy::channel::ChannelModel;
+use hqw_phy::detect::{Detector, KBest, SphereDecoder, ZeroForcing};
+use hqw_phy::mimo::MimoSystem;
+use hqw_phy::modulation::Modulation;
+use hqw_phy::reduction::reduce_to_qubo;
+
+/// A rank-deficient channel: user 1 is a perfect copy of user 0.
+fn rank_deficient(n: usize, rng: &mut Rng64) -> CMatrix {
+    let h = ChannelModel::UnitGainRandomPhase.generate(n, n, rng);
+    CMatrix::from_fn(n, n, |r, c| if c == 1 { h[(r, 0)] } else { h[(r, c)] })
+}
+
+#[test]
+fn zero_forcing_fails_loudly_on_singular_channels() {
+    let mut rng = Rng64::new(3);
+    let sys = MimoSystem::new(4, 4, Modulation::Qpsk);
+    let h = rank_deficient(4, &mut rng);
+    let bits = sys.random_bits(&mut rng);
+    let y = sys.transmit(&h, &sys.modulate(&bits));
+    let result = std::panic::catch_unwind(|| ZeroForcing.detect(&sys, &h, &y));
+    assert!(
+        result.is_err(),
+        "ZF must not return silently on a rank-deficient channel"
+    );
+}
+
+#[test]
+fn reduction_still_works_on_singular_channels() {
+    // The QUBO reduction needs no inversion: a rank-deficient channel just
+    // produces a degenerate QUBO (multiple global optima), not a failure.
+    let mut rng = Rng64::new(5);
+    let sys = MimoSystem::new(3, 3, Modulation::Qpsk);
+    let h = rank_deficient(3, &mut rng);
+    let bits = sys.random_bits(&mut rng);
+    let y = sys.transmit(&h, &sys.modulate(&bits));
+    let reduced = reduce_to_qubo(&sys, &h, &y);
+    // Transmitted bits still have exactly zero residual.
+    let natural = reduced.gray_to_natural(&bits);
+    assert!(reduced.ml_metric(&natural) < 1e-9);
+    // And because users 0/1 are indistinguishable, swapping their symbols
+    // must give another zero-residual assignment (degeneracy, not error).
+    let bps = sys.modulation.bits_per_symbol();
+    let mut swapped = natural.clone();
+    for k in 0..bps {
+        swapped.swap(k, bps + k);
+    }
+    assert!(reduced.ml_metric(&swapped) < 1e-9);
+}
+
+#[test]
+fn tree_detectors_survive_near_singular_channels() {
+    // An almost-rank-deficient channel (tiny perturbation keeps QR valid):
+    // detectors must return well-formed constellation decisions.
+    let mut rng = Rng64::new(7);
+    let sys = MimoSystem::new(3, 3, Modulation::Qam16);
+    let base = rank_deficient(3, &mut rng);
+    let h = CMatrix::from_fn(3, 3, |r, c| {
+        base[(r, c)] + Complex64::new(rng.next_gaussian(), rng.next_gaussian()) * 1e-3
+    });
+    let bits = sys.random_bits(&mut rng);
+    let y = sys.transmit(&h, &sys.modulate(&bits));
+    for det in [&SphereDecoder::exact() as &dyn Detector, &KBest::new(8)] {
+        let out = det.detect(&sys, &h, &y);
+        assert_eq!(out.gray_bits.len(), sys.bits_per_use(), "{}", det.name());
+        // Decisions are genuine constellation points.
+        let points = sys.modulation.constellation();
+        for u in 0..3 {
+            assert!(
+                points
+                    .iter()
+                    .any(|(_, p)| (out.symbols[u] - *p).abs() < 1e-9),
+                "{}: off-constellation output",
+                det.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_observation_is_handled() {
+    // All-zero receive vector (e.g. erased slot): reduction and detectors
+    // should process it as a legitimate observation.
+    let mut rng = Rng64::new(9);
+    let sys = MimoSystem::new(2, 2, Modulation::Qpsk);
+    let h = ChannelModel::UnitGainRandomPhase.generate(2, 2, &mut rng);
+    let y = CVector::zeros(2);
+    let reduced = reduce_to_qubo(&sys, &h, &y);
+    // ml_offset is ‖y‖² + Σ A_ii ≥ 0 and every assignment has a finite,
+    // non-negative residual.
+    for code in 0..16u32 {
+        let bits: Vec<u8> = (0..4).map(|k| ((code >> k) & 1) as u8).collect();
+        let m = reduced.ml_metric(&bits);
+        assert!(m.is_finite() && m >= -1e-9);
+    }
+    let out = SphereDecoder::exact().detect(&sys, &h, &y);
+    assert_eq!(out.gray_bits.len(), 4);
+}

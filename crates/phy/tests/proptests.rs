@@ -1,0 +1,121 @@
+//! Property-based tests for the PHY substrate.
+//!
+//! The central property: the ML→QUBO reduction is *exact* — for random
+//! channels, observations and assignments, the QUBO energy plus offset
+//! equals the maximum-likelihood residual computed directly.
+
+use hqw_math::Rng64;
+use hqw_phy::channel::ChannelModel;
+use hqw_phy::instance::{DetectionInstance, InstanceConfig};
+use hqw_phy::mimo::MimoSystem;
+use hqw_phy::modulation::Modulation;
+use hqw_phy::reduction::reduce_to_qubo;
+use proptest::prelude::*;
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_is_exact_on_random_assignments(
+        seed in any::<u64>(),
+        m in any_modulation(),
+        n_users in 1usize..5,
+        noisy in any::<bool>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let sys = MimoSystem::new(n_users, n_users, m);
+        let h = ChannelModel::RayleighIid.generate(n_users, n_users, &mut rng);
+        let tx = sys.random_bits(&mut rng);
+        let x = sys.modulate(&tx);
+        let mut y = sys.transmit(&h, &x);
+        if noisy {
+            hqw_phy::channel::add_awgn(&mut y, 0.3, &mut rng);
+        }
+        let reduced = reduce_to_qubo(&sys, &h, &y);
+        let n_vars = sys.bits_per_use();
+        for _ in 0..6 {
+            let bits: Vec<u8> = (0..n_vars).map(|_| rng.next_bool() as u8).collect();
+            let cand = reduced.bits_to_symbols(&bits);
+            let direct = sys.ml_metric(&h, &y, &cand);
+            let via_qubo = reduced.ml_metric(&bits);
+            let tol = 1e-8 * (1.0 + direct.abs());
+            prop_assert!((direct - via_qubo).abs() < tol,
+                "{}: direct {direct} vs qubo {via_qubo}", m.name());
+        }
+    }
+
+    #[test]
+    fn modulate_demodulate_round_trip(seed in any::<u64>(), m in any_modulation(),
+                                      n_users in 1usize..8) {
+        let mut rng = Rng64::new(seed);
+        let sys = MimoSystem::new(n_users, n_users, m);
+        let bits = sys.random_bits(&mut rng);
+        let x = sys.modulate(&bits);
+        prop_assert_eq!(sys.demodulate(&x), bits);
+    }
+
+    #[test]
+    fn gray_natural_relabeling_is_bijective(seed in any::<u64>(), m in any_modulation()) {
+        let mut rng = Rng64::new(seed);
+        let bps = m.bits_per_symbol();
+        let bits: Vec<u8> = (0..bps).map(|_| rng.next_bool() as u8).collect();
+        let nat = m.gray_to_natural(&bits);
+        prop_assert_eq!(m.natural_to_gray(&nat), bits.clone());
+        // And both labelings denote the same symbol.
+        let via_gray = m.modulate(&bits);
+        let via_natural = m.natural_bits_to_symbol(&nat);
+        prop_assert!((via_gray - via_natural).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_instances_have_zero_residual_truth(
+        seed in any::<u64>(),
+        m in any_modulation(),
+        n_users in 1usize..5,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let cfg = InstanceConfig::paper(n_users, m);
+        let inst = DetectionInstance::generate(&cfg, &mut rng);
+        prop_assert!(inst.reduction.ml_metric(&inst.tx_natural_bits) < 1e-8);
+        prop_assert_eq!(inst.score_ber(&inst.tx_natural_bits), 0.0);
+    }
+
+    #[test]
+    fn unit_gain_channels_have_unit_entries(seed in any::<u64>(), n in 1usize..10) {
+        let mut rng = Rng64::new(seed);
+        let h = ChannelModel::UnitGainRandomPhase.generate(n, n, &mut rng);
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!((h[(r, c)].abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn llr_signs_agree_with_demodulation(seed in any::<u64>(), m in any_modulation()) {
+        let mut rng = Rng64::new(seed);
+        // A mildly perturbed constellation point: LLR signs must agree with
+        // the hard demodulation of the same point.
+        let pts = m.constellation();
+        let (_, point) = &pts[rng.next_index(pts.len())];
+        let perturbed = *point
+            + hqw_math::Complex64::new(rng.next_gaussian(), rng.next_gaussian()) * (0.05 * m.scale());
+        let hard = m.demodulate(perturbed);
+        let llrs = hqw_phy::llr::symbol_llrs(m, perturbed, 0.1);
+        for (k, &b) in hard.iter().enumerate() {
+            if llrs[k].abs() > 1e-9 {
+                let soft = if llrs[k] > 0.0 { 0u8 } else { 1u8 };
+                prop_assert_eq!(soft, b, "bit {}", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Greedy Search (GS) — the paper's classical module (§4.1).
+//!
+//! > "Initially, GS solves the QUBO with a candidate solution determined by
+//! > greedy descent. The bits are sorted in ascending order by the magnitude
+//! > of |½Q_ii + ¼Σ_{k<i} Q_ki + ¼Σ_{k>i} Q_ik|. The first bit is assigned
+//! > q_i = 0 if the corresponding magnitude is positive and 1 otherwise.
+//! > Then the procedure is iterated recursively on the remaining variables
+//! > by assigning the value that minimizes the energy of the QUBO form
+//! > considering only the variables that are set."
+//!
+//! The sort key is exactly the Ising linear field `h_i` (the paper's own
+//! footnote: "sorted by the absolute magnitude of matrix's diagonal elements
+//! in the Ising model"). Two ambiguities in the prose are exposed as options:
+//!
+//! * [`GreedyOrder`] — the text says *ascending*, but the cited greedy
+//!   descent (Venturelli & Kondratyev 2018) fixes the **largest**-magnitude
+//!   field first, which is also the variant that behaves like a descent.
+//!   Default: [`GreedyOrder::Descending`]; both are implemented and ablated.
+//! * [`GreedyVariant`] — `StaticOrder` fixes the order once from the bare
+//!   `h_i` (the literal reading); `Dynamic` re-selects the unset variable
+//!   with the strongest *effective* field (bare field plus couplings to
+//!   already-set spins) at every step. Default: `Dynamic`, matching
+//!   "iterated recursively … considering only the variables that are set".
+//!
+//! Complexity: `O(n²)` for dense problems in either variant — "nearly
+//! negligible computation time" as the paper requires of its classical stage.
+
+use crate::ising::Ising;
+use crate::model::Qubo;
+use crate::solution::spins_to_bits;
+
+/// Which end of the |field| ordering is assigned first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GreedyOrder {
+    /// Strongest field first (greedy descent; default).
+    #[default]
+    Descending,
+    /// Weakest field first (the paper's literal prose).
+    Ascending,
+}
+
+/// Whether the assignment order adapts to already-set variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GreedyVariant {
+    /// Re-select the unset variable with the strongest effective field at
+    /// every step (default).
+    #[default]
+    Dynamic,
+    /// Fix the order once from the bare Ising fields.
+    StaticOrder,
+}
+
+/// Configuration for [`greedy_search`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyConfig {
+    /// Ordering direction.
+    pub order: GreedyOrder,
+    /// Static or dynamic ordering.
+    pub variant: GreedyVariant,
+}
+
+/// Runs Greedy Search on a QUBO, returning `(bits, energy)`.
+///
+/// Deterministic: ties in field magnitude are broken by variable index, and
+/// a zero effective field assigns `q = 1` (spin up), matching the paper's
+/// "0 if the corresponding \[field\] is positive and 1 otherwise".
+pub fn greedy_search(qubo: &Qubo, config: GreedyConfig) -> (Vec<u8>, f64) {
+    let (ising, _offset) = qubo.to_ising();
+    let spins = greedy_search_ising(&ising, config);
+    let bits = spins_to_bits(&spins);
+    let energy = qubo.energy(&bits);
+    (bits, energy)
+}
+
+/// Greedy Search directly on an Ising model, returning spins.
+pub fn greedy_search_ising(ising: &Ising, config: GreedyConfig) -> Vec<i8> {
+    let n = ising.num_vars();
+    let mut spins: Vec<i8> = vec![0; n]; // 0 = unset
+                                         // Effective field of each unset variable, updated as spins are fixed.
+    let mut field: Vec<f64> = (0..n).map(|i| ising.h(i)).collect();
+    let mut set_count = 0usize;
+
+    // For the static variant, precompute the visit order from bare fields.
+    let static_order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            let (fa, fb) = (field[a].abs(), field[b].abs());
+            let cmp = fa.partial_cmp(&fb).expect("greedy: NaN field");
+            match config.order {
+                GreedyOrder::Descending => cmp.reverse().then(a.cmp(&b)),
+                GreedyOrder::Ascending => cmp.then(a.cmp(&b)),
+            }
+        });
+        idx
+    };
+    let mut static_cursor = 0usize;
+
+    while set_count < n {
+        let k = match config.variant {
+            GreedyVariant::StaticOrder => {
+                let k = static_order[static_cursor];
+                static_cursor += 1;
+                k
+            }
+            GreedyVariant::Dynamic => {
+                // Pick the unset variable with the extremal |effective field|.
+                let mut best = usize::MAX;
+                let mut best_mag = match config.order {
+                    GreedyOrder::Descending => f64::NEG_INFINITY,
+                    GreedyOrder::Ascending => f64::INFINITY,
+                };
+                for i in 0..n {
+                    if spins[i] != 0 {
+                        continue;
+                    }
+                    let mag = field[i].abs();
+                    let better = match config.order {
+                        GreedyOrder::Descending => mag > best_mag,
+                        GreedyOrder::Ascending => mag < best_mag,
+                    };
+                    if better || best == usize::MAX {
+                        best = i;
+                        best_mag = mag;
+                    }
+                }
+                best
+            }
+        };
+
+        // Assign the value minimizing the energy contribution f_k · s_k:
+        // s_k = −sign(f_k), with the zero-field tie going to +1 (q = 1).
+        let s = if field[k] > 0.0 { -1i8 } else { 1i8 };
+        spins[k] = s;
+        set_count += 1;
+
+        // Fold the fixed spin into its neighbors' effective fields.
+        for &(j, jij) in ising.neighbors(k) {
+            if spins[j] == 0 {
+                field[j] += jij * s as f64;
+            }
+        }
+    }
+    spins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exhaustive_minimum;
+    use crate::generator::random_qubo;
+    use hqw_math::Rng64;
+
+    #[test]
+    fn solves_separable_problem_exactly() {
+        // E = −q0 + 2 q1 − 3 q2: optimum is q = (1, 0, 1), E = −4.
+        let mut q = Qubo::new(3);
+        q.set(0, 0, -1.0);
+        q.set(1, 1, 2.0);
+        q.set(2, 2, -3.0);
+        let (bits, e) = greedy_search(&q, GreedyConfig::default());
+        assert_eq!(bits, vec![1, 0, 1]);
+        assert_eq!(e, -4.0);
+    }
+
+    #[test]
+    fn respects_couplings_once_first_bit_fixed() {
+        // Strong diagonal on q0 forces q0 = 1 first; then the coupling
+        // +10·q0·q1 makes q1 = 0 optimal despite its negative diagonal.
+        let mut q = Qubo::new(2);
+        q.set(0, 0, -8.0);
+        q.set(1, 1, -1.0);
+        q.set(0, 1, 10.0);
+        let (bits, e) = greedy_search(&q, GreedyConfig::default());
+        assert_eq!(bits, vec![1, 0]);
+        assert_eq!(e, -8.0);
+    }
+
+    #[test]
+    fn zero_field_assigns_one() {
+        let q = Qubo::new(2); // all-zero problem: every field is 0
+        let (bits, _) = greedy_search(&q, GreedyConfig::default());
+        assert_eq!(bits, vec![1, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut rng = Rng64::new(99);
+        let q = random_qubo(12, &mut rng);
+        let a = greedy_search(&q, GreedyConfig::default());
+        let b = greedy_search(&q, GreedyConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn energy_matches_reported_bits() {
+        let mut rng = Rng64::new(7);
+        for _ in 0..10 {
+            let q = random_qubo(10, &mut rng);
+            for order in [GreedyOrder::Descending, GreedyOrder::Ascending] {
+                for variant in [GreedyVariant::Dynamic, GreedyVariant::StaticOrder] {
+                    let (bits, e) = greedy_search(&q, GreedyConfig { order, variant });
+                    assert!((q.energy(&bits) - e).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_no_worse_than_median_random_state() {
+        // GS should comfortably beat the average random assignment. This is a
+        // statistical sanity check on 16-variable random QUBOs.
+        let mut rng = Rng64::new(21);
+        let mut wins = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let q = random_qubo(16, &mut rng);
+            let (_, e_greedy) = greedy_search(&q, GreedyConfig::default());
+            let mut rand_mean = 0.0;
+            let reads = 64;
+            for _ in 0..reads {
+                let bits: Vec<u8> = (0..16).map(|_| rng.next_bool() as u8).collect();
+                rand_mean += q.energy(&bits);
+            }
+            rand_mean /= reads as f64;
+            if e_greedy <= rand_mean {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= trials - 1,
+            "greedy lost to random mean too often: {wins}/{trials}"
+        );
+    }
+
+    #[test]
+    fn dynamic_descending_finds_optimum_on_small_instances_often() {
+        // On 8-variable random problems, dynamic/descending GS should find
+        // the exact optimum for a clear majority of instances ("a good
+        // initial guess", per the paper, though "often not the global
+        // optimum").
+        let mut rng = Rng64::new(3);
+        let mut hits = 0;
+        let trials = 30;
+        for _ in 0..trials {
+            let q = random_qubo(8, &mut rng);
+            let (_, e_greedy) = greedy_search(&q, GreedyConfig::default());
+            let (_, e_best) = exhaustive_minimum(&q);
+            if (e_greedy - e_best).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > trials,
+            "greedy optimum rate too low: {hits}/{trials}"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Sparse Ising model: `E(s) = Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j`, `s ∈ {−1,+1}ⁿ`.
+//!
+//! This is the form annealing hardware programs natively. Storage is an
+//! adjacency list (each edge mirrored into both endpoints' lists) so that
+//! local fields — the inner loop of every Monte-Carlo engine — cost
+//! `O(degree)` rather than `O(n)`. Hardware graphs (Chimera) are sparse;
+//! logical MIMO problems are dense but small, so adjacency lists serve both.
+
+use std::collections::HashMap;
+
+/// A sparse Ising problem over ±1 spins.
+#[derive(Clone, Debug, Default)]
+pub struct Ising {
+    h: Vec<f64>,
+    /// Mirrored adjacency: `adj[i]` holds `(j, J_ij)` for every neighbor `j`.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Canonical edge list (`i < j`).
+    edges: Vec<(usize, usize, f64)>,
+    /// Edge lookup: canonical pair → index into `edges`.
+    edge_index: HashMap<(usize, usize), usize>,
+}
+
+impl Ising {
+    /// Creates an Ising model over `n` spins with zero fields and couplings.
+    pub fn new(n: usize) -> Self {
+        Ising {
+            h: vec![0.0; n],
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
+        }
+    }
+
+    /// Number of spins.
+    pub fn num_vars(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Linear field `h_i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn h(&self, i: usize) -> f64 {
+        self.h[i]
+    }
+
+    /// All linear fields.
+    pub fn h_slice(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// Sets `h_i`.
+    pub fn set_h(&mut self, i: usize, value: f64) {
+        self.h[i] = value;
+    }
+
+    /// Adds to `h_i`.
+    pub fn add_h(&mut self, i: usize, value: f64) {
+        self.h[i] += value;
+    }
+
+    /// Coupling `J_ij` (0 when absent).
+    ///
+    /// # Panics
+    /// Panics when `i == j` or an index is out of range.
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "Ising::coupling: self-coupling is not allowed");
+        assert!(i < self.num_vars() && j < self.num_vars());
+        let key = (i.min(j), i.max(j));
+        self.edge_index
+            .get(&key)
+            .map(|&idx| self.edges[idx].2)
+            .unwrap_or(0.0)
+    }
+
+    /// Sets coupling `J_ij`, creating or updating the edge.
+    ///
+    /// Setting an existing edge to zero keeps the edge with weight zero (the
+    /// topology is preserved; useful when perturbing programmed weights).
+    ///
+    /// # Panics
+    /// Panics when `i == j` or an index is out of range.
+    pub fn set_coupling(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i != j, "Ising::set_coupling: self-coupling is not allowed");
+        assert!(i < self.num_vars() && j < self.num_vars());
+        let key = (i.min(j), i.max(j));
+        if let Some(&idx) = self.edge_index.get(&key) {
+            self.edges[idx].2 = value;
+            for &(node, other) in &[(i, j), (j, i)] {
+                for entry in &mut self.adj[node] {
+                    if entry.0 == other {
+                        entry.1 = value;
+                        break;
+                    }
+                }
+            }
+        } else {
+            self.edge_index.insert(key, self.edges.len());
+            self.edges.push((key.0, key.1, value));
+            self.adj[i].push((j, value));
+            self.adj[j].push((i, value));
+        }
+    }
+
+    /// Adds to coupling `J_ij`, creating the edge when absent.
+    pub fn add_coupling(&mut self, i: usize, j: usize, value: f64) {
+        let current = self.coupling(i, j);
+        self.set_coupling(i, j, current + value);
+    }
+
+    /// Canonical edge list `(i, j, J_ij)` with `i < j`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Neighbors of spin `i` as `(j, J_ij)` pairs.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.adj[i]
+    }
+
+    /// Degree of spin `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Evaluates the Ising energy of a ±1 assignment.
+    ///
+    /// # Panics
+    /// Panics when `spins.len() != num_vars()` (debug builds also check each
+    /// entry is ±1).
+    pub fn energy(&self, spins: &[i8]) -> f64 {
+        assert_eq!(
+            spins.len(),
+            self.num_vars(),
+            "Ising::energy: state length mismatch"
+        );
+        debug_assert!(spins.iter().all(|&s| s == 1 || s == -1), "spins must be ±1");
+        let mut e = 0.0;
+        for (i, &hi) in self.h.iter().enumerate() {
+            e += hi * spins[i] as f64;
+        }
+        for &(i, j, jij) in &self.edges {
+            e += jij * spins[i] as f64 * spins[j] as f64;
+        }
+        e
+    }
+
+    /// Local field at spin `k`: `h_k + Σ_j J_kj s_j`.
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or `k` is out of range.
+    #[inline]
+    pub fn local_field(&self, spins: &[i8], k: usize) -> f64 {
+        debug_assert_eq!(spins.len(), self.num_vars());
+        let mut f = self.h[k];
+        for &(j, jij) in &self.adj[k] {
+            f += jij * spins[j] as f64;
+        }
+        f
+    }
+
+    /// Energy change from flipping spin `k`: `ΔE = −2 s_k · local_field(k)`.
+    #[inline]
+    pub fn flip_delta(&self, spins: &[i8], k: usize) -> f64 {
+        -2.0 * spins[k] as f64 * self.local_field(spins, k)
+    }
+
+    /// Largest absolute linear field (0 when empty).
+    pub fn max_abs_h(&self) -> f64 {
+        self.h.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Largest absolute coupling (0 when there are no edges).
+    pub fn max_abs_j(&self) -> f64 {
+        self.edges.iter().map(|e| e.2.abs()).fold(0.0, f64::max)
+    }
+
+    /// Uniformly rescales all fields and couplings.
+    pub fn scale(&mut self, k: f64) {
+        for h in &mut self.h {
+            *h *= k;
+        }
+        for e in &mut self.edges {
+            e.2 *= k;
+        }
+        for row in &mut self.adj {
+            for entry in row {
+                entry.1 *= k;
+            }
+        }
+    }
+
+    /// Rescales so that `max(max|h|, max|J|) == 1` (no-op for an all-zero
+    /// problem). This mirrors the auto-scaling D-Wave front ends apply before
+    /// programming, and returns the applied factor.
+    pub fn normalize(&mut self) -> f64 {
+        let m = f64::max(self.max_abs_h(), self.max_abs_j());
+        if m > 0.0 {
+            self.scale(1.0 / m);
+            1.0 / m
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-spin ferromagnet with a field: E = s0 − s1 − 2 s0 s1.
+    fn tiny() -> Ising {
+        let mut ising = Ising::new(2);
+        ising.set_h(0, 1.0);
+        ising.set_h(1, -1.0);
+        ising.set_coupling(0, 1, -2.0);
+        ising
+    }
+
+    #[test]
+    fn energy_of_all_states() {
+        let m = tiny();
+        assert_eq!(m.energy(&[1, 1]), -2.0);
+        assert_eq!(m.energy(&[1, -1]), 4.0);
+        assert_eq!(m.energy(&[-1, 1]), 0.0);
+        assert_eq!(m.energy(&[-1, -1]), -2.0);
+    }
+
+    #[test]
+    fn local_field_and_flip_delta_consistent() {
+        let m = tiny();
+        for s0 in [-1i8, 1] {
+            for s1 in [-1i8, 1] {
+                let spins = [s0, s1];
+                for k in 0..2 {
+                    let mut flipped = spins;
+                    flipped[k] = -flipped[k];
+                    let expected = m.energy(&flipped) - m.energy(&spins);
+                    assert!(
+                        (m.flip_delta(&spins, k) - expected).abs() < 1e-12,
+                        "delta mismatch at {spins:?} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_is_symmetric_and_updatable() {
+        let mut m = tiny();
+        assert_eq!(m.coupling(0, 1), -2.0);
+        assert_eq!(m.coupling(1, 0), -2.0);
+        m.add_coupling(1, 0, 0.5);
+        assert_eq!(m.coupling(0, 1), -1.5);
+        // Adjacency mirrors stay in sync.
+        assert_eq!(m.neighbors(0), &[(1usize, -1.5)]);
+        assert_eq!(m.neighbors(1), &[(0usize, -1.5)]);
+    }
+
+    #[test]
+    fn absent_coupling_reads_zero() {
+        let m = Ising::new(3);
+        assert_eq!(m.coupling(0, 2), 0.0);
+        assert_eq!(m.degree(0), 0);
+    }
+
+    #[test]
+    fn setting_edge_to_zero_preserves_topology() {
+        let mut m = tiny();
+        m.set_coupling(0, 1, 0.0);
+        assert_eq!(m.coupling(0, 1), 0.0);
+        assert_eq!(m.degree(0), 1, "edge should remain in the graph");
+    }
+
+    #[test]
+    fn normalize_caps_magnitudes_at_one() {
+        let mut m = tiny();
+        let factor = m.normalize();
+        assert!((factor - 0.5).abs() < 1e-12);
+        assert!((m.max_abs_j() - 1.0).abs() < 1e-12);
+        assert!((m.max_abs_h() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_empty_is_noop() {
+        let mut m = Ising::new(4);
+        assert_eq!(m.normalize(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_panics() {
+        Ising::new(2).set_coupling(1, 1, 1.0);
+    }
+}

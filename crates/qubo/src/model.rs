@@ -1,0 +1,330 @@
+//! Dense QUBO model (the paper's Eq. 1).
+//!
+//! Storage is the upper triangle (including the diagonal) in row-major
+//! order, matching the paper's convention that `Q ∈ ℝ^{N×N}` is upper
+//! triangular: linear terms live on the diagonal (`q² = q` for binary
+//! variables) and each pair interaction is stored once at `(min, max)`.
+
+use crate::ising::Ising;
+
+/// A QUBO problem: minimize `E(q) = Σ_{i≤j} Q_ij q_i q_j` over `q ∈ {0,1}ⁿ`.
+#[derive(Clone, PartialEq)]
+pub struct Qubo {
+    n: usize,
+    /// Upper-triangular coefficients, row-major:
+    /// `(i,j)` with `j ≥ i` lives at `i·n − i(i−1)/2 + (j − i)`.
+    coeffs: Vec<f64>,
+}
+
+impl std::fmt::Debug for Qubo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Qubo(n={}, nnz={}, max|Q|={:.4})",
+            self.n,
+            self.nonzero_count(),
+            self.max_abs_coeff()
+        )
+    }
+}
+
+impl Qubo {
+    /// Creates an all-zero QUBO over `n` variables.
+    pub fn new(n: usize) -> Self {
+        Qubo {
+            n,
+            coeffs: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn tri_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.n);
+        // Row i starts after Σ_{r<i}(n−r) = i(2n−i+1)/2 entries.
+        i * (2 * self.n - i + 1) / 2 + (j - i)
+    }
+
+    /// Coefficient `Q_ij`; the index pair is canonicalized, so `get(3, 1)`
+    /// returns the stored `Q_{1,3}`.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "Qubo::get: index out of range");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        self.coeffs[self.tri_index(a, b)]
+    }
+
+    /// Sets coefficient `Q_ij` (indices canonicalized).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "Qubo::set: index out of range");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        let idx = self.tri_index(a, b);
+        self.coeffs[idx] = value;
+    }
+
+    /// Adds to coefficient `Q_ij` (indices canonicalized).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "Qubo::add: index out of range");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        let idx = self.tri_index(a, b);
+        self.coeffs[idx] += value;
+    }
+
+    /// Linear (diagonal) coefficient `Q_ii`.
+    #[inline]
+    pub fn diagonal(&self, i: usize) -> f64 {
+        self.get(i, i)
+    }
+
+    /// Off-diagonal coupling between two distinct variables (symmetric view).
+    ///
+    /// # Panics
+    /// Panics when `i == j` or an index is out of range.
+    #[inline]
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "Qubo::coupling: i == j has no coupling");
+        self.get(i, j)
+    }
+
+    /// Evaluates the QUBO energy of a 0/1 assignment.
+    ///
+    /// # Panics
+    /// Panics when `bits.len() != num_vars()` (debug builds also check that
+    /// each entry is 0 or 1).
+    pub fn energy(&self, bits: &[u8]) -> f64 {
+        assert_eq!(bits.len(), self.n, "Qubo::energy: state length mismatch");
+        debug_assert!(bits.iter().all(|&b| b <= 1), "bits must be 0/1");
+        let mut e = 0.0;
+        let mut idx = 0;
+        for i in 0..self.n {
+            if bits[i] == 0 {
+                idx += self.n - i;
+                continue;
+            }
+            // q_i = 1: add Q_ii and all Q_ij with q_j = 1, j > i.
+            e += self.coeffs[idx];
+            for j in i + 1..self.n {
+                if bits[j] == 1 {
+                    e += self.coeffs[idx + (j - i)];
+                }
+            }
+            idx += self.n - i;
+        }
+        e
+    }
+
+    /// Energy change from flipping bit `k` in `bits` (without applying it).
+    ///
+    /// `ΔE = (1 − 2 q_k) · (Q_kk + Σ_{j≠k} Q̃_kj q_j)` where `Q̃` is the
+    /// symmetric view of the couplings.
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or `k` is out of range.
+    pub fn flip_delta(&self, bits: &[u8], k: usize) -> f64 {
+        assert_eq!(bits.len(), self.n, "Qubo::flip_delta: length mismatch");
+        assert!(k < self.n, "Qubo::flip_delta: index out of range");
+        let mut field = self.diagonal(k);
+        for j in 0..self.n {
+            if j != k && bits[j] == 1 {
+                field += self.get(k, j);
+            }
+        }
+        let sign = 1.0 - 2.0 * bits[k] as f64;
+        sign * field
+    }
+
+    /// Largest absolute coefficient (0 for an empty problem).
+    pub fn max_abs_coeff(&self) -> f64 {
+        self.coeffs.iter().map(|c| c.abs()).fold(0.0, f64::max)
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn nonzero_count(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// Uniformly rescales every coefficient.
+    pub fn scale(&mut self, k: f64) {
+        for c in &mut self.coeffs {
+            *c *= k;
+        }
+    }
+
+    /// Converts to the Ising form. Returns `(ising, offset)` such that for
+    /// every assignment, `qubo.energy(q) = ising.energy(s) + offset` with
+    /// `s_i = 2 q_i − 1`.
+    pub fn to_ising(&self) -> (Ising, f64) {
+        let n = self.n;
+        let mut ising = Ising::new(n);
+        let mut offset = 0.0;
+        for i in 0..n {
+            let d = self.diagonal(i);
+            ising.add_h(i, d / 2.0);
+            offset += d / 2.0;
+            for j in i + 1..n {
+                let c = self.get(i, j);
+                if c != 0.0 {
+                    ising.add_coupling(i, j, c / 4.0);
+                    ising.add_h(i, c / 4.0);
+                    ising.add_h(j, c / 4.0);
+                    offset += c / 4.0;
+                }
+            }
+        }
+        (ising, offset)
+    }
+
+    /// Builds a QUBO from an Ising model (inverse of [`Qubo::to_ising`]).
+    ///
+    /// Substituting `s = 2q − 1`:
+    ///
+    /// ```text
+    ///   Σ h_i s_i      → Σ 2 h_i q_i − Σ h_i
+    ///   Σ J_ij s_i s_j → Σ (4 J_ij q_i q_j − 2 J_ij q_i − 2 J_ij q_j) + Σ J_ij
+    /// ```
+    ///
+    /// A QUBO has no constant term, so the conversion returns
+    /// `(qubo, constant)` with `qubo.energy(q) + constant = ising.energy(s) + offset`
+    /// for every assignment. Round-tripping a QUBO through
+    /// [`Qubo::to_ising`] yields `constant == 0`.
+    pub fn from_ising_with_constant(ising: &Ising, offset: f64) -> (Qubo, f64) {
+        let n = ising.num_vars();
+        let mut q = Qubo::new(n);
+        let mut constant = offset;
+        for i in 0..n {
+            q.add(i, i, 2.0 * ising.h(i));
+            constant -= ising.h(i);
+        }
+        for &(i, j, jij) in ising.edges() {
+            q.add(i, j, 4.0 * jij);
+            q.add(i, i, -2.0 * jij);
+            q.add(j, j, -2.0 * jij);
+            constant += jij;
+        }
+        (q, constant)
+    }
+
+    /// Iterates over non-zero entries as `(i, j, value)` with `i ≤ j`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (i..self.n).filter_map(move |j| {
+                let v = self.get(i, j);
+                (v != 0.0).then_some((i, j, v))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::bits_to_spins;
+
+    /// 2-variable QUBO with known landscape:
+    /// E = q0 − 2 q1 + 3 q0 q1  →  E(00)=0, E(10)=1, E(01)=−2, E(11)=2.
+    fn tiny() -> Qubo {
+        let mut q = Qubo::new(2);
+        q.set(0, 0, 1.0);
+        q.set(1, 1, -2.0);
+        q.set(0, 1, 3.0);
+        q
+    }
+
+    #[test]
+    fn energy_of_all_states() {
+        let q = tiny();
+        assert_eq!(q.energy(&[0, 0]), 0.0);
+        assert_eq!(q.energy(&[1, 0]), 1.0);
+        assert_eq!(q.energy(&[0, 1]), -2.0);
+        assert_eq!(q.energy(&[1, 1]), 2.0);
+    }
+
+    #[test]
+    fn get_canonicalizes_indices() {
+        let q = tiny();
+        assert_eq!(q.get(1, 0), 3.0);
+        assert_eq!(q.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_full_recompute() {
+        let q = tiny();
+        for bits in [[0u8, 0], [1, 0], [0, 1], [1, 1]] {
+            for k in 0..2 {
+                let mut flipped = bits;
+                flipped[k] ^= 1;
+                let expected = q.energy(&flipped) - q.energy(&bits);
+                assert!((q.flip_delta(&bits, k) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ising_round_trip_preserves_energy() {
+        let q = tiny();
+        let (ising, offset) = q.to_ising();
+        for bits in [[0u8, 0], [1, 0], [0, 1], [1, 1]] {
+            let spins = bits_to_spins(&bits);
+            assert!(
+                (q.energy(&bits) - (ising.energy(&spins) + offset)).abs() < 1e-12,
+                "mismatch at {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_ising_with_constant_round_trips() {
+        let q = tiny();
+        let (ising, offset) = q.to_ising();
+        let (q2, constant) = Qubo::from_ising_with_constant(&ising, offset);
+        assert!(constant.abs() < 1e-12, "QUBO→Ising→QUBO constant leak");
+        for bits in [[0u8, 0], [1, 0], [0, 1], [1, 1]] {
+            assert!((q.energy(&bits) - q2.energy(&bits)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut q = Qubo::new(3);
+        q.add(2, 0, 1.5);
+        q.add(0, 2, 2.5);
+        assert_eq!(q.get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let q = tiny();
+        assert_eq!(q.nonzero_count(), 3);
+        assert_eq!(q.max_abs_coeff(), 3.0);
+        let entries: Vec<_> = q.iter_nonzero().collect();
+        assert_eq!(entries, vec![(0, 0, 1.0), (0, 1, 3.0), (1, 1, -2.0)]);
+    }
+
+    #[test]
+    fn scale_multiplies_energy() {
+        let mut q = tiny();
+        q.scale(2.0);
+        assert_eq!(q.energy(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn energy_rejects_wrong_length() {
+        tiny().energy(&[0, 1, 0]);
+    }
+}

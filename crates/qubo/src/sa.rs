@@ -1,0 +1,201 @@
+//! Classical simulated annealing (SA) sampler.
+//!
+//! SA is the classical counterpart of the quantum annealers in `hqw-anneal`:
+//! single-spin Metropolis dynamics on the Ising form with a geometric
+//! inverse-temperature ramp. It serves as (a) the classical reference point
+//! for the hybrid comparisons, and (b) the workhorse for certifying ground
+//! energies on instances too large to enumerate.
+
+use crate::ising::Ising;
+use crate::model::Qubo;
+use crate::solution::{spins_to_bits, SampleSet};
+use hqw_math::Rng64;
+
+/// Simulated-annealing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SaParams {
+    /// Initial inverse temperature `β₀` (hot).
+    pub beta_initial: f64,
+    /// Final inverse temperature `β₁` (cold).
+    pub beta_final: f64,
+    /// Number of full sweeps over all spins.
+    pub sweeps: usize,
+    /// Number of independent reads.
+    pub num_reads: usize,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            beta_initial: 0.1,
+            beta_final: 10.0,
+            sweeps: 128,
+            num_reads: 32,
+        }
+    }
+}
+
+impl SaParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on non-positive betas, `beta_final < beta_initial`, zero
+    /// sweeps, or zero reads.
+    pub fn validate(&self) {
+        assert!(
+            self.beta_initial > 0.0,
+            "SaParams: beta_initial must be > 0"
+        );
+        assert!(
+            self.beta_final >= self.beta_initial,
+            "SaParams: beta_final must be ≥ beta_initial"
+        );
+        assert!(self.sweeps > 0, "SaParams: sweeps must be > 0");
+        assert!(self.num_reads > 0, "SaParams: num_reads must be > 0");
+    }
+}
+
+/// One SA read on an Ising model starting from `start` spins.
+/// Returns the final spin configuration.
+pub fn sa_read_ising(ising: &Ising, params: &SaParams, start: &[i8], rng: &mut Rng64) -> Vec<i8> {
+    params.validate();
+    let n = ising.num_vars();
+    assert_eq!(start.len(), n, "sa_read_ising: start length mismatch");
+    let mut spins = start.to_vec();
+    if n == 0 {
+        return spins;
+    }
+    // Geometric β ladder: β_t = β₀ · r^t with r chosen to land on β₁.
+    let ratio = if params.sweeps > 1 {
+        (params.beta_final / params.beta_initial).powf(1.0 / (params.sweeps - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut beta = params.beta_initial;
+    for _ in 0..params.sweeps {
+        for k in 0..n {
+            let delta = ising.flip_delta(&spins, k);
+            if delta <= 0.0 || rng.next_f64() < (-beta * delta).exp() {
+                spins[k] = -spins[k];
+            }
+        }
+        beta *= ratio;
+    }
+    spins
+}
+
+/// Samples a QUBO with SA: `num_reads` independent reads from uniform random
+/// starts, aggregated into a [`SampleSet`] with QUBO energies.
+pub fn sample_qubo(qubo: &Qubo, params: &SaParams, rng: &mut Rng64) -> SampleSet {
+    params.validate();
+    let (ising, _offset) = qubo.to_ising();
+    let n = qubo.num_vars();
+    let reads = (0..params.num_reads).map(|_| {
+        let start: Vec<i8> = (0..n)
+            .map(|_| if rng.next_bool() { 1 } else { -1 })
+            .collect();
+        let spins = sa_read_ising(&ising, params, &start, rng);
+        let bits = spins_to_bits(&spins);
+        let energy = qubo.energy(&bits);
+        (bits, energy)
+    });
+    SampleSet::from_reads(reads)
+}
+
+/// Best-effort ground-state search: SA with an aggressive schedule and many
+/// reads, refined by steepest descent. Returns `(bits, energy)`.
+///
+/// Used to certify ground energies where enumeration is infeasible; for the
+/// paper's noiseless MIMO instances the analytic ground state is available
+/// and this function is a cross-check.
+pub fn intensive_search(qubo: &Qubo, num_reads: usize, rng: &mut Rng64) -> (Vec<u8>, f64) {
+    let params = SaParams {
+        beta_initial: 0.05,
+        beta_final: 20.0,
+        sweeps: 256,
+        num_reads,
+    };
+    let set = sample_qubo(qubo, &params, rng);
+    let best = set.best().expect("intensive_search: no samples");
+    let (bits, energy, _) = crate::local::steepest_descent(qubo, &best.bits);
+    (bits, energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exhaustive_minimum;
+    use crate::generator::{planted_qubo, random_qubo};
+
+    #[test]
+    fn sa_finds_optimum_on_small_problems() {
+        let mut rng = Rng64::new(31);
+        for _ in 0..5 {
+            let q = random_qubo(12, &mut rng);
+            let (_, e_best) = exhaustive_minimum(&q);
+            let set = sample_qubo(&q, &SaParams::default(), &mut rng);
+            assert!(
+                (set.best_energy() - e_best).abs() < 1e-9,
+                "SA missed the optimum: {} vs {e_best}",
+                set.best_energy()
+            );
+        }
+    }
+
+    #[test]
+    fn sa_finds_planted_optimum_at_larger_size() {
+        let mut rng = Rng64::new(33);
+        let (q, planted) = planted_qubo(40, 120, &mut rng);
+        let e_planted = q.energy(&planted);
+        let (_, e_found) = intensive_search(&q, 16, &mut rng);
+        assert!(
+            e_found <= e_planted + 1e-9,
+            "SA should reach the planted optimum: found {e_found}, planted {e_planted}"
+        );
+    }
+
+    #[test]
+    fn sample_set_counts_match_reads() {
+        let mut rng = Rng64::new(35);
+        let q = random_qubo(8, &mut rng);
+        let params = SaParams {
+            num_reads: 17,
+            ..SaParams::default()
+        };
+        let set = sample_qubo(&q, &params, &mut rng);
+        assert_eq!(set.total_reads(), 17);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = random_qubo(10, &mut Rng64::new(1));
+        let a = sample_qubo(&q, &SaParams::default(), &mut Rng64::new(2));
+        let b = sample_qubo(&q, &SaParams::default(), &mut Rng64::new(2));
+        assert_eq!(a.best().unwrap().bits, b.best().unwrap().bits);
+        assert_eq!(a.total_reads(), b.total_reads());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta_final")]
+    fn invalid_params_panic() {
+        let params = SaParams {
+            beta_initial: 5.0,
+            beta_final: 1.0,
+            ..SaParams::default()
+        };
+        params.validate();
+    }
+
+    #[test]
+    fn single_sweep_is_accepted() {
+        let mut rng = Rng64::new(37);
+        let q = random_qubo(6, &mut rng);
+        let params = SaParams {
+            sweeps: 1,
+            num_reads: 4,
+            ..SaParams::default()
+        };
+        let set = sample_qubo(&q, &params, &mut rng);
+        assert_eq!(set.total_reads(), 4);
+    }
+}
