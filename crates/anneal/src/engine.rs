@@ -152,57 +152,6 @@ pub trait AnnealEngine: Send + Sync {
     ) -> Vec<i8>;
 }
 
-/// Flattened CSR view of an Ising problem for hot loops.
-///
-/// `Ising`'s adjacency is `Vec<Vec<(usize, f64)>>`; engines convert once per
-/// read to contiguous arrays (conversion is `O(edges)`, negligible next to
-/// the sweep work).
-#[derive(Debug, Clone)]
-pub(crate) struct FlatIsing {
-    pub n: usize,
-    pub h: Vec<f64>,
-    /// Neighbor list offsets: neighbors of `i` live at `offsets[i]..offsets[i+1]`.
-    pub offsets: Vec<u32>,
-    pub neighbors: Vec<u32>,
-    pub weights: Vec<f64>,
-}
-
-impl FlatIsing {
-    pub fn from_ising(ising: &Ising) -> Self {
-        let n = ising.num_vars();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::new();
-        let mut weights = Vec::new();
-        offsets.push(0u32);
-        for i in 0..n {
-            for &(j, w) in ising.neighbors(i) {
-                neighbors.push(j as u32);
-                weights.push(w);
-            }
-            offsets.push(neighbors.len() as u32);
-        }
-        FlatIsing {
-            n,
-            h: ising.h_slice().to_vec(),
-            offsets,
-            neighbors,
-            weights,
-        }
-    }
-
-    /// Local field `h_i + Σ_j J_ij s_j` over an arbitrary spin slice.
-    #[inline]
-    pub fn local_field(&self, spins: &[i8], i: usize) -> f64 {
-        let mut f = self.h[i];
-        let lo = self.offsets[i] as usize;
-        let hi = self.offsets[i + 1] as usize;
-        for k in lo..hi {
-            f += self.weights[k] * spins[self.neighbors[k] as usize] as f64;
-        }
-        f
-    }
-}
-
 /// Validates and resolves the initial state for a schedule.
 ///
 /// # Panics
@@ -228,16 +177,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn flat_ising_local_fields_match_sparse() {
+    fn csr_local_fields_match_sparse() {
+        // The engines sweep over the shared CSR representation; its fields
+        // must agree with the adjacency-list model they are built from.
         let mut rng = Rng64::new(3);
         let q = hqw_qubo::generator::random_qubo(12, &mut rng);
         let (ising, _) = q.to_ising();
-        let flat = FlatIsing::from_ising(&ising);
+        let csr = hqw_qubo::CsrIsing::from_ising(&ising);
         let spins: Vec<i8> = (0..12)
             .map(|_| if rng.next_bool() { 1 } else { -1 })
             .collect();
         for i in 0..12 {
-            assert!((flat.local_field(&spins, i) - ising.local_field(&spins, i)).abs() < 1e-12);
+            assert!((csr.local_field(&spins, i) - ising.local_field(&spins, i)).abs() < 1e-12);
         }
     }
 

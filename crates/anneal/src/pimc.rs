@@ -25,10 +25,10 @@
 //! the state; at `s = 1` slices agree except for rare unfrozen sites).
 
 use crate::dwave::DWaveProfile;
-use crate::engine::{resolve_initial, AnnealEngine, AnnealParams, FlatIsing};
+use crate::engine::{resolve_initial, AnnealEngine, AnnealParams};
 use crate::schedule::AnnealSchedule;
 use hqw_math::Rng64;
-use hqw_qubo::Ising;
+use hqw_qubo::{CsrIsing, Ising};
 
 /// Cap on the inter-slice coupling: beyond this the alignment Boltzmann
 /// penalty (`e^{−4·J⊥}` ≈ 10⁻³⁵) is indistinguishable from frozen.
@@ -117,8 +117,8 @@ impl AnnealEngine for PimcEngine {
         rng: &mut Rng64,
     ) -> Vec<i8> {
         params.validate();
-        let flat = FlatIsing::from_ising(problem);
-        let n = flat.n;
+        let csr = CsrIsing::from_ising(problem);
+        let n = csr.num_vars();
         let p = self.trotter_slices;
         if n == 0 {
             return Vec::new();
@@ -134,6 +134,25 @@ impl AnnealEngine for PimcEngine {
             None => (0..p * n)
                 .map(|_| if rng.next_bool() { 1 } else { -1 })
                 .collect(),
+        };
+
+        // Incrementally-maintained classical local fields per (slice, site):
+        // h_eff[k*n + i] = h_i + Σ_j J_ij s_{j,k}. Proposals read them in
+        // O(1); only accepted flips pay an O(degree) neighbor update.
+        let mut h_eff: Vec<f64> = vec![0.0; p * n];
+        for k in 0..p {
+            csr.fill_local_fields(&spins[k * n..(k + 1) * n], &mut h_eff[k * n..(k + 1) * n]);
+        }
+        // Flips spin (slice base, site i) and folds its sign change into the
+        // cached fields of its in-slice neighbors.
+        let flip_and_update = |spins: &mut [i8], h_eff: &mut [f64], base: usize, i: usize| {
+            let s_new = -spins[base + i];
+            spins[base + i] = s_new;
+            let ds = 2.0 * s_new as f64;
+            let (cols, ws) = csr.row(i);
+            for (&j, &w) in cols.iter().zip(ws) {
+                h_eff[base + j as usize] += w * ds;
+            }
         };
 
         let total_sweeps = params.total_sweeps(schedule);
@@ -158,7 +177,7 @@ impl AnnealEngine for PimcEngine {
                 let base = k * n;
                 for i in 0..n {
                     let sik = spins[base + i] as f64;
-                    let field = flat.local_field(&spins[base..base + n], i);
+                    let field = h_eff[base + i];
                     let time_neighbors = (spins[up * n + i] + spins[down * n + i]) as f64;
                     // Δ action for flipping s_{i,k}: the slice energy changes
                     // by −2·s·field and each time link by +2·J⊥·s·neighbor.
@@ -169,7 +188,7 @@ impl AnnealEngine for PimcEngine {
                         gate * (-delta).exp()
                     };
                     if rng.next_f64() < accept {
-                        spins[base + i] = -spins[base + i];
+                        flip_and_update(&mut spins, &mut h_eff, base, i);
                     }
                 }
             }
@@ -214,11 +233,12 @@ impl AnnealEngine for PimcEngine {
                         k = prev;
                     }
                     // Classical action change of flipping the whole segment.
+                    // The cached fields of site i never contain s_i itself
+                    // (no self-coupling), so the per-slice deltas are
+                    // independent and can all be read before flipping.
                     let mut delta = 0.0;
                     for &kk in &members {
-                        let base = kk * n;
-                        let field = flat.local_field(&spins[base..base + n], i);
-                        delta += -2.0 * s0 as f64 * k_cl * field;
+                        delta += -2.0 * s0 as f64 * k_cl * h_eff[kk * n + i];
                     }
                     let accept = if delta <= 0.0 {
                         gate
@@ -227,7 +247,7 @@ impl AnnealEngine for PimcEngine {
                     };
                     if rng.next_f64() < accept {
                         for &kk in &members {
-                            spins[kk * n + i] = -spins[kk * n + i];
+                            flip_and_update(&mut spins, &mut h_eff, kk * n, i);
                         }
                     }
                 }
@@ -241,8 +261,7 @@ impl AnnealEngine for PimcEngine {
                     for k in 0..p {
                         let base = k * n;
                         let sik = spins[base + i] as f64;
-                        let field = flat.local_field(&spins[base..base + n], i);
-                        delta += -2.0 * sik * k_cl * field;
+                        delta += -2.0 * sik * k_cl * h_eff[base + i];
                     }
                     let accept = if delta <= 0.0 {
                         gate
@@ -251,7 +270,7 @@ impl AnnealEngine for PimcEngine {
                     };
                     if rng.next_f64() < accept {
                         for k in 0..p {
-                            spins[k * n + i] = -spins[k * n + i];
+                            flip_and_update(&mut spins, &mut h_eff, k * n, i);
                         }
                     }
                 }

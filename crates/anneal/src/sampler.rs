@@ -14,7 +14,7 @@
 //!   ([`IceModel`]), while reported energies are evaluated on the *intended*
 //!   problem, as the D-Wave stack does.
 //! * **Parallel reads** — reads are independent, so they fan out across
-//!   threads (crossbeam scoped threads); per-read RNG streams are derived
+//!   threads (std scoped threads); per-read RNG streams are derived
 //!   from the seed, making results bit-identical regardless of thread count.
 //! * **QPU time accounting** — programming / per-read anneal / readout
 //!   charges, in *programmed microseconds*; the paper's TTS metric consumes
@@ -26,6 +26,7 @@ use crate::noise::IceModel;
 use crate::pimc::PimcEngine;
 use crate::schedule::AnnealSchedule;
 use crate::svmc::SvmcEngine;
+use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::Rng64;
 use hqw_qubo::solution::{bits_to_spins, spins_to_bits};
 use hqw_qubo::{Ising, Qubo, SampleSet};
@@ -94,15 +95,6 @@ impl SamplerConfig {
         }
     }
 
-    fn resolve_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
 }
 
 /// QPU-time accounting for one submission (all values in microseconds).
@@ -313,10 +305,7 @@ impl QuantumSampler {
             .map(|_| master.next_u64())
             .collect();
 
-        let threads = self.config.resolve_threads().min(self.config.num_reads);
-        let mut states: Vec<Option<Vec<i8>>> = vec![None; self.config.num_reads];
-
-        let run_one = |read_seed: u64| -> Vec<i8> {
+        parallel_map_indexed(&read_seeds, self.config.threads, |_, &read_seed| {
             let mut rng = Rng64::new(read_seed);
             let engine: Box<dyn AnnealEngine> = match self.config.engine {
                 EngineKind::Pimc { trotter_slices } => Box::new(PimcEngine::new(trotter_slices)),
@@ -335,33 +324,7 @@ impl QuantumSampler {
                 initial,
                 &mut rng,
             )
-        };
-
-        if threads <= 1 {
-            for (slot, &read_seed) in states.iter_mut().zip(&read_seeds) {
-                *slot = Some(run_one(read_seed));
-            }
-        } else {
-            let chunk = self.config.num_reads.div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for (slot_chunk, seed_chunk) in
-                    states.chunks_mut(chunk).zip(read_seeds.chunks(chunk))
-                {
-                    let run_one = &run_one;
-                    scope.spawn(move |_| {
-                        for (slot, &read_seed) in slot_chunk.iter_mut().zip(seed_chunk) {
-                            *slot = Some(run_one(read_seed));
-                        }
-                    });
-                }
-            })
-            .expect("sampler worker thread panicked");
-        }
-
-        states
-            .into_iter()
-            .map(|s| s.expect("all reads completed"))
-            .collect()
+        })
     }
 }
 

@@ -20,10 +20,16 @@
 //! poles; readout is `sign(cos θ)`.
 
 use crate::dwave::DWaveProfile;
-use crate::engine::{resolve_initial, AnnealEngine, AnnealParams, FlatIsing};
+use crate::engine::{resolve_initial, AnnealEngine, AnnealParams};
 use crate::schedule::AnnealSchedule;
 use hqw_math::Rng64;
-use hqw_qubo::Ising;
+use hqw_qubo::{CsrIsing, Ising};
+
+/// Rebuild the cached mean fields from scratch every this many sweeps: the
+/// incremental updates accumulate float rounding (cos values are not exactly
+/// representable), and a periodic refresh bounds the drift without touching
+/// the per-proposal O(1) cost.
+const FIELD_REFRESH_SWEEPS: usize = 64;
 
 /// Spin-vector Monte Carlo engine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,8 +50,8 @@ impl AnnealEngine for SvmcEngine {
         rng: &mut Rng64,
     ) -> Vec<i8> {
         params.validate();
-        let flat = FlatIsing::from_ising(problem);
-        let n = flat.n;
+        let csr = CsrIsing::from_ising(problem);
+        let n = csr.num_vars();
         if n == 0 {
             return Vec::new();
         }
@@ -64,6 +70,22 @@ impl AnnealEngine for SvmcEngine {
         };
         let mut cos_t: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
 
+        // Incrementally-maintained mean fields in cos-space:
+        // field[i] = h_i + Σ_j J_ij cos θ_j. A proposal reads its field in
+        // O(1); only accepted rotations pay an O(degree) neighbor update.
+        let rebuild = |cos_t: &[f64], field: &mut [f64]| {
+            for i in 0..n {
+                let (cols, ws) = csr.row(i);
+                let mut f = csr.h(i);
+                for (&j, &w) in cols.iter().zip(ws) {
+                    f += w * cos_t[j as usize];
+                }
+                field[i] = f;
+            }
+        };
+        let mut field: Vec<f64> = vec![0.0; n];
+        rebuild(&cos_t, &mut field);
+
         let total_sweeps = params.total_sweeps(schedule);
         let duration = schedule.duration_us();
 
@@ -76,19 +98,15 @@ impl AnnealEngine for SvmcEngine {
             if gate <= 0.0 {
                 continue; // fully frozen
             }
+            if sweep > 0 && sweep % FIELD_REFRESH_SWEEPS == 0 {
+                rebuild(&cos_t, &mut field);
+            }
 
             for i in 0..n {
-                // Mean field from the problem Hamiltonian in cos-space.
-                let mut field = flat.h[i];
-                let lo = flat.offsets[i] as usize;
-                let hi = flat.offsets[i + 1] as usize;
-                for k in lo..hi {
-                    field += flat.weights[k] * cos_t[flat.neighbors[k] as usize];
-                }
                 // Propose a fresh angle uniformly in [0, π]; lazy-chain gate
                 // scales the acceptance (freeze-out).
                 let proposal = rng.next_range(0.0, std::f64::consts::PI);
-                let delta = b_half * field * (proposal.cos() - cos_t[i])
+                let delta = b_half * field[i] * (proposal.cos() - cos_t[i])
                     - a_half * (proposal.sin() - theta[i].sin());
                 let accept = if delta <= 0.0 {
                     gate
@@ -96,8 +114,13 @@ impl AnnealEngine for SvmcEngine {
                     gate * (-beta * delta).exp()
                 };
                 if rng.next_f64() < accept {
+                    let d_cos = proposal.cos() - cos_t[i];
                     theta[i] = proposal;
                     cos_t[i] = proposal.cos();
+                    let (cols, ws) = csr.row(i);
+                    for (&j, &w) in cols.iter().zip(ws) {
+                        field[j as usize] += w * d_cos;
+                    }
                 }
             }
         }

@@ -1,133 +1,192 @@
-//! Criterion benchmarks of the workspace's hot kernels.
+//! Hot-kernel benchmarks with a JSON trajectory emitter (std-only harness).
 //!
-//! These quantify the compute costs behind the paper's Challenge 3
-//! (pipelining): what a classical initializer costs versus a simulated
-//! anneal read, and the per-component costs of the reduction pipeline.
+//! The build environment is offline, so this harness is hand-rolled rather
+//! than Criterion: each benchmark runs a warm-up, then `REPEATS` timed
+//! batches, and reports the **minimum** per-iteration time (the usual
+//! low-noise estimator for CPU-bound kernels).
+//!
+//! The headline comparison is the sweep-kernel rework: the pre-change kernel
+//! recomputed the local field from the `Vec<Vec<(usize, f64)>>` adjacency
+//! list on every proposal (O(degree) per proposal), while the current kernel
+//! sweeps a flat CSR representation with incrementally-maintained local
+//! fields (O(1) per proposal, O(degree) only on accepted flips). The
+//! baseline kernel is reproduced verbatim below so the speedup stays
+//! measurable as the optimized kernel evolves.
+//!
+//! Output: a human-readable table on stdout plus `BENCH_kernels.json` at the
+//! workspace root (override with the `BENCH_OUT` environment variable), so
+//! successive PRs accumulate a performance trajectory. Run with:
+//!
+//! ```text
+//! cargo bench -p hqw-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
 use hqw_anneal::{AnnealSchedule, DWaveProfile};
-use hqw_math::linalg::QrReal;
-use hqw_math::{RMatrix, Rng64};
-use hqw_phy::detect::{Detector, KBest, SphereDecoder, ZeroForcing};
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_phy::reduction::reduce_to_qubo;
-use hqw_qubo::generator::random_qubo;
-use hqw_qubo::sa::{sample_qubo, SaParams};
-use hqw_qubo::tabu::{tabu_from_random, TabuParams};
-use hqw_qubo::{greedy_search, Qubo};
+use hqw_math::Rng64;
+use hqw_qubo::csr::CsrIsing;
+use hqw_qubo::generator::sparse_random_qubo;
+use hqw_qubo::sa::{sa_read_csr, sample_qubo, SaParams};
+use hqw_qubo::{Ising, Qubo};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_qubo_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qubo");
-    for &n in &[16usize, 36, 64] {
-        let mut rng = Rng64::new(1);
-        let q = random_qubo(n, &mut rng);
-        let bits: Vec<u8> = (0..n).map(|_| rng.next_bool() as u8).collect();
-        group.bench_with_input(BenchmarkId::new("energy", n), &n, |b, _| {
-            b.iter(|| black_box(q.energy(black_box(&bits))))
-        });
-        group.bench_with_input(BenchmarkId::new("flip_delta", n), &n, |b, _| {
-            b.iter(|| black_box(q.flip_delta(black_box(&bits), n / 2)))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy_search", n), &n, |b, _| {
-            b.iter(|| black_box(greedy_search(&q, Default::default())))
-        });
-    }
-    group.finish();
+/// Timed batches per benchmark (minimum wins).
+const REPEATS: usize = 5;
+
+/// One benchmark measurement.
+struct Measurement {
+    name: String,
+    /// Problem size (spins), when meaningful.
+    n: usize,
+    /// Iterations per timed batch.
+    iters: usize,
+    /// Best-of-`REPEATS` nanoseconds per iteration.
+    ns_per_iter: f64,
 }
 
-fn bench_classical_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classical_solvers");
-    group.sample_size(20);
-    let mut rng = Rng64::new(2);
-    let q: Qubo = random_qubo(36, &mut rng);
-    group.bench_function("sa_36var_32reads", |b| {
+/// Runs `f` for `iters` iterations per batch, `REPEATS` batches after one
+/// warm-up batch, returning the minimum ns/iter.
+fn bench<F: FnMut()>(name: &str, n: usize, iters: usize, mut f: F) -> Measurement {
+    for _ in 0..iters {
+        f(); // warm-up
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    println!("{name:<44} {:>12.0} ns/iter  (n={n}, iters={iters})", best);
+    Measurement {
+        name: name.to_string(),
+        n,
+        iters,
+        ns_per_iter: best,
+    }
+}
+
+/// The **pre-change** SA sweep kernel, reproduced exactly: recomputes the
+/// local field from the adjacency list on every proposal.
+fn sa_read_ising_baseline(
+    ising: &Ising,
+    params: &SaParams,
+    start: &[i8],
+    rng: &mut Rng64,
+) -> Vec<i8> {
+    let n = ising.num_vars();
+    let mut spins = start.to_vec();
+    let ratio = if params.sweeps > 1 {
+        (params.beta_final / params.beta_initial).powf(1.0 / (params.sweeps - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut beta = params.beta_initial;
+    for _ in 0..params.sweeps {
+        for k in 0..n {
+            let delta = ising.flip_delta(&spins, k);
+            if delta <= 0.0 || rng.next_f64() < (-beta * delta).exp() {
+                spins[k] = -spins[k];
+            }
+        }
+        beta *= ratio;
+    }
+    spins
+}
+
+fn random_spins(n: usize, rng: &mut Rng64) -> Vec<i8> {
+    (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect()
+}
+
+/// Sweep-kernel before/after at several sizes; returns measurements plus
+/// `(size, speedup)` pairs.
+fn bench_sweep_kernels(out: &mut Vec<Measurement>) -> Vec<(usize, f64)> {
+    let mut speedups = Vec::new();
+    // Density 1.0 = the paper's regime: the ML→QUBO reduction produces fully
+    // dense couplings, which is exactly where per-proposal O(degree)
+    // recomputation hurts most. The sparse point tracks hardware-graph-like
+    // (embedded/Chimera) workloads.
+    for &(n, density, sweeps, iters) in &[
+        (256usize, 1.0f64, 128usize, 10usize),
+        (512, 0.10, 64, 10),
+    ] {
+        let mut rng = Rng64::new(12);
+        let q = sparse_random_qubo(n, density, &mut rng);
+        let (ising, _) = q.to_ising();
+        let csr = CsrIsing::from_ising(&ising);
+        let start = random_spins(n, &mut rng);
         let params = SaParams {
-            num_reads: 32,
-            sweeps: 64,
-            ..Default::default()
+            sweeps,
+            num_reads: 1,
+            ..SaParams::default()
         };
+
         let mut seed = 0u64;
-        b.iter(|| {
+        let base = bench(&format!("sa_sweep/baseline_adjlist/{n}"), n, iters, || {
             seed += 1;
-            black_box(sample_qubo(&q, &params, &mut Rng64::new(seed)))
-        })
-    });
-    group.bench_function("tabu_36var", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(tabu_from_random(
-                &q,
-                &TabuParams::default(),
+            black_box(sa_read_ising_baseline(
+                &ising,
+                &params,
+                black_box(&start),
                 &mut Rng64::new(seed),
-            ))
-        })
-    });
-    group.finish();
-}
-
-fn bench_reduction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reduction");
-    for &(users, m) in &[(8usize, Modulation::Qam16), (18, Modulation::Qpsk)] {
-        let mut rng = Rng64::new(3);
-        let inst = DetectionInstance::generate(&InstanceConfig::paper(users, m), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("ml_to_qubo", format!("{}x{}", users, m.name())),
-            &users,
-            |b, _| {
-                b.iter(|| {
-                    black_box(reduce_to_qubo(
-                        black_box(&inst.system),
-                        black_box(&inst.h),
-                        black_box(&inst.y),
-                    ))
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_detectors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detectors");
-    group.sample_size(20);
-    let mut rng = Rng64::new(4);
-    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
-    group.bench_function("zf_8x8_qam16", |b| {
-        b.iter(|| black_box(ZeroForcing.detect(&inst.system, &inst.h, &inst.y)))
-    });
-    group.bench_function("kbest8_8x8_qam16", |b| {
-        let det = KBest::new(8);
-        b.iter(|| black_box(det.detect(&inst.system, &inst.h, &inst.y)))
-    });
-    group.bench_function("sphere_8x8_qam16_noiseless", |b| {
-        let det = SphereDecoder::exact();
-        b.iter(|| black_box(det.detect(&inst.system, &inst.h, &inst.y)))
-    });
-    group.finish();
-}
-
-fn bench_linalg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
-    for &n in &[16usize, 64] {
-        let mut rng = Rng64::new(5);
-        let a = RMatrix::from_fn(n, n, |_, _| rng.next_gaussian());
-        group.bench_with_input(BenchmarkId::new("qr", n), &n, |b, _| {
-            b.iter(|| black_box(QrReal::new(black_box(&a))))
+            ));
         });
+        let mut seed2 = 0u64;
+        let incr = bench(&format!("sa_sweep/incremental_csr/{n}"), n, iters, || {
+            seed2 += 1;
+            black_box(sa_read_csr(
+                &csr,
+                &params,
+                black_box(&start),
+                &mut Rng64::new(seed2),
+            ));
+        });
+        let speedup = base.ns_per_iter / incr.ns_per_iter;
+        println!("  -> sweep-kernel speedup at {n} spins: {speedup:.2}x");
+        speedups.push((n, speedup));
+        out.push(base);
+        out.push(incr);
     }
-    group.finish();
+    speedups
 }
 
-fn bench_anneal_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("anneal");
-    group.sample_size(10);
-    let mut rng = Rng64::new(6);
-    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
-    let (gs_bits, _) = greedy_search(&inst.reduction.qubo, Default::default());
+/// Parallel-read scaling of `sample_qubo` (bit-identical output per seed).
+fn bench_parallel_reads(out: &mut Vec<Measurement>) {
+    let n = 256;
+    let mut rng = Rng64::new(13);
+    let q: Qubo = sparse_random_qubo(n, 0.1, &mut rng);
+    for &threads in &[1usize, 0] {
+        let params = SaParams {
+            sweeps: 32,
+            num_reads: 16,
+            threads,
+            ..SaParams::default()
+        };
+        let label = if threads == 1 { "serial" } else { "all-cores" };
+        let mut seed = 0u64;
+        out.push(bench(
+            &format!("sample_qubo/16reads_{label}/{n}"),
+            n,
+            5,
+            || {
+                seed += 1;
+                black_box(sample_qubo(&q, &params, &mut Rng64::new(seed)));
+            },
+        ));
+    }
+}
+
+/// Annealer-engine read costs on a medium instance (trajectory numbers for
+/// the incremental PIMC/SVMC slice sweeps).
+fn bench_engine_reads(out: &mut Vec<Measurement>) {
+    let n = 64;
+    let mut rng = Rng64::new(14);
+    let q = sparse_random_qubo(n, 0.3, &mut rng);
+    let schedule = AnnealSchedule::reverse(0.69, 1.0).unwrap();
+    let init: Vec<u8> = (0..n).map(|_| rng.next_bool() as u8).collect();
     for (label, engine) in [
         ("pimc16", EngineKind::Pimc { trotter_slices: 16 }),
         ("svmc", EngineKind::Svmc),
@@ -135,31 +194,69 @@ fn bench_anneal_read(c: &mut Criterion) {
         let sampler = QuantumSampler::new(
             DWaveProfile::calibrated(),
             SamplerConfig {
-                num_reads: 8,
+                num_reads: 4,
                 engine,
                 threads: 1,
                 ..Default::default()
             },
         );
-        let ra = AnnealSchedule::reverse(0.69, 1.0).unwrap();
-        group.bench_function(format!("ra_8reads_32var_{label}"), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(sampler.sample_qubo(&inst.reduction.qubo, &ra, Some(&gs_bits), seed))
-            })
-        });
+        let mut seed = 0u64;
+        out.push(bench(&format!("anneal_read/ra_{label}/{n}"), n, 5, || {
+            seed += 1;
+            black_box(sampler.sample_qubo(&q, &schedule, Some(&init), seed));
+        }));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_qubo_kernels,
-    bench_classical_solvers,
-    bench_reduction,
-    bench_detectors,
-    bench_linalg,
-    bench_anneal_read
-);
-criterion_main!(benches);
+/// Minimal JSON emitter (no external crates available offline).
+fn write_json(path: &std::path::Path, results: &[Measurement], speedups: &[(usize, f64)]) {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"kernels\",\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
+            m.name,
+            m.n,
+            m.iters,
+            m.ns_per_iter,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"derived\": {\n");
+    for (i, (n, sp)) in speedups.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"sa_sweep_speedup_{n}\": {sp:.2}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s).expect("write bench JSON");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `--bench` / filter arguments from `cargo bench` are accepted and
+    // ignored; the suite is small enough to always run whole.
+    let mut results = Vec::new();
+    let speedups = bench_sweep_kernels(&mut results);
+    bench_parallel_reads(&mut results);
+    bench_engine_reads(&mut results);
+
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_path.to_string());
+    write_json(std::path::Path::new(&path), &results, &speedups);
+
+    // Wall-clock assertions are opt-in: shared CI runners are too noisy to
+    // gate merges on timing ratios. Set BENCH_ASSERT_MIN_SPEEDUP (e.g. 3.0)
+    // to enforce, locally or on a quiet box, that at least one ≥256-spin
+    // instance meets the bar (the dense instance is the headline; the sparse
+    // point has a lower algorithmic ceiling — speedup scales with degree).
+    if let Ok(min) = std::env::var("BENCH_ASSERT_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("BENCH_ASSERT_MIN_SPEEDUP: not a number");
+        let best = speedups.iter().map(|&(_, sp)| sp).fold(0.0, f64::max);
+        assert!(
+            best >= min,
+            "best sweep-kernel speedup is {best:.2}x, below the required {min}x ({speedups:?})"
+        );
+    }
+}

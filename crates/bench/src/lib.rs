@@ -6,9 +6,10 @@
 //!   the paper's evaluation; each prints the series the paper plots and
 //!   writes CSV under `results/`. Run e.g.
 //!   `cargo run -p hqw-bench --release --bin fig8 -- --quick`.
-//! * **Criterion benches** (`benches/`): micro/meso benchmarks of the hot
-//!   kernels (QUBO energy, solvers, annealing sweeps, the ML→QUBO
-//!   transform, embedding, detectors).
+//! * **Kernel benches** (`benches/`): std-only micro/meso benchmarks of the
+//!   hot kernels (sweep kernels before/after the incremental-field rework,
+//!   parallel reads, annealer engines) with a JSON trajectory emitter — see
+//!   the crate README for the output format.
 //!
 //! Shared CLI conventions live in [`cli`].
 

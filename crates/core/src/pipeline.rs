@@ -3,7 +3,7 @@
 //! Where [`crate::event_sim`] *analyzes* the pipeline in programmed
 //! microseconds, this module *executes* it: a classical-stage thread runs
 //! initializers while quantum-stage workers run the annealer on earlier
-//! channel uses, connected by bounded crossbeam channels — the
+//! channel uses, connected by bounded `std::sync::mpsc` channels — the
 //! classical/quantum overlap of the paper's Figure 2 as real concurrency.
 //!
 //! Results are deterministic: each channel use gets a seed derived from the
@@ -16,8 +16,9 @@ use hqw_math::Rng64;
 use hqw_phy::instance::DetectionInstance;
 use hqw_qubo::SampleSet;
 
-/// Per-item seed derivation shared by the sequential and pipelined paths.
-fn item_seed(batch_seed: u64, index: usize) -> u64 {
+/// Per-item seed derivation shared by the sequential, pipelined and
+/// data-parallel ([`HybridSolver::solve_batch`]) paths.
+pub(crate) fn item_seed(batch_seed: u64, index: usize) -> u64 {
     let mut rng = Rng64::new(batch_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     rng.next_u64()
 }
@@ -55,15 +56,16 @@ pub fn run_pipelined(
         return Vec::new();
     }
 
-    let (tx, rx) = crossbeam::channel::bounded::<(usize, Option<InitialState>, u64)>(queue_depth);
+    let (tx, rx) =
+        std::sync::mpsc::sync_channel::<(usize, Option<InitialState>, u64)>(queue_depth);
     let mut results: Vec<Option<HybridResult>> = Vec::new();
     results.resize_with(instances.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Classical stage: compute initializers in arrival order.
         let protocol = solver.config.protocol;
         let initializer = &solver.config.initializer;
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for (i, inst) in instances.iter().enumerate() {
                 let seed = item_seed(batch_seed, i);
                 let mut rng = Rng64::new(seed);
@@ -96,8 +98,7 @@ pub fn run_pipelined(
             );
             results[i] = Some(assemble(initial, annealed.samples, annealed.timing));
         }
-    })
-    .expect("pipeline worker panicked");
+    });
 
     results
         .into_iter()

@@ -161,6 +161,27 @@ impl HybridSolver {
             classical_us,
         }
     }
+
+    /// Solves a batch of instances, fanning the instances out across
+    /// `threads` worker threads (0 = all available cores).
+    ///
+    /// Each instance gets a seed derived from `batch_seed` and its index —
+    /// the same derivation [`crate::pipeline::run_sequential`] uses — so the
+    /// output is bit-identical to solving the batch serially, for any thread
+    /// count. This is the data-parallel outer loop for figure sweeps and
+    /// high-traffic serving, layered on top of the sampler's own parallel
+    /// reads (keep `sampler.config.threads = 1` when batching many
+    /// instances, or the two levels will oversubscribe cores).
+    pub fn solve_batch(
+        &self,
+        instances: &[DetectionInstance],
+        batch_seed: u64,
+        threads: usize,
+    ) -> Vec<HybridResult> {
+        hqw_math::parallel::parallel_map_indexed(instances, threads, |i, inst| {
+            self.solve(inst, crate::pipeline::item_seed(batch_seed, i))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -259,5 +280,46 @@ mod tests {
         let b = solver.solve(&inst, 42);
         assert_eq!(a.best_bits, b.best_bits);
         assert_eq!(a.best_energy, b.best_energy);
+    }
+
+    #[test]
+    fn solve_batch_is_thread_count_invariant() {
+        let mut rng = Rng64::new(120);
+        let instances = DetectionInstance::generate_batch(
+            &InstanceConfig::paper(3, Modulation::Qpsk),
+            5,
+            &mut rng,
+        );
+        let solver = HybridSolver::paper_prototype(quick_sampler(8), 0.7);
+        let serial = solver.solve_batch(&instances, 17, 1);
+        for threads in [2, 4] {
+            let parallel = solver.solve_batch(&instances, 17, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.best_bits, b.best_bits, "threads={threads}");
+                assert_eq!(
+                    a.best_energy.to_bits(),
+                    b.best_energy.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential_pipeline_reference() {
+        let mut rng = Rng64::new(121);
+        let instances = DetectionInstance::generate_batch(
+            &InstanceConfig::paper(2, Modulation::Qpsk),
+            4,
+            &mut rng,
+        );
+        let solver = HybridSolver::paper_prototype(quick_sampler(6), 0.7);
+        let batch = solver.solve_batch(&instances, 55, 0);
+        let reference = crate::pipeline::run_sequential(&solver, &instances, 55);
+        for (a, b) in batch.iter().zip(&reference) {
+            assert_eq!(a.best_bits, b.best_bits);
+            assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+        }
     }
 }

@@ -14,6 +14,8 @@
 //!   Gaussian and categorical sampling. Every stochastic API in the workspace
 //!   threads one of these through explicitly, so all experiments reproduce
 //!   bit-exactly from a seed.
+//! * [`parallel`] — the deterministic, order-preserving thread fan-out every
+//!   parallel surface (SA/anneal reads, batch solves, grid sweeps) shares.
 //! * [`stats`] — descriptive statistics, percentiles, histograms and the
 //!   fixed-width binning used by the paper's ΔE% analyses.
 //!
@@ -27,6 +29,7 @@
 pub mod cmat;
 pub mod complex;
 pub mod linalg;
+pub mod parallel;
 pub mod rmat;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,101 @@
+//! Deterministic data-parallel fan-out.
+//!
+//! Every parallel surface in the workspace — SA reads, annealer reads,
+//! batch solves, grid sweeps — follows the same contract: the work items
+//! are independent, each item's randomness is derived from its *index*
+//! (never from which thread runs it), and the output order is the input
+//! order. Under that contract the thread count is a pure throughput knob:
+//! results are bit-identical for any value. This module is the single
+//! implementation of that fan-out, so the chunking/indexing logic exists
+//! in exactly one place.
+
+/// Resolves a thread-count knob: `0` means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` across up to `threads` scoped worker threads
+/// (`0` = all available cores), returning the results **in input order**.
+///
+/// `f` receives `(index, &item)`; any per-item randomness must derive from
+/// the index (or data reachable from the item), never from thread identity,
+/// so the output is bit-identical for every thread count.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map_indexed<S, T, F>(items: &[S], threads: usize, f: F) -> Vec<T>
+where
+    S: Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+
+    if threads <= 1 {
+        for (idx, (slot, item)) in slots.iter_mut().zip(items).enumerate() {
+            *slot = Some(f(idx, item));
+        }
+    } else {
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, (slot_chunk, item_chunk)) in
+                slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate()
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = chunk_idx * chunk;
+                    for (off, (slot, item)) in slot_chunk.iter_mut().zip(item_chunk).enumerate() {
+                        *slot = Some(f(base + off, item));
+                    }
+                });
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map_indexed: all items completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let serial = parallel_map_indexed(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        for threads in [2, 3, 7, 23, 100, 0] {
+            let parallel = parallel_map_indexed(&items, threads, |i, &x| (i as u64) * 1000 + x * x);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = parallel_map_indexed(&items, 2, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map_indexed(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

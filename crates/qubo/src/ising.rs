@@ -1,10 +1,11 @@
 //! Sparse Ising model: `E(s) = Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j`, `s ∈ {−1,+1}ⁿ`.
 //!
 //! This is the form annealing hardware programs natively. Storage is an
-//! adjacency list (each edge mirrored into both endpoints' lists) so that
-//! local fields — the inner loop of every Monte-Carlo engine — cost
-//! `O(degree)` rather than `O(n)`. Hardware graphs (Chimera) are sparse;
-//! logical MIMO problems are dense but small, so adjacency lists serve both.
+//! adjacency list (each edge mirrored into both endpoints' lists), which is
+//! convenient to build and mutate incrementally. Monte-Carlo sweep kernels
+//! should not iterate it directly: flatten to [`crate::CsrIsing`] once per
+//! problem and sweep with [`crate::LocalFieldState`]'s incrementally-cached
+//! local fields (O(1) proposals) instead.
 
 use std::collections::HashMap;
 

@@ -14,6 +14,9 @@
 //!   incremental single-flip deltas ([`model`]).
 //! * [`Ising`] — sparse `h`/`J` Ising model with exact, offset-tracked
 //!   conversions to/from QUBO ([`ising`]).
+//! * [`CsrIsing`] / [`LocalFieldState`] — the flat (CSR) sweep substrate
+//!   with incrementally-maintained local fields: O(1) flip proposals,
+//!   O(degree) only on accepted flips ([`csr`]).
 //! * [`SampleSet`] — aggregated solver output with occurrence counting
 //!   ([`solution`]).
 //! * [`preprocess`] — the Lewis–Glover variable-fixing scheme evaluated in
@@ -33,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod constraints;
+pub mod csr;
 pub mod exact;
 pub mod generator;
 pub mod greedy;
@@ -44,6 +48,7 @@ pub mod sa;
 pub mod solution;
 pub mod tabu;
 
+pub use csr::{CsrIsing, LocalFieldState};
 pub use greedy::{greedy_search, GreedyOrder, GreedyVariant};
 pub use ising::Ising;
 pub use model::Qubo;

@@ -5,10 +5,19 @@
 //! inverse-temperature ramp. It serves as (a) the classical reference point
 //! for the hybrid comparisons, and (b) the workhorse for certifying ground
 //! energies on instances too large to enumerate.
+//!
+//! The sweep kernel runs on the flat [`CsrIsing`] representation with
+//! incrementally-maintained local fields ([`LocalFieldState`]): a proposal
+//! costs O(1) and only *accepted* flips pay an O(degree) cache update, so a
+//! sweep is `O(n + accepted·deg)` instead of `O(n·deg)`. Reads are
+//! independent and fan out across threads with per-read seeds derived from
+//! the caller's RNG, so results are bit-identical for any thread count.
 
+use crate::csr::{CsrIsing, LocalFieldState};
 use crate::ising::Ising;
 use crate::model::Qubo;
 use crate::solution::{spins_to_bits, SampleSet};
+use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::Rng64;
 
 /// Simulated-annealing parameters.
@@ -22,6 +31,9 @@ pub struct SaParams {
     pub sweeps: usize,
     /// Number of independent reads.
     pub num_reads: usize,
+    /// Worker threads for parallel reads (1 = serial, 0 = all available
+    /// cores). Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for SaParams {
@@ -31,6 +43,7 @@ impl Default for SaParams {
             beta_final: 10.0,
             sweeps: 128,
             num_reads: 32,
+            threads: 1,
         }
     }
 }
@@ -55,15 +68,26 @@ impl SaParams {
     }
 }
 
-/// One SA read on an Ising model starting from `start` spins.
-/// Returns the final spin configuration.
-pub fn sa_read_ising(ising: &Ising, params: &SaParams, start: &[i8], rng: &mut Rng64) -> Vec<i8> {
+/// One SA read on a CSR Ising model starting from `start` spins.
+///
+/// Returns the final [`LocalFieldState`], whose tracked
+/// [`LocalFieldState::energy`] is the Ising energy of the returned spins —
+/// callers report energies without an O(n²) recompute.
+///
+/// # Panics
+/// Panics on invalid parameters or a start-length mismatch.
+pub fn sa_read_csr(
+    csr: &CsrIsing,
+    params: &SaParams,
+    start: &[i8],
+    rng: &mut Rng64,
+) -> LocalFieldState {
     params.validate();
-    let n = ising.num_vars();
-    assert_eq!(start.len(), n, "sa_read_ising: start length mismatch");
-    let mut spins = start.to_vec();
+    let n = csr.num_vars();
+    assert_eq!(start.len(), n, "sa_read_csr: start length mismatch");
+    let mut state = LocalFieldState::new(csr, start.to_vec());
     if n == 0 {
-        return spins;
+        return state;
     }
     // Geometric β ladder: β_t = β₀ · r^t with r chosen to land on β₁.
     let ratio = if params.sweeps > 1 {
@@ -74,31 +98,59 @@ pub fn sa_read_ising(ising: &Ising, params: &SaParams, start: &[i8], rng: &mut R
     let mut beta = params.beta_initial;
     for _ in 0..params.sweeps {
         for k in 0..n {
-            let delta = ising.flip_delta(&spins, k);
+            let delta = state.flip_delta(k);
             if delta <= 0.0 || rng.next_f64() < (-beta * delta).exp() {
-                spins[k] = -spins[k];
+                state.flip(csr, k);
             }
         }
         beta *= ratio;
     }
-    spins
+    state
+}
+
+/// One SA read on an Ising model starting from `start` spins.
+/// Returns the final spin configuration.
+///
+/// Convenience wrapper over [`sa_read_csr`]; when running many reads on one
+/// problem, build the [`CsrIsing`] once and call the CSR kernel directly.
+pub fn sa_read_ising(ising: &Ising, params: &SaParams, start: &[i8], rng: &mut Rng64) -> Vec<i8> {
+    let csr = CsrIsing::from_ising(ising);
+    sa_read_csr(&csr, params, start, rng).into_spins()
 }
 
 /// Samples a QUBO with SA: `num_reads` independent reads from uniform random
 /// starts, aggregated into a [`SampleSet`] with QUBO energies.
+///
+/// The QUBO is converted to Ising (and flattened to CSR) **once**; per-read
+/// energies come from the incrementally tracked Ising energy plus the
+/// conversion offset, never a full `qubo.energy` evaluation. Reads run in
+/// parallel per [`SaParams::threads`] with per-read RNG streams drawn from
+/// `rng` up front, so the result is bit-identical for any thread count.
 pub fn sample_qubo(qubo: &Qubo, params: &SaParams, rng: &mut Rng64) -> SampleSet {
     params.validate();
-    let (ising, _offset) = qubo.to_ising();
+    let (ising, offset) = qubo.to_ising();
+    let csr = CsrIsing::from_ising(&ising);
     let n = qubo.num_vars();
-    let reads = (0..params.num_reads).map(|_| {
+
+    // Per-read seeds drawn from the caller's stream: the fan-out is
+    // deterministic and thread-count invariant.
+    let read_seeds: Vec<u64> = (0..params.num_reads).map(|_| rng.next_u64()).collect();
+
+    let reads = parallel_map_indexed(&read_seeds, params.threads, |_, &read_seed| {
+        let mut read_rng = Rng64::new(read_seed);
         let start: Vec<i8> = (0..n)
-            .map(|_| if rng.next_bool() { 1 } else { -1 })
+            .map(|_| if read_rng.next_bool() { 1 } else { -1 })
             .collect();
-        let spins = sa_read_ising(&ising, params, &start, rng);
-        let bits = spins_to_bits(&spins);
-        let energy = qubo.energy(&bits);
-        (bits, energy)
+        let state = sa_read_csr(&csr, params, &start, &mut read_rng);
+        let energy = state.energy() + offset;
+        debug_assert!(
+            (energy - qubo.energy(&spins_to_bits(state.spins()))).abs()
+                < 1e-6 * (1.0 + energy.abs()),
+            "tracked energy drifted from the exact QUBO energy"
+        );
+        (spins_to_bits(state.spins()), energy)
     });
+
     SampleSet::from_reads(reads)
 }
 
@@ -114,6 +166,7 @@ pub fn intensive_search(qubo: &Qubo, num_reads: usize, rng: &mut Rng64) -> (Vec<
         beta_final: 20.0,
         sweeps: 256,
         num_reads,
+        threads: 1,
     };
     let set = sample_qubo(qubo, &params, rng);
     let best = set.best().expect("intensive_search: no samples");
@@ -173,6 +226,49 @@ mod tests {
         let b = sample_qubo(&q, &SaParams::default(), &mut Rng64::new(2));
         assert_eq!(a.best().unwrap().bits, b.best().unwrap().bits);
         assert_eq!(a.total_reads(), b.total_reads());
+    }
+
+    #[test]
+    fn parallel_reads_are_bit_identical_to_serial() {
+        // The determinism regression: the same seed must yield the same
+        // SampleSet (states, energies, occurrence counts) for any thread
+        // count, including thread counts that don't divide num_reads.
+        let q = random_qubo(16, &mut Rng64::new(71));
+        let collect = |threads: usize| {
+            let params = SaParams {
+                num_reads: 13,
+                sweeps: 48,
+                threads,
+                ..SaParams::default()
+            };
+            sample_qubo(&q, &params, &mut Rng64::new(9))
+        };
+        let serial = collect(1);
+        for threads in [2, 3, 8] {
+            let parallel = collect(threads);
+            assert_eq!(serial.total_reads(), parallel.total_reads());
+            assert_eq!(serial.num_distinct(), parallel.num_distinct());
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.bits, b.bits, "threads={threads}");
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "threads={threads}");
+                assert_eq!(a.occurrences, b.occurrences, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_energies_match_full_recompute() {
+        let mut rng = Rng64::new(73);
+        for n in [6usize, 12, 20] {
+            let q = random_qubo(n, &mut rng);
+            let set = sample_qubo(&q, &SaParams::default(), &mut rng);
+            for s in set.iter() {
+                assert!(
+                    (q.energy(&s.bits) - s.energy).abs() < 1e-9 * (1.0 + s.energy.abs()),
+                    "reported energy drifted from exact at n={n}"
+                );
+            }
+        }
     }
 
     #[test]

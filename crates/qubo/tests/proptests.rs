@@ -4,12 +4,17 @@ use hqw_math::Rng64;
 use hqw_qubo::exact::exhaustive_minimum;
 use hqw_qubo::generator::{random_qubo, sparse_random_qubo};
 use hqw_qubo::preprocess::preprocess;
+use hqw_qubo::sa::{sample_qubo, SaParams};
 use hqw_qubo::solution::{bits_to_spins, spins_to_bits};
-use hqw_qubo::{greedy_search, Qubo, SampleSet};
+use hqw_qubo::{greedy_search, CsrIsing, LocalFieldState, Qubo, SampleSet};
 use proptest::prelude::*;
 
 fn random_bits(n: usize, rng: &mut Rng64) -> Vec<u8> {
     (0..n).map(|_| rng.next_bool() as u8).collect()
+}
+
+fn random_spins(n: usize, rng: &mut Rng64) -> Vec<i8> {
+    (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect()
 }
 
 proptest! {
@@ -121,5 +126,70 @@ proptest! {
         prop_assert!(energies.windows(2).all(|w| w[0] <= w[1]));
         // p★ over the whole range is 1.
         prop_assert!((set.ground_probability(set.best_energy(), 1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_local_fields_survive_long_flip_sequences(
+        seed in any::<u64>(), n in 2usize..24, density in 0.1f64..1.0
+    ) {
+        // The incremental h_eff cache must agree with a from-scratch
+        // local_field recompute after arbitrarily long accepted-flip
+        // sequences — the invariant every sweep kernel rests on.
+        let mut rng = Rng64::new(seed);
+        let q = sparse_random_qubo(n, density, &mut rng);
+        let (ising, _) = q.to_ising();
+        let csr = CsrIsing::from_ising(&ising);
+        let mut state = LocalFieldState::new(&csr, random_spins(n, &mut rng));
+        for step in 0..400 {
+            let k = rng.next_index(n);
+            // The O(1) delta must match both the CSR and the adjacency-list
+            // from-scratch evaluations before the flip is applied.
+            let exact = csr.flip_delta(state.spins(), k);
+            prop_assert!((state.flip_delta(k) - exact).abs() < 1e-9,
+                "delta drifted at step {step}");
+            prop_assert!((exact - ising.flip_delta(state.spins(), k)).abs() < 1e-9);
+            state.flip(&csr, k);
+        }
+        prop_assert!(state.max_field_error(&csr) < 1e-9,
+            "h_eff drifted: {}", state.max_field_error(&csr));
+        prop_assert!((state.energy() - ising.energy(state.spins())).abs()
+            < 1e-9 * (1.0 + state.energy().abs()),
+            "tracked energy drifted: {} vs {}", state.energy(), ising.energy(state.spins()));
+    }
+
+    #[test]
+    fn sa_parallel_reads_match_serial_bit_for_bit(
+        seed in any::<u64>(), n in 2usize..16, reads in 1usize..12
+    ) {
+        // Determinism regression: SplitMix-derived per-read streams make the
+        // fan-out thread-count invariant, including non-dividing counts.
+        let q = random_qubo(n, &mut Rng64::new(seed));
+        let run = |threads| {
+            let params = SaParams { num_reads: reads, sweeps: 24, threads, ..SaParams::default() };
+            sample_qubo(&q, &params, &mut Rng64::new(seed ^ 0xA5A5))
+        };
+        let serial = run(1);
+        for threads in [3usize, 0] {
+            let parallel = run(threads);
+            prop_assert_eq!(serial.total_reads(), parallel.total_reads());
+            prop_assert_eq!(serial.num_distinct(), parallel.num_distinct());
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                prop_assert_eq!(&a.bits, &b.bits);
+                prop_assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                prop_assert_eq!(a.occurrences, b.occurrences);
+            }
+        }
+    }
+
+    #[test]
+    fn sa_reported_energies_are_exact(seed in any::<u64>(), n in 1usize..14) {
+        // The tracked (incremental) Ising energy plus offset must equal the
+        // full QUBO energy of every reported sample.
+        let q = random_qubo(n, &mut Rng64::new(seed));
+        let params = SaParams { num_reads: 6, sweeps: 32, ..SaParams::default() };
+        let set = sample_qubo(&q, &params, &mut Rng64::new(seed ^ 0x5A5A));
+        for s in set.iter() {
+            prop_assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9 * (1.0 + s.energy.abs()));
+        }
     }
 }
