@@ -94,7 +94,6 @@ impl SamplerConfig {
             );
         }
     }
-
 }
 
 /// QPU-time accounting for one submission (all values in microseconds).

@@ -74,13 +74,13 @@ impl AnnealEngine for SvmcEngine {
         // field[i] = h_i + Σ_j J_ij cos θ_j. A proposal reads its field in
         // O(1); only accepted rotations pay an O(degree) neighbor update.
         let rebuild = |cos_t: &[f64], field: &mut [f64]| {
-            for i in 0..n {
+            for (i, slot) in field.iter_mut().enumerate() {
                 let (cols, ws) = csr.row(i);
                 let mut f = csr.h(i);
                 for (&j, &w) in cols.iter().zip(ws) {
                     f += w * cos_t[j as usize];
                 }
-                field[i] = f;
+                *slot = f;
             }
         };
         let mut field: Vec<f64> = vec![0.0; n];

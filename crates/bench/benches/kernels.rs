@@ -98,7 +98,9 @@ fn sa_read_ising_baseline(
 }
 
 fn random_spins(n: usize, rng: &mut Rng64) -> Vec<i8> {
-    (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect()
+    (0..n)
+        .map(|_| if rng.next_bool() { 1 } else { -1 })
+        .collect()
 }
 
 /// Sweep-kernel before/after at several sizes; returns measurements plus
@@ -109,10 +111,9 @@ fn bench_sweep_kernels(out: &mut Vec<Measurement>) -> Vec<(usize, f64)> {
     // dense couplings, which is exactly where per-proposal O(degree)
     // recomputation hurts most. The sparse point tracks hardware-graph-like
     // (embedded/Chimera) workloads.
-    for &(n, density, sweeps, iters) in &[
-        (256usize, 1.0f64, 128usize, 10usize),
-        (512, 0.10, 64, 10),
-    ] {
+    for &(n, density, sweeps, iters) in
+        &[(256usize, 1.0f64, 128usize, 10usize), (512, 0.10, 64, 10)]
+    {
         let mut rng = Rng64::new(12);
         let q = sparse_random_qubo(n, density, &mut rng);
         let (ising, _) = q.to_ising();

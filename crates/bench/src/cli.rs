@@ -1,10 +1,14 @@
 //! Minimal shared CLI for the figure binaries.
 //!
 //! Flags (all optional):
-//! * `--quick`    — test-scale run (seconds).
-//! * `--full`     — publication-scale run (long).
-//! * `--seed <n>` — RNG seed (default 2026).
-//! * `--out <dir>`— CSV output directory (default `results/`).
+//! * `--quick`       — test-scale run (seconds).
+//! * `--full`        — publication-scale run (long).
+//! * `--seed <n>`    — RNG seed (default 2026).
+//! * `--out <dir>`   — CSV output directory (default `results/`).
+//! * `--threads <n>` — worker threads for parallel sweeps (0 = all cores;
+//!   results are bit-identical for any value).
+//! * `--json <path>` — JSON report path, for binaries that emit one
+//!   (default: the binary's `BENCH_*.json` at the workspace root).
 
 use hqw_core::experiments::Scale;
 use std::path::PathBuf;
@@ -20,6 +24,10 @@ pub struct Options {
     pub seed: u64,
     /// CSV output directory.
     pub out_dir: PathBuf,
+    /// Worker threads for parallel sweeps (0 = all available cores).
+    pub threads: usize,
+    /// Override path for JSON reports (`None` = binary default).
+    pub json_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -41,6 +49,8 @@ impl Options {
         let mut scale_name = "standard";
         let mut seed = 2026u64;
         let mut out_dir = PathBuf::from("results");
+        let mut threads = 0usize;
+        let mut json_out = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -59,8 +69,18 @@ impl Options {
                 "--out" => {
                     out_dir = PathBuf::from(args.next().expect("--out needs a path"));
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    threads = v.parse().expect("--threads needs an integer");
+                }
+                "--json" => {
+                    json_out = Some(PathBuf::from(args.next().expect("--json needs a path")));
+                }
                 other => {
-                    panic!("unknown flag '{other}' (expected --quick|--full|--seed N|--out DIR)")
+                    panic!(
+                        "unknown flag '{other}' \
+                         (expected --quick|--full|--seed N|--out DIR|--threads N|--json PATH)"
+                    )
                 }
             }
         }
@@ -69,6 +89,8 @@ impl Options {
             scale_name,
             seed,
             out_dir,
+            threads,
+            json_out,
         }
     }
 
@@ -122,6 +144,22 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(o.csv_path("a.csv"), PathBuf::from("/tmp/x/a.csv"));
+    }
+
+    #[test]
+    fn threads_and_json_parse_values() {
+        let o = Options::parse(args(&[]));
+        assert_eq!(o.threads, 0);
+        assert!(o.json_out.is_none());
+        let o = Options::parse(args(&["--threads", "3", "--json", "/tmp/ber.json"]));
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.json_out, Some(PathBuf::from("/tmp/ber.json")));
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads needs an integer")]
+    fn bad_threads_panics() {
+        Options::parse(args(&["--threads", "many"]));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   analyzer (Challenge 3).
 //! * [`iterative`] — the richer hybrid couplings of §2's survey: iterated
 //!   reverse annealing and sample-persistence variable prefixing.
+//! * [`scenario`] — the batched BER-vs-SNR scenario engine: any
+//!   [`hqw_phy::detect::Detector`] (classical, SA-QUBO, or the hybrid solver
+//!   via [`scenario::HybridDetector`]) swept over a deterministic
+//!   (SNR × realization) grid into a JSON link-metric report.
 //! * [`experiments`] — canned runners for every figure in the evaluation.
 //! * [`report`] — table/CSV rendering for the bench binaries.
 
@@ -34,10 +38,12 @@ pub mod metrics;
 pub mod pipeline;
 pub mod protocol;
 pub mod report;
+pub mod scenario;
 pub mod solver;
 pub mod stages;
 pub mod sweep;
 
 pub use protocol::Protocol;
+pub use scenario::{run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig};
 pub use solver::{HybridConfig, HybridResult, HybridSolver};
 pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};

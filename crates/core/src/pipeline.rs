@@ -56,8 +56,7 @@ pub fn run_pipelined(
         return Vec::new();
     }
 
-    let (tx, rx) =
-        std::sync::mpsc::sync_channel::<(usize, Option<InitialState>, u64)>(queue_depth);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Option<InitialState>, u64)>(queue_depth);
     let mut results: Vec<Option<HybridResult>> = Vec::new();
     results.resize_with(instances.len(), || None);
 

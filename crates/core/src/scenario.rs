@@ -1,0 +1,591 @@
+//! Batched BER-vs-SNR scenario engine.
+//!
+//! The paper's central evaluation judges detectors by end-to-end link
+//! metrics: BER-vs-SNR curves comparing the quantum-annealing ML path
+//! against classical receivers. This module is the harness that produces
+//! those curves for *any* [`Detector`] — the five classical families in
+//! `hqw-phy`, the SA-backed [`QuboDetector`](hqw_phy::detect::QuboDetector),
+//! and the full annealer-backed [`HybridSolver`] via [`HybridDetector`].
+//!
+//! ## Determinism contract
+//!
+//! The sweep fans out over the (SNR point × channel realization) grid with
+//! [`hqw_math::parallel::parallel_map_indexed`]; every cell's seed is drawn
+//! up front from the scenario seed and the cell index, every detector inside
+//! a cell sees the *same* channel/observation (paired comparison), and the
+//! accumulation pass runs serially in grid order. The thread count is
+//! therefore a pure throughput knob: reports — including their JSON
+//! rendering — are **byte-identical** for any value, which CI pins by
+//! diffing a 1-thread against an N-thread run.
+
+use crate::solver::HybridSolver;
+use hqw_math::parallel::parallel_map_indexed;
+use hqw_math::{CMatrix, CVector, Rng64};
+use hqw_phy::channel::{add_awgn, snr_db_to_noise_variance, ChannelModel};
+use hqw_phy::detect::{instance_fingerprint, DetectionResult, Detector, DetectorMeta};
+use hqw_phy::instance::DetectionInstance;
+use hqw_phy::metrics::{bit_error_rate, symbol_error_rate, vector_error};
+use hqw_phy::mimo::MimoSystem;
+use hqw_phy::modulation::Modulation;
+use hqw_phy::reduction::reduce_to_qubo;
+use std::sync::Arc;
+
+/// The annealer-backed hybrid solver wrapped as a [`Detector`].
+///
+/// Routes `(H, y)` through the ML→Ising reduction into the full
+/// [`HybridSolver`] path (classical initializer → simulated QPU → best
+/// sample). The per-call solver seed derives from the stored base seed and
+/// an [`instance_fingerprint`] of the inputs, so `detect` is a pure function
+/// of its arguments (the [`Detector`] determinism contract).
+///
+/// The wrapped solver must not use ground-truth initializers
+/// (`OracleInitializer`): the detector has no access to transmitted bits,
+/// and the synthesized instance is marked noisy so ground-truth shortcuts
+/// panic instead of silently cheating.
+pub struct HybridDetector {
+    solver: HybridSolver,
+    seed: u64,
+}
+
+impl HybridDetector {
+    /// Wraps a hybrid solver as a detector with the given base seed.
+    pub fn new(solver: HybridSolver, seed: u64) -> Self {
+        HybridDetector { solver, seed }
+    }
+}
+
+impl Detector for HybridDetector {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn detect(&self, system: &MimoSystem, h: &CMatrix, y: &CVector) -> DetectionResult {
+        let reduction = reduce_to_qubo(system, h, y);
+        let n_vars = reduction.qubo.num_vars();
+        // The solver API takes a DetectionInstance; synthesize one with
+        // placeholder ground truth. `noisy: true` makes any ground-truth
+        // access (`ground_energy`) panic rather than read the placeholders.
+        let instance = DetectionInstance {
+            system: *system,
+            h: h.clone(),
+            y: y.clone(),
+            tx_gray_bits: vec![0; system.bits_per_use()],
+            tx_natural_bits: vec![0; n_vars],
+            reduction,
+            noisy: true,
+        };
+        let seed = self.seed ^ instance_fingerprint(h, y);
+        let result = self.solver.solve(&instance, seed);
+        let symbols = instance.reduction.bits_to_symbols(&result.best_bits);
+        let gray_bits = instance.reduction.natural_to_gray(&result.best_bits);
+        DetectionResult {
+            symbols,
+            gray_bits,
+            meta: DetectorMeta {
+                nodes_visited: 0,
+                sweeps: result.samples.total_reads(),
+            },
+        }
+    }
+}
+
+/// One named arm of a BER sweep: a detector factory parameterized by the
+/// operating noise variance (so noise-aware detectors like MMSE stay matched
+/// at every SNR point), plus report metadata.
+pub struct ScenarioDetector {
+    name: String,
+    qubo_backed: bool,
+    build: Box<dyn Fn(f64) -> Arc<dyn Detector> + Send + Sync>,
+}
+
+impl ScenarioDetector {
+    /// An arm that uses the same detector at every SNR point.
+    pub fn fixed(qubo_backed: bool, detector: impl Detector + 'static) -> Self {
+        let name = detector.name().to_string();
+        let det: Arc<dyn Detector> = Arc::new(detector);
+        ScenarioDetector {
+            name,
+            qubo_backed,
+            build: Box::new(move |_| det.clone()),
+        }
+    }
+
+    /// An arm whose detector is rebuilt from the per-point noise variance.
+    pub fn noise_matched(
+        name: &str,
+        qubo_backed: bool,
+        build: impl Fn(f64) -> Arc<dyn Detector> + Send + Sync + 'static,
+    ) -> Self {
+        ScenarioDetector {
+            name: name.to_string(),
+            qubo_backed,
+            build: Box::new(build),
+        }
+    }
+
+    /// Arm name as it appears in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Configuration of a BER-vs-SNR sweep.
+#[derive(Debug, Clone)]
+pub struct SnrSweepConfig {
+    /// Number of transmitting users.
+    pub n_users: usize,
+    /// Number of base-station antennas.
+    pub n_rx: usize,
+    /// Modulation for all users.
+    pub modulation: Modulation,
+    /// Channel model.
+    pub channel: ChannelModel,
+    /// SNR grid in dB (one report point per entry).
+    pub snr_db: Vec<f64>,
+    /// Independent channel realizations per SNR point.
+    pub realizations: usize,
+    /// Scenario seed; all cell seeds derive from it.
+    pub seed: u64,
+    /// Worker threads for the grid fan-out (0 = all available cores).
+    /// Results are bit-identical for any value.
+    pub threads: usize,
+}
+
+/// One point of one detector's BER-vs-SNR curve (averages over the point's
+/// channel realizations).
+#[derive(Debug, Clone, Copy)]
+pub struct BerPoint {
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// AWGN per-antenna noise variance at this SNR.
+    pub noise_variance: f64,
+    /// Bit error rate.
+    pub ber: f64,
+    /// Symbol error rate.
+    pub ser: f64,
+    /// Block (whole channel-use vector) error rate.
+    pub bler: f64,
+    /// Deterministic goodput proxy: correct-block bits per channel use,
+    /// `bits_per_use × (1 − bler)`.
+    pub goodput_bpcu: f64,
+    /// Mean search-tree nodes visited per detection.
+    pub avg_nodes_visited: f64,
+    /// Mean annealer/SA sweeps per detection.
+    pub avg_sweeps: f64,
+}
+
+/// One detector's full curve.
+#[derive(Debug, Clone)]
+pub struct DetectorSeries {
+    /// Detector name.
+    pub detector: String,
+    /// Whether this arm routes through the ML→QUBO/Ising reduction.
+    pub qubo_backed: bool,
+    /// One point per configured SNR value, in grid order.
+    pub points: Vec<BerPoint>,
+}
+
+/// A full scenario report: the config echo plus every detector's curve.
+#[derive(Debug, Clone)]
+pub struct BerReport {
+    /// Number of transmitting users.
+    pub n_users: usize,
+    /// Number of receive antennas.
+    pub n_rx: usize,
+    /// Modulation.
+    pub modulation: Modulation,
+    /// Channel model.
+    pub channel: ChannelModel,
+    /// Realizations per SNR point.
+    pub realizations: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Per-detector curves, in roster order.
+    pub series: Vec<DetectorSeries>,
+}
+
+/// Per-(cell, detector) outcome carried back from the parallel fan-out.
+struct CellOutcome {
+    ber: f64,
+    ser: f64,
+    block_err: f64,
+    nodes_visited: u64,
+    sweeps: u64,
+}
+
+/// Runs a batched BER-vs-SNR sweep.
+///
+/// Fans the (SNR × realization) grid out across `config.threads` workers;
+/// within each cell every detector sees the same channel, transmitted bits
+/// and noise (paired comparison). See the module docs for the determinism
+/// contract.
+///
+/// # Panics
+/// Panics on an empty SNR grid, zero realizations, or an empty roster.
+pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) -> BerReport {
+    assert!(!config.snr_db.is_empty(), "run_ber_sweep: empty SNR grid");
+    assert!(
+        config.realizations > 0,
+        "run_ber_sweep: zero realizations per point"
+    );
+    assert!(
+        !detectors.is_empty(),
+        "run_ber_sweep: empty detector roster"
+    );
+
+    // Per-cell seeds drawn up front, in grid order — the same derivation the
+    // batch solver uses, so randomness never depends on thread placement.
+    struct Cell {
+        snr_idx: usize,
+        seed: u64,
+    }
+    let mut cells = Vec::with_capacity(config.snr_db.len() * config.realizations);
+    for snr_idx in 0..config.snr_db.len() {
+        for _ in 0..config.realizations {
+            let seed = crate::pipeline::item_seed(config.seed, cells.len());
+            cells.push(Cell { snr_idx, seed });
+        }
+    }
+
+    let bits_per_symbol = config.modulation.bits_per_symbol();
+    let per_cell: Vec<Vec<CellOutcome>> =
+        parallel_map_indexed(&cells, config.threads, |_, cell| {
+            let noise_variance =
+                snr_db_to_noise_variance(config.snr_db[cell.snr_idx], config.n_users);
+            let mut rng = Rng64::new(cell.seed);
+            let system = MimoSystem::new(config.n_users, config.n_rx, config.modulation);
+            let h = config
+                .channel
+                .generate(config.n_rx, config.n_users, &mut rng);
+            let tx_bits = system.random_bits(&mut rng);
+            let x = system.modulate(&tx_bits);
+            let mut y = system.transmit(&h, &x);
+            add_awgn(&mut y, noise_variance, &mut rng);
+
+            detectors
+                .iter()
+                .map(|arm| {
+                    let detector = (arm.build)(noise_variance);
+                    let result = detector.detect(&system, &h, &y);
+                    CellOutcome {
+                        ber: bit_error_rate(&tx_bits, &result.gray_bits),
+                        ser: symbol_error_rate(&tx_bits, &result.gray_bits, bits_per_symbol),
+                        block_err: vector_error(&tx_bits, &result.gray_bits),
+                        nodes_visited: result.meta.nodes_visited,
+                        sweeps: result.meta.sweeps,
+                    }
+                })
+                .collect()
+        });
+
+    // Serial reduction in grid order: deterministic float accumulation.
+    #[derive(Clone, Copy, Default)]
+    struct Acc {
+        ber: f64,
+        ser: f64,
+        block_err: f64,
+        nodes: f64,
+        sweeps: f64,
+    }
+    let mut acc = vec![vec![Acc::default(); config.snr_db.len()]; detectors.len()];
+    for (cell, outcomes) in cells.iter().zip(&per_cell) {
+        for (det_idx, outcome) in outcomes.iter().enumerate() {
+            let a = &mut acc[det_idx][cell.snr_idx];
+            a.ber += outcome.ber;
+            a.ser += outcome.ser;
+            a.block_err += outcome.block_err;
+            a.nodes += outcome.nodes_visited as f64;
+            a.sweeps += outcome.sweeps as f64;
+        }
+    }
+
+    let bits_per_use = (config.n_users * bits_per_symbol) as f64;
+    let n = config.realizations as f64;
+    let series = detectors
+        .iter()
+        .zip(&acc)
+        .map(|(arm, per_snr)| DetectorSeries {
+            detector: arm.name.clone(),
+            qubo_backed: arm.qubo_backed,
+            points: config
+                .snr_db
+                .iter()
+                .zip(per_snr)
+                .map(|(&snr_db, a)| {
+                    let bler = a.block_err / n;
+                    BerPoint {
+                        snr_db,
+                        noise_variance: snr_db_to_noise_variance(snr_db, config.n_users),
+                        ber: a.ber / n,
+                        ser: a.ser / n,
+                        bler,
+                        goodput_bpcu: bits_per_use * (1.0 - bler),
+                        avg_nodes_visited: a.nodes / n,
+                        avg_sweeps: a.sweeps / n,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    BerReport {
+        n_users: config.n_users,
+        n_rx: config.n_rx,
+        modulation: config.modulation,
+        channel: config.channel,
+        realizations: config.realizations,
+        seed: config.seed,
+        series,
+    }
+}
+
+/// Formats a finite float as a JSON number.
+///
+/// # Panics
+/// Panics on non-finite input (JSON has no representation for it, and the
+/// scenario metrics are finite by construction).
+fn json_num(v: f64) -> String {
+    assert!(v.is_finite(), "json_num: non-finite value {v}");
+    format!("{v}")
+}
+
+impl BerReport {
+    /// Renders the report as the `BENCH_ber.json` document (schema in
+    /// `crates/bench/README.md`). Pure function of the report contents:
+    /// byte-identical across runs and thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"ber\",\n  \"scenario\": {\n");
+        s.push_str(&format!("    \"n_users\": {},\n", self.n_users));
+        s.push_str(&format!("    \"n_rx\": {},\n", self.n_rx));
+        s.push_str(&format!(
+            "    \"modulation\": \"{}\",\n",
+            self.modulation.name()
+        ));
+        s.push_str(&format!("    \"channel\": \"{}\",\n", self.channel.name()));
+        s.push_str(&format!("    \"realizations\": {},\n", self.realizations));
+        s.push_str(&format!("    \"seed\": {}\n  }},\n", self.seed));
+        s.push_str("  \"series\": [\n");
+        for (i, series) in self.series.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"detector\": \"{}\", \"qubo_backed\": {}, \"points\": [\n",
+                series.detector, series.qubo_backed
+            ));
+            for (j, p) in series.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{\"snr_db\": {}, \"noise_variance\": {}, \"ber\": {}, \
+                     \"ser\": {}, \"bler\": {}, \"goodput_bpcu\": {}, \
+                     \"avg_nodes_visited\": {}, \"avg_sweeps\": {}}}{}\n",
+                    json_num(p.snr_db),
+                    json_num(p.noise_variance),
+                    json_num(p.ber),
+                    json_num(p.ser),
+                    json_num(p.bler),
+                    json_num(p.goodput_bpcu),
+                    json_num(p.avg_nodes_visited),
+                    json_num(p.avg_sweeps),
+                    if j + 1 < series.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < self.series.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes [`BerReport::to_json`] to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use crate::solver::HybridConfig;
+    use crate::stages::GreedyInitializer;
+    use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
+    use hqw_anneal::DWaveProfile;
+    use hqw_phy::detect::{KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
+    use hqw_phy::instance::InstanceConfig;
+    use hqw_qubo::sa::SaParams;
+
+    fn quick_qubo_detector() -> QuboDetector {
+        QuboDetector::with_params(
+            SaParams {
+                sweeps: 48,
+                num_reads: 12,
+                ..Default::default()
+            },
+            0xDEC0DE,
+        )
+    }
+
+    fn quick_hybrid() -> HybridDetector {
+        let sampler = QuantumSampler::new(
+            DWaveProfile::calibrated(),
+            SamplerConfig {
+                num_reads: 8,
+                engine: EngineKind::Pimc { trotter_slices: 8 },
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let solver = HybridSolver::new(
+            sampler,
+            HybridConfig {
+                protocol: Protocol::paper_ra(0.65),
+                initializer: Box::new(GreedyInitializer::default()),
+            },
+        );
+        HybridDetector::new(solver, 0xA11CE)
+    }
+
+    fn roster() -> Vec<ScenarioDetector> {
+        vec![
+            ScenarioDetector::fixed(false, ZeroForcing),
+            ScenarioDetector::noise_matched("MMSE", false, |nv| Arc::new(Mmse::new(nv))),
+            ScenarioDetector::fixed(false, SphereDecoder::with_budget(20_000)),
+            ScenarioDetector::fixed(false, KBest::new(8)),
+            ScenarioDetector::fixed(true, quick_qubo_detector()),
+            ScenarioDetector::fixed(true, quick_hybrid()),
+        ]
+    }
+
+    fn quick_config(threads: usize) -> SnrSweepConfig {
+        SnrSweepConfig {
+            n_users: 3,
+            n_rx: 3,
+            modulation: Modulation::Qpsk,
+            channel: ChannelModel::UnitGainRandomPhase,
+            snr_db: vec![4.0, 16.0, 28.0],
+            realizations: 3,
+            seed: 7,
+            threads,
+        }
+    }
+
+    #[test]
+    fn report_is_bit_identical_for_any_thread_count() {
+        let detectors = roster();
+        let serial = run_ber_sweep(&quick_config(1), &detectors).to_json();
+        for threads in [2, 5, 0] {
+            let parallel = run_ber_sweep(&quick_config(threads), &detectors).to_json();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn report_covers_every_arm_and_point_with_sane_metrics() {
+        let detectors = roster();
+        let config = quick_config(0);
+        let report = run_ber_sweep(&config, &detectors);
+        assert_eq!(report.series.len(), detectors.len());
+        assert!(report.series.iter().any(|s| s.qubo_backed));
+        let bits_per_use = (config.n_users * config.modulation.bits_per_symbol()) as f64;
+        for series in &report.series {
+            assert_eq!(series.points.len(), config.snr_db.len());
+            for p in &series.points {
+                assert!(
+                    (0.0..=1.0).contains(&p.ber),
+                    "{}: ber {}",
+                    series.detector,
+                    p.ber
+                );
+                assert!((0.0..=1.0).contains(&p.ser));
+                assert!((0.0..=1.0).contains(&p.bler));
+                assert!(p.ber <= p.ser + 1e-12, "BER cannot exceed SER");
+                assert!(p.ser <= p.bler + 1e-12, "SER cannot exceed BLER");
+                assert!((0.0..=bits_per_use).contains(&p.goodput_bpcu));
+            }
+        }
+    }
+
+    #[test]
+    fn ber_improves_with_snr_for_zero_forcing() {
+        let detectors = vec![ScenarioDetector::fixed(false, ZeroForcing)];
+        let config = SnrSweepConfig {
+            snr_db: vec![-2.0, 30.0],
+            realizations: 24,
+            ..quick_config(0)
+        };
+        let report = run_ber_sweep(&config, &detectors);
+        let points = &report.series[0].points;
+        assert!(
+            points[1].ber < points[0].ber,
+            "ZF BER at 30 dB ({}) should beat −2 dB ({})",
+            points[1].ber,
+            points[0].ber
+        );
+        assert!(points[0].ber > 0.05, "low-SNR BER should be substantial");
+    }
+
+    #[test]
+    fn json_report_round_trips_structure() {
+        let detectors = vec![
+            ScenarioDetector::fixed(false, ZeroForcing),
+            ScenarioDetector::fixed(true, quick_qubo_detector()),
+        ];
+        let report = run_ber_sweep(&quick_config(1), &detectors);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"ber\""));
+        assert!(json.contains("\"detector\": \"ZF\""));
+        assert!(json.contains("\"detector\": \"QUBO-SA\""));
+        assert!(json.contains("\"qubo_backed\": true"));
+        assert_eq!(json.matches("\"snr_db\"").count(), 2 * 3);
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser (CI runs a real parser over the emitted file).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn hybrid_detector_recovers_noiseless_transmissions() {
+        let mut rng = Rng64::new(902);
+        let config = InstanceConfig::paper(3, Modulation::Qpsk);
+        let inst = DetectionInstance::generate(&config, &mut rng);
+        let det = quick_hybrid();
+        let result = det.detect(&inst.system, &inst.h, &inst.y);
+        assert_eq!(result.gray_bits, inst.tx_gray_bits);
+        assert!(result.meta.sweeps > 0, "hybrid must report read metadata");
+    }
+
+    #[test]
+    fn hybrid_detector_is_a_pure_function_of_its_inputs() {
+        let mut rng = Rng64::new(903);
+        let config = InstanceConfig::paper(2, Modulation::Qam16);
+        let inst = DetectionInstance::generate(&config, &mut rng);
+        let det = quick_hybrid();
+        let a = det.detect(&inst.system, &inst.h, &inst.y);
+        let b = det.detect(&inst.system, &inst.h, &inst.y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SNR grid")]
+    fn empty_grid_rejected() {
+        let config = SnrSweepConfig {
+            snr_db: vec![],
+            ..quick_config(1)
+        };
+        run_ber_sweep(&config, &[ScenarioDetector::fixed(false, ZeroForcing)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty detector roster")]
+    fn empty_roster_rejected() {
+        run_ber_sweep(&quick_config(1), &[]);
+    }
+}

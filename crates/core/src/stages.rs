@@ -202,7 +202,7 @@ pub fn fcsd_initializer(rho: usize, n_users: usize) -> DetectorInitializer<hqw_p
     DetectorInitializer::new(hqw_phy::detect::Fcsd::new(rho), paths * dim * dim)
 }
 
-impl<D: Detector + Send + Sync> ClassicalInitializer for DetectorInitializer<D> {
+impl<D: Detector> ClassicalInitializer for DetectorInitializer<D> {
     fn name(&self) -> &'static str {
         self.detector.name()
     }
@@ -248,14 +248,19 @@ mod tests {
         assert!(init.latency_us > 0.0);
     }
 
-
     #[test]
     fn tabu_initializer_is_at_least_as_good_as_greedy() {
         let inst = instance();
         let greedy = GreedyInitializer::default().initialize(&inst, &mut Rng64::new(1));
         let tabu = TabuInitializer::default().initialize(&inst, &mut Rng64::new(1));
-        assert!(tabu.energy <= greedy.energy + 1e-9, "tabu starts from greedy and only improves");
-        assert!(tabu.latency_us > greedy.latency_us, "tabu must cost more than its greedy start");
+        assert!(
+            tabu.energy <= greedy.energy + 1e-9,
+            "tabu starts from greedy and only improves"
+        );
+        assert!(
+            tabu.latency_us > greedy.latency_us,
+            "tabu must cost more than its greedy start"
+        );
         assert!((inst.reduction.qubo.energy(&tabu.bits) - tabu.energy).abs() < 1e-9);
     }
 

@@ -72,6 +72,7 @@ pub fn sweep_protocol(
 /// Each point's reads additionally parallelize inside the sampler; when
 /// sweeping broad grids prefer `sampler.config.threads = 1` and thread the
 /// grid here instead — one level of fan-out, no oversubscription.
+#[allow(clippy::too_many_arguments)] // mirrors `sweep_protocol` + the threads knob
 pub fn sweep_protocol_parallel(
     sampler: &QuantumSampler,
     qubo: &Qubo,
@@ -82,8 +83,10 @@ pub fn sweep_protocol_parallel(
     seed: u64,
     threads: usize,
 ) -> Vec<SweepPoint> {
-    let points =
-        hqw_math::parallel::parallel_map_indexed(grid, threads, |idx, &param| -> Option<SweepPoint> {
+    let points = hqw_math::parallel::parallel_map_indexed(
+        grid,
+        threads,
+        |idx, &param| -> Option<SweepPoint> {
             let protocol = make_protocol(param);
             let schedule = protocol.schedule().ok()?;
             let init = if protocol.requires_initial_state() {
@@ -100,7 +103,8 @@ pub fn sweep_protocol_parallel(
                 tts_us: time_to_solution(schedule.duration_us(), p_star, 99.0),
                 mean_energy: result.samples.mean_energy(),
             })
-        });
+        },
+    );
     // Invalid protocols are dropped, exactly as the serial sweep does.
     points.into_iter().flatten().collect()
 }

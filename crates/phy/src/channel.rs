@@ -21,6 +21,15 @@ pub enum ChannelModel {
 }
 
 impl ChannelModel {
+    /// Stable machine-readable name (used in scenario reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelModel::UnitGainRandomPhase => "unit-gain-random-phase",
+            ChannelModel::RayleighIid => "rayleigh-iid",
+            ChannelModel::Identity => "identity",
+        }
+    }
+
     /// Draws an `n_rx × n_tx` channel matrix.
     ///
     /// # Panics

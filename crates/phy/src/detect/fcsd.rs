@@ -8,7 +8,7 @@
 //! Challenge 3), and each path is independent, "enabling parallelism".
 
 use super::lattice::{nearest_level, RealLattice};
-use super::{DetectionResult, Detector};
+use super::{DetectionResult, Detector, DetectorMeta};
 use crate::mimo::MimoSystem;
 use hqw_math::{CMatrix, CVector};
 
@@ -55,11 +55,13 @@ impl Detector for Fcsd {
 
         let mut best_cost = f64::INFINITY;
         let mut best_x = vec![0.0; dim];
+        let mut completions = 0u64;
 
         // Iterative enumeration of the expanded prefix.
         let mut stack: Vec<(usize, Vec<f64>, f64)> = vec![(dim, vec![0.0; dim], 0.0)];
         while let Some((d, x, cost)) = stack.pop() {
             if d == expand_from {
+                completions += 1;
                 // Complete with Babai from layer d−1 down.
                 let mut xc = x.clone();
                 let mut total = cost;
@@ -86,7 +88,14 @@ impl Detector for Fcsd {
 
         let symbols = lattice.to_symbols(&best_x);
         let gray_bits = system.demodulate(&symbols);
-        DetectionResult { symbols, gray_bits }
+        DetectionResult {
+            symbols,
+            gray_bits,
+            meta: DetectorMeta {
+                nodes_visited: completions,
+                sweeps: 0,
+            },
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! and solution quality rises with `K`.
 
 use super::lattice::RealLattice;
-use super::{DetectionResult, Detector};
+use super::{DetectionResult, Detector, DetectorMeta};
 use crate::mimo::MimoSystem;
 use hqw_math::{CMatrix, CVector};
 
@@ -48,6 +48,7 @@ impl Detector for KBest {
             x: vec![0.0; dim],
             cost: 0.0,
         }];
+        let mut extensions = 0u64;
         for d in (0..dim).rev() {
             let mut extended: Vec<Path> = Vec::with_capacity(frontier.len() * 4);
             for path in &frontier {
@@ -58,6 +59,7 @@ impl Detector for KBest {
                     extended.push(Path { x, cost });
                 }
             }
+            extensions += extended.len() as u64;
             extended.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("KBest: NaN cost"));
             extended.truncate(self.k);
             frontier = extended;
@@ -66,7 +68,14 @@ impl Detector for KBest {
         let best = &frontier[0];
         let symbols = lattice.to_symbols(&best.x);
         let gray_bits = system.demodulate(&symbols);
-        DetectionResult { symbols, gray_bits }
+        DetectionResult {
+            symbols,
+            gray_bits,
+            meta: DetectorMeta {
+                nodes_visited: extensions,
+                sweeps: 0,
+            },
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! sphere decoder must match exactly, and the explicit form of the objective
 //! the QUBO reduction encodes. Guarded to small systems.
 
-use super::{DetectionResult, Detector};
+use super::{DetectionResult, Detector, DetectorMeta};
 use crate::mimo::MimoSystem;
 use hqw_math::{CMatrix, CVector};
 
@@ -41,6 +41,10 @@ impl Detector for MlBruteForce {
         DetectionResult {
             symbols,
             gray_bits: best_bits,
+            meta: DetectorMeta {
+                nodes_visited: 1u64 << total_bits,
+                sweeps: 0,
+            },
         }
     }
 }

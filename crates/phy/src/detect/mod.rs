@@ -23,6 +23,7 @@ mod kbest;
 mod lattice;
 mod linear;
 mod ml;
+mod qubo;
 mod sphere;
 
 pub use fcsd::Fcsd;
@@ -30,10 +31,26 @@ pub use kbest::KBest;
 pub use lattice::RealLattice;
 pub use linear::{Mmse, ZeroForcing};
 pub use ml::MlBruteForce;
+pub use qubo::{instance_fingerprint, QuboDetector};
 pub use sphere::SphereDecoder;
 
 use crate::mimo::MimoSystem;
 use hqw_math::{CMatrix, CVector};
+
+/// Work metadata reported by a detector alongside its decision.
+///
+/// The fields are *algorithmic* counters, not wall-clock measurements, so
+/// they are bit-identical across runs and thread counts — the scenario
+/// engine aggregates them into its deterministic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectorMeta {
+    /// Search-tree nodes visited / candidate vectors evaluated
+    /// (0 for detectors without a search tree, e.g. linear ones).
+    pub nodes_visited: u64,
+    /// Annealer/SA sweeps executed across all reads
+    /// (0 for purely classical one-shot detectors).
+    pub sweeps: u64,
+}
 
 /// Hard-decision output of a detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,10 +59,19 @@ pub struct DetectionResult {
     pub symbols: CVector,
     /// Detected Gray-labeled bits, user-major.
     pub gray_bits: Vec<u8>,
+    /// Algorithmic work counters for this detection.
+    pub meta: DetectorMeta,
 }
 
 /// A hard-decision MIMO detector.
-pub trait Detector {
+///
+/// `Send + Sync` is a supertrait so boxed detectors can fan out across the
+/// deterministic parallel scenario engine in `hqw-core`. Implementations
+/// must be deterministic functions of `(H, y)` (any internal randomness must
+/// derive from a stored seed plus the instance data, as
+/// [`QuboDetector`] does), so BER sweeps are bit-identical for every thread
+/// count.
+pub trait Detector: Send + Sync {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 
@@ -63,7 +89,11 @@ pub(crate) fn result_from_estimates(system: &MimoSystem, estimates: &CVector) ->
         symbols[u] = sym;
         gray_bits.extend(bits);
     }
-    DetectionResult { symbols, gray_bits }
+    DetectionResult {
+        symbols,
+        gray_bits,
+        meta: DetectorMeta::default(),
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! point, so the radius is finite from the start).
 
 use super::lattice::{levels_by_distance, RealLattice};
-use super::{DetectionResult, Detector};
+use super::{DetectionResult, Detector, DetectorMeta};
 use crate::mimo::MimoSystem;
 use hqw_math::{CMatrix, CVector};
 
@@ -89,7 +89,14 @@ impl Detector for SphereDecoder {
 
         let symbols = lattice.to_symbols(&search.best_x);
         let gray_bits = system.demodulate(&symbols);
-        DetectionResult { symbols, gray_bits }
+        DetectionResult {
+            symbols,
+            gray_bits,
+            meta: DetectorMeta {
+                nodes_visited: search.nodes as u64,
+                sweeps: 0,
+            },
+        }
     }
 }
 

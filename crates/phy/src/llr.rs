@@ -198,7 +198,10 @@ mod sample_llr_tests {
         let llrs = sample_llrs(&set, 2);
         assert!(llrs[0] > 1.0, "bit 0 always 0 ⇒ strongly positive LLR");
         assert!(llrs[1] < -1.0, "bit 1 always 1 ⇒ strongly negative LLR");
-        assert!(llrs[0].is_finite() && llrs[1].is_finite(), "smoothing keeps LLRs finite");
+        assert!(
+            llrs[0].is_finite() && llrs[1].is_finite(),
+            "smoothing keeps LLRs finite"
+        );
     }
 
     #[test]

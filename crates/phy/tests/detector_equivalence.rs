@@ -1,0 +1,167 @@
+//! Cross-detector equivalence properties.
+//!
+//! The paper's comparison only means something if every arm solves the *same*
+//! problem: at high SNR on small instances the near-optimal detectors —
+//! sphere decoder, exhaustive-width K-best, and the SA-backed QUBO path —
+//! must reproduce the exact ML symbol decisions, and every [`Detector`] trait
+//! impl must agree with the free-function pipeline it wraps.
+
+use hqw_math::Rng64;
+use hqw_phy::channel::{add_awgn, snr_db_to_noise_variance, ChannelModel};
+use hqw_phy::detect::{
+    instance_fingerprint, Detector, KBest, MlBruteForce, Mmse, QuboDetector, SphereDecoder,
+    ZeroForcing,
+};
+use hqw_phy::mimo::MimoSystem;
+use hqw_phy::modulation::Modulation;
+use hqw_phy::reduction::reduce_to_qubo;
+use hqw_qubo::sa::{sample_qubo, SaParams};
+use proptest::prelude::*;
+
+/// A small noisy scenario at the given SNR.
+struct Scenario {
+    system: MimoSystem,
+    h: hqw_math::CMatrix,
+    y: hqw_math::CVector,
+    tx_bits: Vec<u8>,
+}
+
+fn scenario(m: Modulation, n: usize, snr_db: f64, seed: u64) -> Scenario {
+    let mut rng = Rng64::new(seed);
+    let system = MimoSystem::new(n, n, m);
+    let h = ChannelModel::UnitGainRandomPhase.generate(n, n, &mut rng);
+    let tx_bits = system.random_bits(&mut rng);
+    let x = system.modulate(&tx_bits);
+    let mut y = system.transmit(&h, &x);
+    add_awgn(&mut y, snr_db_to_noise_variance(snr_db, n), &mut rng);
+    Scenario {
+        system,
+        h,
+        y,
+        tx_bits,
+    }
+}
+
+fn quick_sa() -> SaParams {
+    SaParams {
+        sweeps: 96,
+        num_reads: 16,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At high SNR on small instances, the exact and near-exact detectors
+    /// all reproduce the ML brute-force symbol decisions.
+    #[test]
+    fn tree_and_qubo_detectors_match_ml_at_high_snr(
+        seed in any::<u64>(),
+        m in prop_oneof![Just(Modulation::Bpsk), Just(Modulation::Qpsk)],
+    ) {
+        let sc = scenario(m, 3, 22.0, seed);
+        let ml = MlBruteForce.detect(&sc.system, &sc.h, &sc.y);
+        let ml_metric = sc.system.ml_metric(&sc.h, &sc.y, &ml.symbols);
+        for (name, result) in [
+            ("SD", SphereDecoder::exact().detect(&sc.system, &sc.h, &sc.y)),
+            ("K-best", KBest::new(4096).detect(&sc.system, &sc.h, &sc.y)),
+            (
+                "QUBO-SA",
+                QuboDetector::with_params(quick_sa(), 17).detect(&sc.system, &sc.h, &sc.y),
+            ),
+        ] {
+            // Exact metric agreement always; decision agreement unless the
+            // instance has an exact tie (measure zero under AWGN).
+            let metric = sc.system.ml_metric(&sc.h, &sc.y, &result.symbols);
+            prop_assert!(
+                (metric - ml_metric).abs() < 1e-9,
+                "{name}: metric {metric} vs ML {ml_metric}"
+            );
+            prop_assert_eq!(&result.gray_bits, &ml.gray_bits, "{} decision differs", name);
+        }
+    }
+
+    /// High-SNR detection recovers the transmitted bits for every family —
+    /// the BER-floor sanity the scenario engine's top SNR point rests on.
+    #[test]
+    fn every_family_recovers_bits_at_very_high_snr(seed in any::<u64>()) {
+        let sc = scenario(Modulation::Qpsk, 3, 40.0, seed);
+        let nv = snr_db_to_noise_variance(40.0, 3);
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(ZeroForcing),
+            Box::new(Mmse::new(nv)),
+            Box::new(SphereDecoder::exact()),
+            Box::new(KBest::new(8)),
+            Box::new(QuboDetector::with_params(quick_sa(), 3)),
+        ];
+        for det in &detectors {
+            let result = det.detect(&sc.system, &sc.h, &sc.y);
+            prop_assert_eq!(&result.gray_bits, &sc.tx_bits, "{} failed", det.name());
+        }
+    }
+
+    /// The `QuboDetector` trait impl is exactly the free-function pipeline:
+    /// `reduce_to_qubo` → `sample_qubo` with the fingerprint-derived seed.
+    #[test]
+    fn qubo_detector_matches_free_function_pipeline(
+        seed in any::<u64>(),
+        base in any::<u64>(),
+    ) {
+        let sc = scenario(Modulation::Qam16, 2, 12.0, seed);
+        let detector = QuboDetector::with_params(quick_sa(), base);
+        let via_trait = detector.detect(&sc.system, &sc.h, &sc.y);
+
+        let reduction = reduce_to_qubo(&sc.system, &sc.h, &sc.y);
+        let mut rng = Rng64::new(base ^ instance_fingerprint(&sc.h, &sc.y));
+        let samples = sample_qubo(&reduction.qubo, &quick_sa(), &mut rng);
+        let best = samples.best().expect("SA returns reads");
+        prop_assert_eq!(&via_trait.gray_bits, &reduction.natural_to_gray(&best.bits));
+    }
+
+    /// Trait-object dispatch is transparent: boxed detectors return exactly
+    /// what the concrete values return, including metadata.
+    #[test]
+    fn boxed_dispatch_is_transparent(seed in any::<u64>()) {
+        let sc = scenario(Modulation::Qpsk, 3, 10.0, seed);
+        let concrete = SphereDecoder::with_budget(5_000).detect(&sc.system, &sc.h, &sc.y);
+        let boxed: Box<dyn Detector> = Box::new(SphereDecoder::with_budget(5_000));
+        prop_assert_eq!(boxed.detect(&sc.system, &sc.h, &sc.y), concrete);
+
+        let concrete = KBest::new(4).detect(&sc.system, &sc.h, &sc.y);
+        let boxed: Box<dyn Detector> = Box::new(KBest::new(4));
+        prop_assert_eq!(boxed.detect(&sc.system, &sc.h, &sc.y), concrete);
+    }
+
+    /// Every detector's output is internally consistent: symbols lie on the
+    /// constellation and demodulate to the reported Gray bits.
+    #[test]
+    fn results_are_internally_consistent(seed in any::<u64>()) {
+        let sc = scenario(Modulation::Qam16, 3, 8.0, seed);
+        let nv = snr_db_to_noise_variance(8.0, 3);
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(ZeroForcing),
+            Box::new(Mmse::new(nv)),
+            Box::new(SphereDecoder::exact()),
+            Box::new(KBest::new(8)),
+            Box::new(QuboDetector::with_params(quick_sa(), 5)),
+        ];
+        let points = Modulation::Qam16.constellation();
+        for det in &detectors {
+            let result = det.detect(&sc.system, &sc.h, &sc.y);
+            prop_assert_eq!(
+                &sc.system.demodulate(&result.symbols),
+                &result.gray_bits,
+                "{}: bits/symbols disagree",
+                det.name()
+            );
+            for u in 0..sc.system.n_tx {
+                prop_assert!(
+                    points.iter().any(|(_, p)| (result.symbols[u] - *p).abs() < 1e-9),
+                    "{}: symbol {u} off-constellation",
+                    det.name()
+                );
+            }
+        }
+    }
+}

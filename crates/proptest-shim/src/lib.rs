@@ -117,11 +117,7 @@ pub trait Strategy {
     }
 
     /// Rejects values failing the predicate (resampling up to a bound).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -164,7 +160,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter({}): predicate rejected 1000 samples", self.whence)
+        panic!(
+            "prop_filter({}): predicate rejected 1000 samples",
+            self.whence
+        )
     }
 }
 

@@ -245,7 +245,9 @@ mod tests {
     use hqw_math::Rng64;
 
     fn random_state(n: usize, rng: &mut Rng64) -> Vec<i8> {
-        (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect()
+        (0..n)
+            .map(|_| if rng.next_bool() { 1 } else { -1 })
+            .collect()
     }
 
     #[test]

@@ -14,7 +14,9 @@ fn random_bits(n: usize, rng: &mut Rng64) -> Vec<u8> {
 }
 
 fn random_spins(n: usize, rng: &mut Rng64) -> Vec<i8> {
-    (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect()
+    (0..n)
+        .map(|_| if rng.next_bool() { 1 } else { -1 })
+        .collect()
 }
 
 proptest! {

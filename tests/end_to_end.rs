@@ -172,3 +172,53 @@ fn detector_initializers_integrate_with_the_hybrid() {
     let result = solver.solve(&inst, 3);
     assert_eq!(result.best_bits, inst.tx_natural_bits);
 }
+
+#[test]
+fn ber_scenario_engine_is_wired_end_to_end() {
+    // The full scenario path through the umbrella crate: classical, SA-QUBO
+    // and hybrid arms over an SNR grid, deterministic across thread counts.
+    use hqw::phy::channel::ChannelModel;
+    use hqw::phy::detect::{KBest, ZeroForcing};
+    use std::sync::Arc;
+
+    let make_roster = || {
+        vec![
+            ScenarioDetector::fixed(false, ZeroForcing),
+            ScenarioDetector::fixed(false, KBest::new(8)),
+            ScenarioDetector::fixed(true, QuboDetector::new(9)),
+            ScenarioDetector::fixed(
+                true,
+                HybridDetector::new(HybridSolver::paper_prototype(quick_sampler(8), 0.65), 9),
+            ),
+        ]
+    };
+    let config = |threads| SnrSweepConfig {
+        n_users: 3,
+        n_rx: 3,
+        modulation: Modulation::Qpsk,
+        channel: ChannelModel::UnitGainRandomPhase,
+        snr_db: vec![6.0, 30.0],
+        realizations: 3,
+        seed: 11,
+        threads,
+    };
+
+    let serial: BerReport = run_ber_sweep(&config(1), &make_roster());
+    assert_eq!(serial.series.len(), 4);
+    for series in &serial.series {
+        // 30 dB on a 3-user QPSK system is easy for every family.
+        assert_eq!(
+            series.points[1].ber, 0.0,
+            "{}: nonzero BER at 30 dB",
+            series.detector
+        );
+    }
+    let parallel = run_ber_sweep(&config(0), &make_roster());
+    assert_eq!(serial.to_json(), parallel.to_json());
+
+    // Arc factories reuse: a detector arm can be built per noise point too.
+    let mmse = ScenarioDetector::noise_matched("MMSE", false, |nv| {
+        Arc::new(hqw::phy::detect::Mmse::new(nv))
+    });
+    assert_eq!(mmse.name(), "MMSE");
+}
