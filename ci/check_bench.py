@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: parse BENCH_*.json and fail on invariant violations.
+
+Checked invariants (exit status 1 on any violation, with a diagnostic):
+
+BENCH_kernels.json
+  * the incremental-CSR sweep kernel keeps a >= 3x speedup over the baseline
+    adjacency-list kernel on the dense 256-spin problem;
+  * every measurement is positive.
+
+BENCH_stream.json
+  * every cell's rates are in [0, 1], latencies ordered (p99 >= p50 > 0),
+    and served frames add up;
+  * warm-started SA reaches cold-start solution quality in no more sweeps
+    than the cold start at coherence rho >= 0.5, and in *strictly fewer*
+    sweeps at rho >= 0.9 (the streaming warm-start payoff; at rho ~ 0 the
+    previous decision carries no information, so no ordering is required);
+  * for the non-adaptive policies (always-classical / always-hybrid), the
+    deadline-miss rate is monotone non-decreasing in offered load (shorter
+    arrival period) at fixed rho.  The deadline-aware policy re-routes by
+    queue state, so its miss rate is exempt by design.
+
+Usage: ci/check_bench.py [--kernels PATH] [--stream PATH]
+"""
+
+import argparse
+import json
+import sys
+
+failures = []
+
+
+def check(ok, message):
+    if not ok:
+        failures.append(message)
+
+
+def check_kernels(path):
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "kernels", f"{path}: wrong bench tag")
+    results = bench.get("results", [])
+    check(bool(results), f"{path}: no kernel measurements")
+    for r in results:
+        check(r["ns_per_iter"] > 0, f"{path}: non-positive time for {r['name']}")
+    speedup = bench.get("derived", {}).get("sa_sweep_speedup_256")
+    check(speedup is not None, f"{path}: missing derived.sa_sweep_speedup_256")
+    if speedup is not None:
+        check(
+            speedup >= 3.0,
+            f"{path}: dense-256 sweep-kernel speedup regressed to "
+            f"{speedup}x (floor: 3x)",
+        )
+    print(f"{path}: {len(results)} measurements, dense-256 speedup {speedup}x")
+
+
+def check_stream(path):
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "stream", f"{path}: wrong bench tag")
+    cells = bench.get("cells", [])
+    check(bool(cells), f"{path}: no stream cells")
+
+    frames = bench["scenario"]["frames"]
+    for c in cells:
+        tag = f"{path}: [{c['policy']} rho={c['rho']} period={c['arrival_period_us']}]"
+        check(0.0 <= c["ber"] <= 1.0, f"{tag} BER {c['ber']} out of range")
+        check(
+            0.0 <= c["deadline_miss_rate"] <= 1.0,
+            f"{tag} miss rate {c['deadline_miss_rate']} out of range",
+        )
+        check(
+            c["p99_latency_us"] >= c["p50_latency_us"] > 0.0,
+            f"{tag} latency percentiles disordered",
+        )
+        check(c["throughput_per_ms"] > 0.0, f"{tag} non-positive throughput")
+        check(
+            c["classical_frames"] + c["hybrid_frames"] == frames,
+            f"{tag} served frames do not add up",
+        )
+        if c["warm_pairs"] > 0:
+            warm, cold = c["warm_sweeps_to_solution"], c["cold_sweeps_to_solution"]
+            if c["rho"] >= 0.9:
+                check(
+                    warm < cold,
+                    f"{tag} warm starts must beat cold strictly at high "
+                    f"coherence: warm {warm} vs cold {cold}",
+                )
+            elif c["rho"] >= 0.5:
+                check(
+                    warm <= cold,
+                    f"{tag} warm starts regressed: warm {warm} vs cold {cold}",
+                )
+
+    # Miss-rate monotonicity in offered load for the non-adaptive policies.
+    groups = {}
+    for c in cells:
+        if c["policy"] in ("always-classical", "always-hybrid"):
+            groups.setdefault((c["policy"], c["rho"]), []).append(c)
+    for (policy, rho), group in sorted(groups.items()):
+        group.sort(key=lambda c: -c["arrival_period_us"])  # increasing load
+        rates = [c["deadline_miss_rate"] for c in group]
+        check(
+            all(a <= b for a, b in zip(rates, rates[1:])),
+            f"{path}: [{policy} rho={rho}] miss rate not monotone in load: {rates}",
+        )
+    n_high = sum(1 for c in cells if c["rho"] >= 0.9 and c["warm_pairs"] > 0)
+    check(n_high > 0, f"{path}: no high-coherence cells exercise warm starts")
+    print(f"{path}: {len(cells)} cells OK ({n_high} high-coherence warm-start cells)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", default="BENCH_kernels.json")
+    parser.add_argument("--stream", default="BENCH_stream.json")
+    args = parser.parse_args()
+
+    check_kernels(args.kernels)
+    check_stream(args.stream)
+
+    if failures:
+        print(f"\nBENCH GATE FAILED ({len(failures)} violation(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate: all invariants hold")
+
+
+if __name__ == "__main__":
+    main()

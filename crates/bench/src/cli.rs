@@ -9,9 +9,17 @@
 //!   results are bit-identical for any value).
 //! * `--json <path>` — JSON report path, for binaries that emit one
 //!   (default: the binary's `BENCH_*.json` at the workspace root).
+//!
+//! Malformed arguments are reported on stderr with the usage line and exit
+//! the process with status 2 (never a panic/abort — CI and scripts get a
+//! clean diagnostic and a nonzero status).
 
 use hqw_core::experiments::Scale;
 use std::path::PathBuf;
+
+/// One-line usage summary, printed alongside parse errors.
+pub const USAGE: &str =
+    "usage: [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -31,20 +39,26 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parses `std::env::args()`.
-    ///
-    /// # Panics
-    /// Panics with a usage message on malformed arguments.
+    /// Parses `std::env::args()`. On malformed arguments, prints the error
+    /// and [`USAGE`] to stderr and exits the process with status 2.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses an explicit argument list (testable core of
     /// [`Options::from_args`]).
     ///
-    /// # Panics
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    /// # Errors
+    /// Returns a human-readable message for an unknown flag, a flag missing
+    /// its value, or a value that fails to parse.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut scale = Scale::standard();
         let mut scale_name = "standard";
         let mut seed = 2026u64;
@@ -63,35 +77,34 @@ impl Options {
                     scale_name = "full";
                 }
                 "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    seed = v.parse().expect("--seed needs an integer");
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed needs an unsigned integer, got '{v}'"))?;
                 }
                 "--out" => {
-                    out_dir = PathBuf::from(args.next().expect("--out needs a path"));
+                    out_dir = PathBuf::from(args.next().ok_or("--out needs a path")?);
                 }
                 "--threads" => {
-                    let v = args.next().expect("--threads needs a value");
-                    threads = v.parse().expect("--threads needs an integer");
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads needs an unsigned integer, got '{v}'"))?;
                 }
                 "--json" => {
-                    json_out = Some(PathBuf::from(args.next().expect("--json needs a path")));
+                    json_out = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
                 }
-                other => {
-                    panic!(
-                        "unknown flag '{other}' \
-                         (expected --quick|--full|--seed N|--out DIR|--threads N|--json PATH)"
-                    )
-                }
+                other => return Err(format!("unknown flag '{other}'")),
             }
         }
-        Options {
+        Ok(Options {
             scale,
             scale_name,
             seed,
             out_dir,
             threads,
             json_out,
-        }
+        })
     }
 
     /// Path for a named CSV in the output directory.
@@ -121,9 +134,17 @@ mod tests {
             .into_iter()
     }
 
+    fn parse_ok(list: &[&str]) -> Options {
+        Options::parse(args(list)).expect("arguments should parse")
+    }
+
+    fn parse_err(list: &[&str]) -> String {
+        Options::parse(args(list)).expect_err("arguments should be rejected")
+    }
+
     #[test]
     fn defaults_are_standard_scale() {
-        let o = Options::parse(args(&[]));
+        let o = parse_ok(&[]);
         assert_eq!(o.scale_name, "standard");
         assert_eq!(o.seed, 2026);
         assert_eq!(o.out_dir, PathBuf::from("results"));
@@ -131,16 +152,16 @@ mod tests {
 
     #[test]
     fn quick_and_full_switch_scales() {
-        assert_eq!(Options::parse(args(&["--quick"])).scale_name, "quick");
-        assert_eq!(Options::parse(args(&["--full"])).scale_name, "full");
+        assert_eq!(parse_ok(&["--quick"]).scale_name, "quick");
+        assert_eq!(parse_ok(&["--full"]).scale_name, "full");
         // Later flags win.
-        let o = Options::parse(args(&["--quick", "--full"]));
+        let o = parse_ok(&["--quick", "--full"]);
         assert_eq!(o.scale_name, "full");
     }
 
     #[test]
     fn seed_and_out_parse_values() {
-        let o = Options::parse(args(&["--seed", "7", "--out", "/tmp/x"]));
+        let o = parse_ok(&["--seed", "7", "--out", "/tmp/x"]);
         assert_eq!(o.seed, 7);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(o.csv_path("a.csv"), PathBuf::from("/tmp/x/a.csv"));
@@ -148,29 +169,34 @@ mod tests {
 
     #[test]
     fn threads_and_json_parse_values() {
-        let o = Options::parse(args(&[]));
+        let o = parse_ok(&[]);
         assert_eq!(o.threads, 0);
         assert!(o.json_out.is_none());
-        let o = Options::parse(args(&["--threads", "3", "--json", "/tmp/ber.json"]));
+        let o = parse_ok(&["--threads", "3", "--json", "/tmp/ber.json"]);
         assert_eq!(o.threads, 3);
         assert_eq!(o.json_out, Some(PathBuf::from("/tmp/ber.json")));
     }
 
     #[test]
-    #[should_panic(expected = "--threads needs an integer")]
-    fn bad_threads_panics() {
-        Options::parse(args(&["--threads", "many"]));
+    fn malformed_values_are_reported_not_panicked() {
+        assert!(parse_err(&["--threads", "many"]).contains("--threads"));
+        assert!(parse_err(&["--threads", "many"]).contains("'many'"));
+        assert!(parse_err(&["--seed", "xyz"]).contains("--seed"));
+        assert!(parse_err(&["--seed", "-3"]).contains("'-3'"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        Options::parse(args(&["--nope"]));
+    fn missing_values_are_reported() {
+        assert_eq!(parse_err(&["--seed"]), "--seed needs a value");
+        assert_eq!(parse_err(&["--out"]), "--out needs a path");
+        assert_eq!(parse_err(&["--threads"]), "--threads needs a value");
+        assert_eq!(parse_err(&["--json"]), "--json needs a path");
     }
 
     #[test]
-    #[should_panic(expected = "--seed needs an integer")]
-    fn bad_seed_panics() {
-        Options::parse(args(&["--seed", "xyz"]));
+    fn unknown_flags_are_reported() {
+        assert_eq!(parse_err(&["--nope"]), "unknown flag '--nope'");
+        // A valid prefix doesn't rescue a later bad flag.
+        assert_eq!(parse_err(&["--quick", "--oops"]), "unknown flag '--oops'");
     }
 }

@@ -25,6 +25,10 @@
 //!   [`hqw_phy::detect::Detector`] (classical, SA-QUBO, or the hybrid solver
 //!   via [`scenario::HybridDetector`]) swept over a deterministic
 //!   (SNR × realization) grid into a JSON link-metric report.
+//! * [`stream`] — the streaming frame engine: Gauss–Markov
+//!   temporally-correlated channels ([`hqw_phy::channel::ChannelTrack`]),
+//!   deadline-aware classical/hybrid dispatch on a virtual clock, and
+//!   warm-started solvers measuring warm-vs-cold sweeps-to-solution.
 //! * [`experiments`] — canned runners for every figure in the evaluation.
 //! * [`report`] — table/CSV rendering for the bench binaries.
 
@@ -41,9 +45,14 @@ pub mod report;
 pub mod scenario;
 pub mod solver;
 pub mod stages;
+pub mod stream;
 pub mod sweep;
 
 pub use protocol::Protocol;
 pub use scenario::{run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig};
 pub use solver::{HybridConfig, HybridResult, HybridSolver};
 pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};
+pub use stream::{
+    run_stream, run_stream_grid, CostModel, DispatchPolicy, StreamConfig, StreamGridConfig,
+    StreamGridReport, StreamReport,
+};

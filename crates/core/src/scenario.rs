@@ -220,17 +220,16 @@ struct CellOutcome {
 /// and noise (paired comparison). See the module docs for the determinism
 /// contract.
 ///
+/// Degenerate inputs stay well-formed rather than panicking: an empty
+/// roster yields a report with no series, and an empty SNR grid yields
+/// series with no points (both render as valid JSON).
+///
 /// # Panics
-/// Panics on an empty SNR grid, zero realizations, or an empty roster.
+/// Panics on zero realizations per point (the averages would be `0/0`).
 pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) -> BerReport {
-    assert!(!config.snr_db.is_empty(), "run_ber_sweep: empty SNR grid");
     assert!(
         config.realizations > 0,
         "run_ber_sweep: zero realizations per point"
-    );
-    assert!(
-        !detectors.is_empty(),
-        "run_ber_sweep: empty detector roster"
     );
 
     // Per-cell seeds drawn up front, in grid order — the same derivation the
@@ -339,12 +338,13 @@ pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) ->
     }
 }
 
-/// Formats a finite float as a JSON number.
+/// Formats a finite float as a JSON number (shared with the stream engine's
+/// report writer).
 ///
 /// # Panics
 /// Panics on non-finite input (JSON has no representation for it, and the
 /// scenario metrics are finite by construction).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     assert!(v.is_finite(), "json_num: non-finite value {v}");
     format!("{v}")
 }
@@ -574,18 +574,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty SNR grid")]
-    fn empty_grid_rejected() {
+    fn empty_grid_yields_empty_curves_not_a_panic() {
         let config = SnrSweepConfig {
             snr_db: vec![],
             ..quick_config(1)
         };
-        run_ber_sweep(&config, &[ScenarioDetector::fixed(false, ZeroForcing)]);
+        let report = run_ber_sweep(&config, &[ScenarioDetector::fixed(false, ZeroForcing)]);
+        assert_eq!(report.series.len(), 1);
+        assert!(report.series[0].points.is_empty());
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
-    #[should_panic(expected = "empty detector roster")]
-    fn empty_roster_rejected() {
-        run_ber_sweep(&quick_config(1), &[]);
+    fn empty_roster_yields_empty_report_not_a_panic() {
+        let report = run_ber_sweep(&quick_config(1), &[]);
+        assert!(report.series.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"series\": [\n  ]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn single_snr_grid_is_well_formed() {
+        let config = SnrSweepConfig {
+            snr_db: vec![12.0],
+            ..quick_config(0)
+        };
+        let detectors = vec![
+            ScenarioDetector::fixed(false, ZeroForcing),
+            ScenarioDetector::fixed(true, quick_qubo_detector()),
+        ];
+        let report = run_ber_sweep(&config, &detectors);
+        assert_eq!(report.series.len(), 2);
+        for series in &report.series {
+            assert_eq!(series.points.len(), 1);
+            assert!((0.0..=1.0).contains(&series.points[0].ber));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero realizations")]
+    fn zero_realizations_rejected() {
+        let config = SnrSweepConfig {
+            realizations: 0,
+            ..quick_config(1)
+        };
+        run_ber_sweep(&config, &[ScenarioDetector::fixed(false, ZeroForcing)]);
     }
 }

@@ -119,6 +119,29 @@ impl HybridSolver {
     /// # Panics
     /// Panics when the protocol parameters are invalid.
     pub fn solve(&self, instance: &DetectionInstance, seed: u64) -> HybridResult {
+        self.solve_warm(instance, seed, None)
+    }
+
+    /// Solves one detection instance with an optional **warm start**.
+    ///
+    /// When `warm_start` is given and the protocol takes an initial state,
+    /// the warm bits replace the classical initializer's candidate (at zero
+    /// classical latency — the bits are a previous frame's decision, already
+    /// paid for). This is the streaming engine's cross-frame reuse: under a
+    /// temporally-coherent channel the previous decision is a low-ΔE_IS
+    /// initial state, exactly the regime the harvest studies sample offline.
+    /// Forward-only protocols ignore the warm start. `solve_warm(i, s, None)`
+    /// is exactly `solve(i, s)`.
+    ///
+    /// # Panics
+    /// Panics when the protocol parameters are invalid or the warm-start
+    /// length mismatches the instance.
+    pub fn solve_warm(
+        &self,
+        instance: &DetectionInstance,
+        seed: u64,
+        warm_start: Option<&[u8]>,
+    ) -> HybridResult {
         let mut rng = Rng64::new(seed);
         let schedule = self
             .config
@@ -127,7 +150,21 @@ impl HybridSolver {
             .expect("invalid protocol parameters");
 
         let (initial, classical_us) = if self.config.protocol.requires_initial_state() {
-            let init = self.config.initializer.initialize(instance, &mut rng);
+            let init = match warm_start {
+                Some(bits) => {
+                    assert_eq!(
+                        bits.len(),
+                        instance.num_vars(),
+                        "solve_warm: warm-start length mismatch"
+                    );
+                    InitialState {
+                        bits: bits.to_vec(),
+                        energy: instance.reduction.qubo.energy(bits),
+                        latency_us: 0.0,
+                    }
+                }
+                None => self.config.initializer.initialize(instance, &mut rng),
+            };
             let latency = init.latency_us;
             (Some(init), latency)
         } else {
@@ -280,6 +317,51 @@ mod tests {
         let b = solver.solve(&inst, 42);
         assert_eq!(a.best_bits, b.best_bits);
         assert_eq!(a.best_energy, b.best_energy);
+    }
+
+    #[test]
+    fn solve_warm_none_is_exactly_solve() {
+        let inst = instance();
+        let solver = HybridSolver::paper_prototype(quick_sampler(10), 0.7);
+        let a = solver.solve(&inst, 23);
+        let b = solver.solve_warm(&inst, 23, None);
+        assert_eq!(a.best_bits, b.best_bits);
+        assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+    }
+
+    #[test]
+    fn ground_truth_warm_start_is_never_lost() {
+        // Seeding RA with the exact ground state must return it: the final
+        // selection includes the initial state itself.
+        let inst = instance();
+        let solver = HybridSolver::paper_prototype(quick_sampler(8), 0.8);
+        let result = solver.solve_warm(&inst, 9, Some(&inst.tx_natural_bits));
+        assert!((result.best_energy - inst.ground_energy()).abs() < 1e-6);
+        let init = result.initial.as_ref().expect("RA records its seed");
+        assert_eq!(init.bits, inst.tx_natural_bits);
+        assert_eq!(init.latency_us, 0.0, "warm starts are already paid for");
+    }
+
+    #[test]
+    fn forward_protocols_ignore_warm_starts() {
+        let inst = instance();
+        let solver = HybridSolver::new(
+            quick_sampler(6),
+            HybridConfig {
+                protocol: Protocol::paper_fa(0.45),
+                initializer: Box::new(GreedyInitializer::default()),
+            },
+        );
+        let result = solver.solve_warm(&inst, 3, Some(&inst.tx_natural_bits));
+        assert!(result.initial.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start length mismatch")]
+    fn warm_start_length_mismatch_panics() {
+        let inst = instance();
+        let solver = HybridSolver::paper_prototype(quick_sampler(4), 0.7);
+        solver.solve_warm(&inst, 1, Some(&[0, 1, 0]));
     }
 
     #[test]

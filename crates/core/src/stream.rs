@@ -1,0 +1,735 @@
+//! Streaming frame engine: temporally-correlated channels, deadline-aware
+//! hybrid dispatch, warm-started solvers.
+//!
+//! The paper's core systems argument (Figure 2, Challenge 3) is that hybrid
+//! classical-quantum detection runs as a *pipeline under link-layer
+//! deadlines*: data bits from successive channel uses stream through
+//! classical and quantum stages against a turnaround budget. This module
+//! turns the one-shot scenario engine into that workload: frames arrive on a
+//! virtual clock from a Gauss–Markov [`ChannelTrack`], a [`DispatchPolicy`]
+//! routes each frame to a classical detector or the warm-started SA/anneal
+//! path, and per-frame service times are derived **deterministically** from
+//! [`DetectorMeta`]-style work counters through a [`CostModel`] — never from
+//! wall clocks — so the whole simulation is byte-reproducible at any thread
+//! count.
+//!
+//! Warm starts are the streaming payoff of temporal coherence: frame `t` is
+//! seeded from frame `t − 1`'s decision, which under a coherent channel
+//! (`ρ` close to 1) is a low-ΔE_IS initial state — the premise the harvest
+//! studies (`crate::harvest`) sample offline, earned online here. Each
+//! hybrid frame also runs a cold-started reference read, so the report
+//! carries the paired *warm-vs-cold sweeps-to-solution* measurement.
+//!
+//! ## Determinism contract
+//!
+//! A single stream is sequential by nature (the queue state and the warm
+//! state both carry across frames); [`run_stream_grid`] fans the
+//! (load × ρ × policy) grid out with
+//! [`hqw_math::parallel::parallel_map_indexed`], with every cell's seed
+//! derived up front from the grid seed and the cell's ρ index. Cells that
+//! differ only in load or policy therefore see **identical frame
+//! sequences** (paired comparison), and the JSON report is byte-identical
+//! for any thread count — CI pins this by diffing a 1-thread against an
+//! N-thread `fig-stream` run.
+
+use crate::pipeline::item_seed;
+use crate::scenario::json_num;
+use hqw_math::parallel::parallel_map_indexed;
+use hqw_math::stats::percentile_sorted;
+use hqw_math::Rng64;
+use hqw_phy::channel::{ChannelTrack, TrackConfig};
+use hqw_phy::detect::{Detector, DetectorMeta};
+use hqw_phy::instance::DetectionInstance;
+use hqw_phy::metrics::bit_error_rate;
+use hqw_qubo::sa::{sa_read_csr_traced, SaParams};
+use hqw_qubo::{bits_to_spins, spins_to_bits, CsrIsing};
+
+/// How the dispatcher routes frames between the classical and hybrid arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Every frame takes the classical (linear) detector.
+    AlwaysClassical,
+    /// Every frame takes the warm-started hybrid/SA path.
+    AlwaysHybrid,
+    /// Deadline-aware fallback: a frame takes the hybrid path only when its
+    /// projected completion (queue wait + nominal hybrid service) fits the
+    /// latency budget, and downgrades to the classical detector otherwise.
+    DeadlineAware,
+}
+
+impl DispatchPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::AlwaysClassical,
+        DispatchPolicy::AlwaysHybrid,
+        DispatchPolicy::DeadlineAware,
+    ];
+
+    /// Stable machine-readable name (used in stream reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::AlwaysClassical => "always-classical",
+            DispatchPolicy::AlwaysHybrid => "always-hybrid",
+            DispatchPolicy::DeadlineAware => "deadline-aware",
+        }
+    }
+}
+
+/// Deterministic per-operation cost model: maps a detector's algorithmic
+/// work counters to programmed service microseconds.
+///
+/// Service time is `base + nodes·us_per_node + sweeps·us_per_sweep` — the
+/// same programmed-time convention as the annealer's QPU accounting and the
+/// initializer latency models, so the virtual clock never reads a wall
+/// clock and stream reports stay bit-identical across machines and thread
+/// counts.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed per-frame overhead (filtering, reduction, readout) in µs.
+    pub base_us: f64,
+    /// Cost per search-tree node visited (µs).
+    pub us_per_node: f64,
+    /// Cost per SA/annealer sweep (µs).
+    pub us_per_sweep: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_us: 10.0,
+            us_per_node: 0.05,
+            us_per_sweep: 1.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// Service time for a detection with the given work counters.
+    pub fn service_us(&self, meta: &DetectorMeta) -> f64 {
+        self.base_us
+            + meta.nodes_visited as f64 * self.us_per_node
+            + meta.sweeps as f64 * self.us_per_sweep
+    }
+
+    /// Nominal hybrid-path service time for an SA schedule of `sweeps`
+    /// sweeps — what the deadline-aware policy budgets against.
+    pub fn nominal_hybrid_us(&self, sweeps: usize) -> f64 {
+        self.base_us + sweeps as f64 * self.us_per_sweep
+    }
+}
+
+/// Configuration of one streaming cell.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// The Gauss–Markov channel process frames are drawn from.
+    pub track: TrackConfig,
+    /// Number of frames to stream.
+    pub frames: usize,
+    /// Frame inter-arrival period (µs); smaller = higher offered load.
+    pub arrival_period_us: f64,
+    /// Per-frame latency budget (µs) — the link-layer turnaround deadline.
+    pub deadline_us: f64,
+    /// Routing policy.
+    pub policy: DispatchPolicy,
+    /// Work-counter → service-time model.
+    pub cost: CostModel,
+    /// SA schedule for the hybrid arm. The stream runs **one serving read
+    /// per frame** (warm-started when a previous decision exists) plus one
+    /// cold reference read; `num_reads`/`threads` are ignored.
+    pub sa: SaParams,
+    /// Cell seed; the track and every per-frame solver stream derive from it.
+    pub seed: u64,
+}
+
+/// Aggregate report of one streaming cell.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Routing policy.
+    pub policy: DispatchPolicy,
+    /// Channel coherence of the cell's track.
+    pub rho: f64,
+    /// Frames streamed.
+    pub frames: usize,
+    /// Frame inter-arrival period (µs).
+    pub arrival_period_us: f64,
+    /// Latency budget (µs).
+    pub deadline_us: f64,
+    /// Cell seed.
+    pub seed: u64,
+    /// Mean wireless bit error rate across frames.
+    pub ber: f64,
+    /// Fraction of frames whose end-to-end latency exceeded the deadline.
+    pub deadline_miss_rate: f64,
+    /// Median end-to-end latency (µs).
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_latency_us: f64,
+    /// Sustained throughput: frames per millisecond of simulated time.
+    pub throughput_per_ms: f64,
+    /// Mean service time per frame (µs).
+    pub avg_service_us: f64,
+    /// Frames served by the classical arm.
+    pub classical_frames: usize,
+    /// Frames served by the hybrid arm.
+    pub hybrid_frames: usize,
+    /// Hybrid frames with a warm/cold measurement pair.
+    pub warm_pairs: usize,
+    /// Mean sweeps a **cold**-started read needed to reach its own final
+    /// solution quality (over warm-pair frames; 0 when `warm_pairs == 0`).
+    pub cold_sweeps_to_solution: f64,
+    /// Mean sweeps a **warm**-started read needed to reach the paired cold
+    /// read's final quality (misses count as the full sweep budget;
+    /// 0 when `warm_pairs == 0`).
+    pub warm_sweeps_to_solution: f64,
+}
+
+/// Runs one streaming cell: frames arrive every `arrival_period_us` on a
+/// virtual clock, the policy routes each to `classical` or to the
+/// warm-started SA path, and a FIFO single-server queue (the
+/// [`crate::event_sim`] recurrence `start = max(arrival, prev_finish)`)
+/// models the detection stage.
+///
+/// The classical arm is any [`Detector`]; the hybrid arm runs one
+/// warm-started serving read per frame (seeded from the previous frame's
+/// decision, whichever arm produced it) plus one cold-started reference
+/// read that instruments the warm-vs-cold sweeps-to-solution comparison.
+/// The cold read is measurement only — it never changes the decision and is
+/// not charged to the virtual clock.
+///
+/// # Panics
+/// Panics on zero frames, non-positive arrival period or deadline, or
+/// invalid SA/track parameters.
+pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamReport {
+    assert!(config.frames > 0, "run_stream: need at least one frame");
+    assert!(
+        config.arrival_period_us > 0.0,
+        "run_stream: arrival period must be > 0"
+    );
+    assert!(config.deadline_us > 0.0, "run_stream: deadline must be > 0");
+    config.sa.validate();
+
+    let mut track = ChannelTrack::new(config.track, config.seed);
+    let single_read = SaParams {
+        num_reads: 1,
+        threads: 1,
+        ..config.sa
+    };
+    // Reverse-annealing analog for the warm read: quench from the geometric
+    // midpoint of the β ladder instead of the hot end. A full re-anneal
+    // would randomize the seed away in the hot phase — the same reason the
+    // paper's prototype reverses from s_p rather than annealing from s = 0.
+    let warm_read = SaParams {
+        beta_initial: (config.sa.beta_initial * config.sa.beta_final).sqrt(),
+        ..single_read
+    };
+    let nominal_hybrid_us = config.cost.nominal_hybrid_us(config.sa.sweeps);
+
+    let mut server_free = 0.0f64;
+    let mut warm: Option<Vec<u8>> = None;
+    let mut latencies = Vec::with_capacity(config.frames);
+    let mut misses = 0usize;
+    let mut ber_sum = 0.0f64;
+    let mut service_sum = 0.0f64;
+    let mut classical_frames = 0usize;
+    let mut hybrid_frames = 0usize;
+    let mut warm_pairs = 0usize;
+    let mut cold_sweep_sum = 0.0f64;
+    let mut warm_sweep_sum = 0.0f64;
+
+    for t in 0..config.frames {
+        let inst: DetectionInstance = track.next().expect("ChannelTrack is infinite");
+        let arrival = t as f64 * config.arrival_period_us;
+        let start = arrival.max(server_free);
+        let queue_wait = start - arrival;
+
+        let take_hybrid = match config.policy {
+            DispatchPolicy::AlwaysClassical => false,
+            DispatchPolicy::AlwaysHybrid => true,
+            DispatchPolicy::DeadlineAware => queue_wait + nominal_hybrid_us <= config.deadline_us,
+        };
+
+        let (gray_decision, natural_decision, meta) = if take_hybrid {
+            hybrid_frames += 1;
+            let mut frame_rng = Rng64::new(item_seed(config.seed ^ 0x0057_EA4D, t));
+            let (ising, _offset) = inst.reduction.qubo.to_ising();
+            let csr = CsrIsing::from_ising(&ising);
+            let n = inst.num_vars();
+
+            // Cold reference read: uniform random start.
+            let cold_start: Vec<i8> = (0..n)
+                .map(|_| if frame_rng.next_bool() { 1 } else { -1 })
+                .collect();
+            let (cold_state, cold_trace) =
+                sa_read_csr_traced(&csr, &single_read, &cold_start, &mut frame_rng);
+
+            // Serving read: warm-started from the previous frame's decision
+            // when one exists; the cold read doubles as the serving read on
+            // the first hybrid frame.
+            let natural = match &warm {
+                Some(prev) if prev.len() == n => {
+                    let warm_start = bits_to_spins(prev);
+                    let (warm_state, warm_trace) =
+                        sa_read_csr_traced(&csr, &warm_read, &warm_start, &mut frame_rng);
+                    warm_pairs += 1;
+                    cold_sweep_sum += cold_trace.sweeps_to_best() as f64;
+                    warm_sweep_sum += warm_trace
+                        .sweeps_to_reach(cold_trace.best_energy())
+                        .unwrap_or(config.sa.sweeps) as f64;
+                    // The paper's selection rule: the refined sample or the
+                    // seed itself, whichever is lower — refinement can only
+                    // help, never hurt. `best_by_sweep[0]` is the seed's
+                    // energy on *this* frame's problem.
+                    if warm_trace.best_by_sweep[0] < warm_state.energy() {
+                        prev.clone()
+                    } else {
+                        spins_to_bits(warm_state.spins())
+                    }
+                }
+                _ => spins_to_bits(cold_state.spins()),
+            };
+            let gray = inst.reduction.natural_to_gray(&natural);
+            let meta = DetectorMeta {
+                nodes_visited: 0,
+                sweeps: config.sa.sweeps as u64,
+            };
+            (gray, natural, meta)
+        } else {
+            classical_frames += 1;
+            let result = classical.detect(&inst.system, &inst.h, &inst.y);
+            let natural = inst.reduction.gray_to_natural(&result.gray_bits);
+            (result.gray_bits, natural, result.meta)
+        };
+
+        let service = config.cost.service_us(&meta);
+        let finish = start + service;
+        server_free = finish;
+        let latency = finish - arrival;
+        latencies.push(latency);
+        if latency > config.deadline_us {
+            misses += 1;
+        }
+        service_sum += service;
+        ber_sum += bit_error_rate(&inst.tx_gray_bits, &gray_decision);
+        // Either arm's decision seeds the next frame's warm start.
+        warm = Some(natural_decision);
+    }
+
+    let makespan_us = (config.frames - 1) as f64 * config.arrival_period_us
+        + latencies.last().expect("frames > 0");
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let n = config.frames as f64;
+    StreamReport {
+        policy: config.policy,
+        rho: config.track.rho,
+        frames: config.frames,
+        arrival_period_us: config.arrival_period_us,
+        deadline_us: config.deadline_us,
+        seed: config.seed,
+        ber: ber_sum / n,
+        deadline_miss_rate: misses as f64 / n,
+        p50_latency_us: percentile_sorted(&sorted, 50.0),
+        p99_latency_us: percentile_sorted(&sorted, 99.0),
+        throughput_per_ms: n / makespan_us * 1000.0,
+        avg_service_us: service_sum / n,
+        classical_frames,
+        hybrid_frames,
+        warm_pairs,
+        cold_sweeps_to_solution: if warm_pairs > 0 {
+            cold_sweep_sum / warm_pairs as f64
+        } else {
+            0.0
+        },
+        warm_sweeps_to_solution: if warm_pairs > 0 {
+            warm_sweep_sum / warm_pairs as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Configuration of a full (load × ρ × policy) stream sweep.
+#[derive(Debug, Clone)]
+pub struct StreamGridConfig {
+    /// Base track; each cell overrides `rho` from [`StreamGridConfig::rhos`].
+    pub track: TrackConfig,
+    /// Frames per cell.
+    pub frames: usize,
+    /// Arrival periods to sweep (µs). List them **descending** so "later in
+    /// the list" means "higher offered load".
+    pub arrival_periods_us: Vec<f64>,
+    /// Channel coherence values to sweep.
+    pub rhos: Vec<f64>,
+    /// Dispatch policies to sweep.
+    pub policies: Vec<DispatchPolicy>,
+    /// Latency budget shared by every cell (µs).
+    pub deadline_us: f64,
+    /// Work-counter → service-time model.
+    pub cost: CostModel,
+    /// Hybrid-arm SA schedule.
+    pub sa: SaParams,
+    /// Grid seed. Cell seeds derive from it and the cell's ρ index only, so
+    /// cells differing in load or policy see identical frame sequences.
+    pub seed: u64,
+    /// Worker threads for the cell fan-out (0 = all available cores).
+    /// Results are bit-identical for any value.
+    pub threads: usize,
+}
+
+/// A full stream-sweep report: the config echo plus one report per cell, in
+/// (policy, ρ, load) grid order.
+#[derive(Debug, Clone)]
+pub struct StreamGridReport {
+    /// Number of transmitting users.
+    pub n_users: usize,
+    /// Number of receive antennas.
+    pub n_rx: usize,
+    /// Modulation name.
+    pub modulation: String,
+    /// AWGN per-antenna variance.
+    pub noise_variance: f64,
+    /// Frames per cell.
+    pub frames: usize,
+    /// Latency budget (µs).
+    pub deadline_us: f64,
+    /// Grid seed.
+    pub seed: u64,
+    /// Per-cell reports: policy-major, then ρ, then load (arrival period in
+    /// the configured order).
+    pub cells: Vec<StreamReport>,
+}
+
+/// Runs the full (policy × ρ × load) grid, fanning cells out across
+/// `config.threads` workers. See the module docs for the determinism
+/// contract.
+///
+/// # Panics
+/// Panics on an empty load/ρ/policy axis or invalid cell parameters.
+pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> StreamGridReport {
+    assert!(
+        !config.arrival_periods_us.is_empty(),
+        "run_stream_grid: empty load axis"
+    );
+    assert!(!config.rhos.is_empty(), "run_stream_grid: empty rho axis");
+    assert!(
+        !config.policies.is_empty(),
+        "run_stream_grid: empty policy axis"
+    );
+
+    let mut cells = Vec::new();
+    for &policy in &config.policies {
+        for (rho_idx, &rho) in config.rhos.iter().enumerate() {
+            for &arrival_period_us in &config.arrival_periods_us {
+                let mut track = config.track;
+                track.rho = rho;
+                cells.push(StreamConfig {
+                    track,
+                    frames: config.frames,
+                    arrival_period_us,
+                    deadline_us: config.deadline_us,
+                    policy,
+                    cost: config.cost,
+                    sa: config.sa,
+                    // ρ-indexed only: same frames across loads and policies.
+                    seed: item_seed(config.seed, rho_idx),
+                });
+            }
+        }
+    }
+
+    let reports = parallel_map_indexed(&cells, config.threads, |_, cell| {
+        run_stream(cell, classical)
+    });
+
+    StreamGridReport {
+        n_users: config.track.n_users,
+        n_rx: config.track.n_rx,
+        modulation: config.track.modulation.name().to_string(),
+        noise_variance: config.track.noise_variance,
+        frames: config.frames,
+        deadline_us: config.deadline_us,
+        seed: config.seed,
+        cells: reports,
+    }
+}
+
+impl StreamReport {
+    /// Renders one cell as a JSON object (one line of the `cells` array).
+    fn to_json_object(&self) -> String {
+        format!(
+            "{{\"policy\": \"{}\", \"rho\": {}, \"arrival_period_us\": {}, \
+             \"ber\": {}, \"deadline_miss_rate\": {}, \"p50_latency_us\": {}, \
+             \"p99_latency_us\": {}, \"throughput_per_ms\": {}, \
+             \"avg_service_us\": {}, \"classical_frames\": {}, \
+             \"hybrid_frames\": {}, \"warm_pairs\": {}, \
+             \"cold_sweeps_to_solution\": {}, \"warm_sweeps_to_solution\": {}}}",
+            self.policy.name(),
+            json_num(self.rho),
+            json_num(self.arrival_period_us),
+            json_num(self.ber),
+            json_num(self.deadline_miss_rate),
+            json_num(self.p50_latency_us),
+            json_num(self.p99_latency_us),
+            json_num(self.throughput_per_ms),
+            json_num(self.avg_service_us),
+            self.classical_frames,
+            self.hybrid_frames,
+            self.warm_pairs,
+            json_num(self.cold_sweeps_to_solution),
+            json_num(self.warm_sweeps_to_solution),
+        )
+    }
+}
+
+impl StreamGridReport {
+    /// Renders the report as the `BENCH_stream.json` document (schema in
+    /// `crates/bench/README.md`). Pure function of the report contents:
+    /// byte-identical across runs and thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"stream\",\n  \"scenario\": {\n");
+        s.push_str(&format!("    \"n_users\": {},\n", self.n_users));
+        s.push_str(&format!("    \"n_rx\": {},\n", self.n_rx));
+        s.push_str(&format!("    \"modulation\": \"{}\",\n", self.modulation));
+        s.push_str(&format!(
+            "    \"noise_variance\": {},\n",
+            json_num(self.noise_variance)
+        ));
+        s.push_str(&format!("    \"frames\": {},\n", self.frames));
+        s.push_str(&format!(
+            "    \"deadline_us\": {},\n",
+            json_num(self.deadline_us)
+        ));
+        s.push_str(&format!("    \"seed\": {}\n  }},\n", self.seed));
+        s.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&cell.to_json_object());
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes [`StreamGridReport::to_json`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqw_phy::channel::snr_db_to_noise_variance;
+    use hqw_phy::detect::Mmse;
+    use hqw_phy::modulation::Modulation;
+
+    fn track(rho: f64) -> TrackConfig {
+        TrackConfig {
+            n_users: 3,
+            n_rx: 3,
+            modulation: Modulation::Qpsk,
+            rho,
+            noise_variance: snr_db_to_noise_variance(14.0, 3),
+        }
+    }
+
+    fn quick_sa() -> SaParams {
+        SaParams {
+            sweeps: 48,
+            num_reads: 1,
+            threads: 1,
+            ..SaParams::default()
+        }
+    }
+
+    fn cell(policy: DispatchPolicy, rho: f64, period: f64) -> StreamConfig {
+        StreamConfig {
+            track: track(rho),
+            frames: 40,
+            arrival_period_us: period,
+            deadline_us: 250.0,
+            policy,
+            cost: CostModel::default(),
+            sa: quick_sa(),
+            seed: 42,
+        }
+    }
+
+    fn mmse() -> Mmse {
+        Mmse::new(snr_db_to_noise_variance(14.0, 3))
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let config = cell(DispatchPolicy::DeadlineAware, 0.9, 100.0);
+        let a = run_stream(&config, &mmse());
+        let b = run_stream(&config, &mmse());
+        assert_eq!(a.to_json_object(), b.to_json_object());
+    }
+
+    #[test]
+    fn always_classical_never_runs_the_hybrid_arm() {
+        let report = run_stream(&cell(DispatchPolicy::AlwaysClassical, 0.5, 100.0), &mmse());
+        assert_eq!(report.hybrid_frames, 0);
+        assert_eq!(report.classical_frames, report.frames);
+        assert_eq!(report.warm_pairs, 0);
+        assert_eq!(report.deadline_miss_rate, 0.0, "MMSE fits any sane budget");
+    }
+
+    #[test]
+    fn always_hybrid_warm_pairs_cover_all_but_frame_zero() {
+        let report = run_stream(&cell(DispatchPolicy::AlwaysHybrid, 0.9, 400.0), &mmse());
+        assert_eq!(report.hybrid_frames, report.frames);
+        assert_eq!(report.warm_pairs, report.frames - 1);
+        assert!(report.cold_sweeps_to_solution > 0.0);
+    }
+
+    #[test]
+    fn coherent_warm_starts_beat_cold_starts() {
+        // The acceptance criterion: at ρ ≥ 0.9 a warm-started read reaches
+        // the cold read's final quality in strictly fewer sweeps on average.
+        let report = run_stream(&cell(DispatchPolicy::AlwaysHybrid, 0.95, 400.0), &mmse());
+        assert!(
+            report.warm_sweeps_to_solution < report.cold_sweeps_to_solution,
+            "warm {} vs cold {}",
+            report.warm_sweeps_to_solution,
+            report.cold_sweeps_to_solution
+        );
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_in_offered_load() {
+        // Same seed ⇒ same frames and service times; a shorter arrival
+        // period can only increase queueing, so misses are monotone.
+        let rates: Vec<f64> = [400.0, 150.0, 90.0, 60.0]
+            .iter()
+            .map(|&p| {
+                run_stream(&cell(DispatchPolicy::AlwaysHybrid, 0.9, p), &mmse()).deadline_miss_rate
+            })
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] >= w[0], "miss rate dropped under load: {rates:?}");
+        }
+        assert!(
+            rates.last().unwrap() > &0.5,
+            "overload cell should miss most deadlines: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_aware_downgrades_under_overload() {
+        let overload = 60.0; // well below the nominal hybrid service time
+        let hybrid = run_stream(&cell(DispatchPolicy::AlwaysHybrid, 0.9, overload), &mmse());
+        let aware = run_stream(&cell(DispatchPolicy::DeadlineAware, 0.9, overload), &mmse());
+        assert!(aware.classical_frames > 0, "no fallback under overload");
+        assert!(
+            aware.deadline_miss_rate < hybrid.deadline_miss_rate,
+            "deadline-aware ({}) should miss less than always-hybrid ({})",
+            aware.deadline_miss_rate,
+            hybrid.deadline_miss_rate
+        );
+    }
+
+    #[test]
+    fn hybrid_detection_tracks_the_coherent_channel() {
+        // Sanity: the warm-started hybrid arm still detects correctly — BER
+        // at 14 dB QPSK must stay moderate, and the high-coherence stream
+        // must not collapse to garbage decisions.
+        let report = run_stream(&cell(DispatchPolicy::AlwaysHybrid, 0.95, 400.0), &mmse());
+        assert!(report.ber < 0.2, "BER {} out of range", report.ber);
+    }
+
+    fn quick_grid(threads: usize) -> StreamGridConfig {
+        StreamGridConfig {
+            track: track(0.0),
+            frames: 24,
+            arrival_periods_us: vec![300.0, 90.0],
+            rhos: vec![0.0, 0.95],
+            policies: DispatchPolicy::ALL.to_vec(),
+            deadline_us: 250.0,
+            cost: CostModel::default(),
+            sa: quick_sa(),
+            seed: 7,
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_report_is_bit_identical_for_any_thread_count() {
+        let serial = run_stream_grid(&quick_grid(1), &mmse()).to_json();
+        for threads in [2, 5, 0] {
+            let parallel = run_stream_grid(&quick_grid(threads), &mmse()).to_json();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_cell_with_sane_metrics() {
+        let config = quick_grid(0);
+        let report = run_stream_grid(&config, &mmse());
+        assert_eq!(report.cells.len(), 3 * 2 * 2);
+        for c in &report.cells {
+            assert!(
+                (0.0..=1.0).contains(&c.ber),
+                "{}: ber {}",
+                c.policy.name(),
+                c.ber
+            );
+            assert!((0.0..=1.0).contains(&c.deadline_miss_rate));
+            assert!(c.p50_latency_us > 0.0 && c.p99_latency_us >= c.p50_latency_us);
+            assert!(c.throughput_per_ms > 0.0);
+            assert_eq!(c.classical_frames + c.hybrid_frames, c.frames);
+        }
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"stream\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"policy\"").count(), report.cells.len());
+    }
+
+    #[test]
+    fn cells_differing_only_in_load_share_frame_sequences() {
+        // The paired-comparison contract: same ρ ⇒ same seed ⇒ same BER for
+        // the always-hybrid arm regardless of load.
+        let report = run_stream_grid(&quick_grid(0), &mmse());
+        let hybrid: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.policy == DispatchPolicy::AlwaysHybrid)
+            .collect();
+        for pair in hybrid.chunks(2) {
+            assert_eq!(pair[0].rho, pair[1].rho);
+            assert_eq!(pair[0].ber.to_bits(), pair[1].ber.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival period must be > 0")]
+    fn zero_arrival_period_rejected() {
+        let mut config = cell(DispatchPolicy::AlwaysHybrid, 0.5, 100.0);
+        config.arrival_period_us = 0.0;
+        run_stream(&config, &mmse());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty load axis")]
+    fn empty_grid_axis_rejected() {
+        let mut config = quick_grid(1);
+        config.arrival_periods_us.clear();
+        run_stream_grid(&config, &mmse());
+    }
+}

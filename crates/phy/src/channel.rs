@@ -5,7 +5,15 @@
 //! (the QUBO ground state is then exactly the transmitted symbol vector,
 //! which is what makes success probabilities measurable without search).
 //! Rayleigh fading and AWGN are provided for the extension experiments.
+//!
+//! For streaming workloads, [`ChannelTrack`] extends the one-shot models
+//! with a Gauss–Markov *time-correlated* channel process: successive frames
+//! share a slowly-evolving channel, which is what makes cross-frame solution
+//! reuse (warm-started solvers) physically meaningful.
 
+use crate::instance::{DetectionInstance, InstanceConfig};
+use crate::mimo::MimoSystem;
+use crate::modulation::Modulation;
 use hqw_math::{CMatrix, CVector, Complex64, Rng64};
 
 /// Channel matrix models.
@@ -68,6 +76,118 @@ pub fn add_awgn(y: &mut CVector, noise_variance: f64, rng: &mut Rng64) {
             rng.next_gaussian_with(0.0, sigma),
             rng.next_gaussian_with(0.0, sigma),
         );
+    }
+}
+
+/// Configuration of a temporally-correlated channel track.
+///
+/// Describes the Gauss–Markov (first-order autoregressive) channel process
+/// `h_{t+1} = ρ·h_t + √(1−ρ²)·w_t` with i.i.d. `CN(0, 1)` innovations
+/// `w_t` — the standard discrete-time model of a Rayleigh-fading channel
+/// with coherence `ρ` between successive frames. The process is stationary:
+/// every marginal `h_t` is entrywise `CN(0, 1)`, so `ρ` interpolates between
+/// fresh [`ChannelModel::RayleighIid`] draws every frame (`ρ = 0`) and a
+/// frozen channel (`ρ = 1`).
+#[derive(Debug, Clone, Copy)]
+pub struct TrackConfig {
+    /// Number of transmitting users.
+    pub n_users: usize,
+    /// Number of base-station receive antennas.
+    pub n_rx: usize,
+    /// Modulation for all users.
+    pub modulation: Modulation,
+    /// Frame-to-frame channel coherence `ρ ∈ [0, 1]`.
+    pub rho: f64,
+    /// AWGN per-antenna variance (0 = noiseless frames).
+    pub noise_variance: f64,
+}
+
+impl TrackConfig {
+    /// The i.i.d. equivalent of this track: the [`InstanceConfig`] whose
+    /// [`DetectionInstance::generate_batch`] output a `ρ = 0` track matches
+    /// draw-for-draw on a shared seed (property-tested in `tests/`).
+    pub fn instance_config(&self) -> InstanceConfig {
+        InstanceConfig {
+            n_users: self.n_users,
+            n_rx: self.n_rx,
+            modulation: self.modulation,
+            channel: ChannelModel::RayleighIid,
+            noise_variance: self.noise_variance,
+        }
+    }
+}
+
+/// A deterministic, seeded Gauss–Markov channel process: an infinite
+/// iterator of per-frame [`DetectionInstance`]s over a time-correlated
+/// channel (see [`TrackConfig`]).
+///
+/// Per frame, the RNG stream is consumed in a fixed order — innovation
+/// matrix, transmitted bits, AWGN — so a track is a pure function of its
+/// `(config, seed)` pair. At `ρ = 0` the innovation *is* the channel, and
+/// the draw order matches [`DetectionInstance::generate`] with the
+/// [`TrackConfig::instance_config`] model exactly: the track degenerates to
+/// the i.i.d. batch generator, bit for bit.
+#[derive(Debug)]
+pub struct ChannelTrack {
+    config: TrackConfig,
+    rng: Rng64,
+    h: Option<CMatrix>,
+}
+
+impl ChannelTrack {
+    /// Creates a track from a config and a seed.
+    ///
+    /// # Panics
+    /// Panics when `ρ ∉ [0, 1]` or the noise variance is negative.
+    pub fn new(config: TrackConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.rho),
+            "ChannelTrack: rho must be in [0, 1], got {}",
+            config.rho
+        );
+        assert!(
+            config.noise_variance >= 0.0,
+            "ChannelTrack: negative noise variance"
+        );
+        ChannelTrack {
+            config,
+            rng: Rng64::new(seed),
+            h: None,
+        }
+    }
+
+    /// The track configuration.
+    pub fn config(&self) -> &TrackConfig {
+        &self.config
+    }
+}
+
+impl Iterator for ChannelTrack {
+    type Item = DetectionInstance;
+
+    fn next(&mut self) -> Option<DetectionInstance> {
+        let cfg = self.config;
+        // Innovation drawn every frame (even at ρ = 1) so the per-frame RNG
+        // consumption — and therefore every later frame — is independent of ρ
+        // in structure, and the ρ = 0 track matches i.i.d. draws exactly.
+        let w = ChannelModel::RayleighIid.generate(cfg.n_rx, cfg.n_users, &mut self.rng);
+        let h = match self.h.take() {
+            None => w,
+            Some(prev) => {
+                let innovation = (1.0 - cfg.rho * cfg.rho).sqrt();
+                CMatrix::from_fn(cfg.n_rx, cfg.n_users, |r, c| {
+                    prev[(r, c)] * cfg.rho + w[(r, c)] * innovation
+                })
+            }
+        };
+        self.h = Some(h.clone());
+        let system = MimoSystem::new(cfg.n_users, cfg.n_rx, cfg.modulation);
+        Some(DetectionInstance::from_channel(
+            system,
+            h,
+            cfg.noise_variance,
+            &mut self.rng,
+        ))
     }
 }
 
@@ -166,6 +286,90 @@ mod tests {
         add_awgn(&mut y, 0.5, &mut rng);
         let measured: f64 = (0..n).map(|i| y[i].norm_sqr()).sum::<f64>() / n as f64;
         assert!((measured - 0.5).abs() < 0.02, "variance {measured}");
+    }
+
+    fn track_config(rho: f64) -> TrackConfig {
+        TrackConfig {
+            n_users: 3,
+            n_rx: 3,
+            modulation: Modulation::Qpsk,
+            rho,
+            noise_variance: 0.2,
+        }
+    }
+
+    #[test]
+    fn track_is_deterministic_per_seed() {
+        let a: Vec<_> = ChannelTrack::new(track_config(0.7), 11).take(4).collect();
+        let b: Vec<_> = ChannelTrack::new(track_config(0.7), 11).take(4).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.h.max_abs_diff(&y.h), 0.0);
+            assert_eq!(x.tx_gray_bits, y.tx_gray_bits);
+            assert_eq!(x.y.sub(&y.y).norm_sqr(), 0.0);
+        }
+    }
+
+    #[test]
+    fn frozen_track_repeats_the_frame_zero_channel() {
+        let frames: Vec<_> = ChannelTrack::new(track_config(1.0), 13).take(5).collect();
+        for f in &frames[1..] {
+            assert_eq!(frames[0].h.max_abs_diff(&f.h), 0.0, "ρ=1 channel drifted");
+        }
+        // The data still varies frame to frame.
+        assert!(frames
+            .iter()
+            .any(|f| f.tx_gray_bits != frames[0].tx_gray_bits));
+    }
+
+    #[test]
+    fn uncorrelated_track_matches_iid_batch_generation() {
+        let cfg = track_config(0.0);
+        let frames: Vec<_> = ChannelTrack::new(cfg, 17).take(4).collect();
+        let batch =
+            DetectionInstance::generate_batch(&cfg.instance_config(), 4, &mut Rng64::new(17));
+        for (a, b) in frames.iter().zip(&batch) {
+            assert_eq!(a.h.max_abs_diff(&b.h), 0.0);
+            assert_eq!(a.tx_gray_bits, b.tx_gray_bits);
+            assert_eq!(a.y.sub(&b.y).norm_sqr(), 0.0);
+        }
+    }
+
+    #[test]
+    fn correlated_track_is_stationary_and_coherent() {
+        // Consecutive frames correlate at ρ; the marginal stays CN(0, 1).
+        let mut track = ChannelTrack::new(
+            TrackConfig {
+                n_users: 8,
+                n_rx: 8,
+                modulation: Modulation::Qpsk,
+                rho: 0.9,
+                noise_variance: 0.0,
+            },
+            19,
+        );
+        let mut prev = track.next().unwrap().h;
+        let (mut corr, mut energy, mut count) = (0.0, 0.0, 0);
+        for _ in 0..60 {
+            let cur = track.next().unwrap().h;
+            for r in 0..8 {
+                for c in 0..8 {
+                    corr += (prev[(r, c)].conj() * cur[(r, c)]).re;
+                    energy += cur[(r, c)].norm_sqr();
+                    count += 1;
+                }
+            }
+            prev = cur;
+        }
+        let corr = corr / count as f64;
+        let energy = energy / count as f64;
+        assert!((corr - 0.9).abs() < 0.08, "lag-1 correlation {corr}");
+        assert!((energy - 1.0).abs() < 0.1, "marginal energy {energy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0, 1]")]
+    fn track_rejects_out_of_range_rho() {
+        ChannelTrack::new(track_config(1.5), 1);
     }
 
     #[test]

@@ -90,12 +90,32 @@ impl DetectionInstance {
     pub fn generate(config: &InstanceConfig, rng: &mut Rng64) -> Self {
         let system = MimoSystem::new(config.n_users, config.n_rx, config.modulation);
         let h = config.channel.generate(config.n_rx, config.n_users, rng);
+        Self::from_channel(system, h, config.noise_variance, rng)
+    }
+
+    /// Synthesizes one instance over a *given* channel realization, drawing
+    /// the transmitted bits (and AWGN, when `noise_variance > 0`) from `rng`.
+    ///
+    /// This is the assembly step shared by [`DetectionInstance::generate`]
+    /// and the temporally-correlated
+    /// [`ChannelTrack`](crate::channel::ChannelTrack), which synthesizes its
+    /// own channel matrices; the RNG draw order (bits, then noise) is part of
+    /// the determinism contract between the two.
+    ///
+    /// # Panics
+    /// Panics when `h` does not match the system dimensions.
+    pub fn from_channel(
+        system: MimoSystem,
+        h: CMatrix,
+        noise_variance: f64,
+        rng: &mut Rng64,
+    ) -> Self {
         let tx_gray_bits = system.random_bits(rng);
         let x = system.modulate(&tx_gray_bits);
         let mut y = system.transmit(&h, &x);
-        let noisy = config.noise_variance > 0.0;
+        let noisy = noise_variance > 0.0;
         if noisy {
-            add_awgn(&mut y, config.noise_variance, rng);
+            add_awgn(&mut y, noise_variance, rng);
         }
         let reduction = reduce_to_qubo(&system, &h, &y);
         let tx_natural_bits = reduction.gray_to_natural(&tx_gray_bits);

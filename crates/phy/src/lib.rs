@@ -6,7 +6,8 @@
 //! * [`modulation`] — Gray-coded BPSK / QPSK / 16-QAM / 64-QAM with the
 //!   spin-linear lattice view used by the ML→QUBO reduction.
 //! * [`channel`] — channel synthesis: the paper's unit-gain random-phase
-//!   model, plus i.i.d. Rayleigh and AWGN for the extension experiments.
+//!   model, i.i.d. Rayleigh and AWGN for the extension experiments, and the
+//!   Gauss–Markov [`channel::ChannelTrack`] for streaming workloads.
 //! * [`mimo`] — the spatial-multiplexing system model `y = H·x + n`.
 //! * [`reduction`] — the QuAMax maximum-likelihood-to-QUBO reduction
 //!   (Kim et al., SIGCOMM '19), property-tested for exactness.
@@ -33,5 +34,6 @@ pub mod mimo;
 pub mod modulation;
 pub mod reduction;
 
+pub use channel::{ChannelTrack, TrackConfig};
 pub use instance::{DetectionInstance, InstanceConfig};
 pub use modulation::Modulation;

@@ -5,7 +5,7 @@
 //! equals the maximum-likelihood residual computed directly.
 
 use hqw_math::Rng64;
-use hqw_phy::channel::ChannelModel;
+use hqw_phy::channel::{ChannelModel, ChannelTrack, TrackConfig};
 use hqw_phy::instance::{DetectionInstance, InstanceConfig};
 use hqw_phy::mimo::MimoSystem;
 use hqw_phy::modulation::Modulation;
@@ -97,6 +97,62 @@ proptest! {
             for c in 0..n {
                 prop_assert!((h[(r, c)].abs() - 1.0).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn channel_track_rho_zero_is_the_iid_batch_generator(
+        seed in any::<u64>(),
+        m in any_modulation(),
+        n_users in 1usize..4,
+        noisy in any::<bool>(),
+    ) {
+        // With ρ = 0 every frame's channel IS the innovation draw, so the
+        // track must match DetectionInstance::generate_batch on the i.i.d.
+        // Rayleigh config bit for bit — same channel, bits, noise, QUBO.
+        let cfg = TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: m,
+            rho: 0.0,
+            noise_variance: if noisy { 0.3 } else { 0.0 },
+        };
+        let frames: Vec<_> = ChannelTrack::new(cfg, seed).take(3).collect();
+        let batch = DetectionInstance::generate_batch(
+            &cfg.instance_config(), 3, &mut Rng64::new(seed));
+        for (a, b) in frames.iter().zip(&batch) {
+            prop_assert_eq!(a.h.max_abs_diff(&b.h), 0.0);
+            prop_assert_eq!(&a.tx_gray_bits, &b.tx_gray_bits);
+            prop_assert_eq!(&a.tx_natural_bits, &b.tx_natural_bits);
+            prop_assert_eq!(a.y.sub(&b.y).norm_sqr(), 0.0);
+            prop_assert_eq!(a.noisy, b.noisy);
+        }
+    }
+
+    #[test]
+    fn channel_track_rho_one_freezes_the_channel(
+        seed in any::<u64>(),
+        m in any_modulation(),
+        n_users in 1usize..4,
+    ) {
+        // With ρ = 1 the innovation coefficient √(1−ρ²) vanishes: every
+        // frame repeats frame 0's channel exactly, while the transmitted
+        // data keeps evolving along the same RNG stream.
+        let cfg = TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: m,
+            rho: 1.0,
+            noise_variance: 0.0,
+        };
+        let frames: Vec<_> = ChannelTrack::new(cfg, seed).take(4).collect();
+        for f in &frames[1..] {
+            prop_assert_eq!(frames[0].h.max_abs_diff(&f.h), 0.0);
+        }
+        // Noiseless frames keep the exact-ground-truth invariant on the
+        // frozen channel: the QUBO ground state is the transmitted vector.
+        for f in &frames {
+            prop_assert!(f.reduction.ml_metric(&f.tx_natural_bits) < 1e-8);
         }
     }
 

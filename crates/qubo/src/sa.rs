@@ -68,6 +68,48 @@ impl SaParams {
     }
 }
 
+/// Running-best energy trajectory of one SA read, sampled at sweep
+/// boundaries.
+///
+/// Index `k` of the trajectory is the lowest Ising energy seen after `k`
+/// full sweeps; index 0 is the start state's energy. This is the
+/// *sweeps-to-solution* instrument for warm-start studies: the streaming
+/// engine compares how many sweeps a warm-started read needs to match a
+/// cold-started read's final quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTrace {
+    /// `best[k]` = lowest tracked energy after `k` sweeps (`best[0]` = the
+    /// start state's energy). Non-increasing by construction.
+    pub best_by_sweep: Vec<f64>,
+}
+
+impl SweepTrace {
+    /// Lowest energy seen over the whole read.
+    ///
+    /// # Panics
+    /// Panics on an empty trajectory (never produced by the SA kernels).
+    pub fn best_energy(&self) -> f64 {
+        *self
+            .best_by_sweep
+            .last()
+            .expect("SweepTrace: empty trajectory")
+    }
+
+    /// Number of sweeps needed to first reach `target` energy (within a
+    /// relative tolerance), or `None` when the read never got there.
+    /// 0 means the start state already met the target.
+    pub fn sweeps_to_reach(&self, target: f64) -> Option<usize> {
+        let tol = 1e-9 * (1.0 + target.abs());
+        self.best_by_sweep.iter().position(|&e| e <= target + tol)
+    }
+
+    /// Sweeps needed to first attain this read's own final best energy.
+    pub fn sweeps_to_best(&self) -> usize {
+        self.sweeps_to_reach(self.best_energy())
+            .expect("SweepTrace: best energy unreachable")
+    }
+}
+
 /// One SA read on a CSR Ising model starting from `start` spins.
 ///
 /// Returns the final [`LocalFieldState`], whose tracked
@@ -82,10 +124,43 @@ pub fn sa_read_csr(
     start: &[i8],
     rng: &mut Rng64,
 ) -> LocalFieldState {
+    sa_read_impl(csr, params, start, rng, None)
+}
+
+/// One SA read that also records its running-best energy per sweep.
+///
+/// The Metropolis dynamics (and RNG consumption) are identical to
+/// [`sa_read_csr`]; the trace is a pure observation, so the returned state
+/// is bit-identical to the untraced kernel on the same inputs.
+///
+/// # Panics
+/// Panics on invalid parameters or a start-length mismatch.
+pub fn sa_read_csr_traced(
+    csr: &CsrIsing,
+    params: &SaParams,
+    start: &[i8],
+    rng: &mut Rng64,
+) -> (LocalFieldState, SweepTrace) {
+    let mut best_by_sweep = Vec::with_capacity(params.sweeps + 1);
+    let state = sa_read_impl(csr, params, start, rng, Some(&mut best_by_sweep));
+    (state, SweepTrace { best_by_sweep })
+}
+
+fn sa_read_impl(
+    csr: &CsrIsing,
+    params: &SaParams,
+    start: &[i8],
+    rng: &mut Rng64,
+    mut trace: Option<&mut Vec<f64>>,
+) -> LocalFieldState {
     params.validate();
     let n = csr.num_vars();
     assert_eq!(start.len(), n, "sa_read_csr: start length mismatch");
     let mut state = LocalFieldState::new(csr, start.to_vec());
+    let mut best = state.energy();
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(best);
+    }
     if n == 0 {
         return state;
     }
@@ -104,6 +179,10 @@ pub fn sa_read_csr(
             }
         }
         beta *= ratio;
+        if let Some(t) = trace.as_deref_mut() {
+            best = best.min(state.energy());
+            t.push(best);
+        }
     }
     state
 }
@@ -127,10 +206,40 @@ pub fn sa_read_ising(ising: &Ising, params: &SaParams, start: &[i8], rng: &mut R
 /// parallel per [`SaParams::threads`] with per-read RNG streams drawn from
 /// `rng` up front, so the result is bit-identical for any thread count.
 pub fn sample_qubo(qubo: &Qubo, params: &SaParams, rng: &mut Rng64) -> SampleSet {
+    sample_qubo_with_start(qubo, params, None, rng)
+}
+
+/// [`sample_qubo`] with an optional **warm start**: when `warm_start` is
+/// given, every read begins from that bit assignment instead of a uniform
+/// random state (reads still diverge through their independent Metropolis
+/// streams), and the seed itself joins the sample set as one extra
+/// zero-cost candidate — the hot phase of the schedule can randomize the
+/// seed away, so including it guarantees the best sample is never worse
+/// than the state the caller already had (the same "refinement can only
+/// help" selection the hybrid solver applies). `total_reads` is therefore
+/// `num_reads + 1` under a warm start. With `None` this is exactly
+/// `sample_qubo` — same RNG consumption, bit-identical output.
+///
+/// Warm starts are how streaming workloads exploit temporal channel
+/// coherence: frame `t − 1`'s decision is a low-ΔE_IS initial state for
+/// frame `t`, so warm reads reach cold-start quality in fewer sweeps.
+///
+/// # Panics
+/// Panics on invalid parameters or a warm-start length mismatch.
+pub fn sample_qubo_with_start(
+    qubo: &Qubo,
+    params: &SaParams,
+    warm_start: Option<&[u8]>,
+    rng: &mut Rng64,
+) -> SampleSet {
     params.validate();
     let (ising, offset) = qubo.to_ising();
     let csr = CsrIsing::from_ising(&ising);
     let n = qubo.num_vars();
+    let warm_spins = warm_start.map(|bits| {
+        assert_eq!(bits.len(), n, "sample_qubo_with_start: start length");
+        crate::solution::bits_to_spins(bits)
+    });
 
     // Per-read seeds drawn from the caller's stream: the fan-out is
     // deterministic and thread-count invariant.
@@ -138,9 +247,12 @@ pub fn sample_qubo(qubo: &Qubo, params: &SaParams, rng: &mut Rng64) -> SampleSet
 
     let reads = parallel_map_indexed(&read_seeds, params.threads, |_, &read_seed| {
         let mut read_rng = Rng64::new(read_seed);
-        let start: Vec<i8> = (0..n)
-            .map(|_| if read_rng.next_bool() { 1 } else { -1 })
-            .collect();
+        let start: Vec<i8> = match &warm_spins {
+            Some(spins) => spins.clone(),
+            None => (0..n)
+                .map(|_| if read_rng.next_bool() { 1 } else { -1 })
+                .collect(),
+        };
         let state = sa_read_csr(&csr, params, &start, &mut read_rng);
         let energy = state.energy() + offset;
         debug_assert!(
@@ -151,7 +263,10 @@ pub fn sample_qubo(qubo: &Qubo, params: &SaParams, rng: &mut Rng64) -> SampleSet
         (spins_to_bits(state.spins()), energy)
     });
 
-    SampleSet::from_reads(reads)
+    // The seed is a known state at zero cost: report it alongside the reads
+    // so warm-started sampling is structurally never-worse-than-seed.
+    let seed_sample = warm_start.map(|bits| (bits.to_vec(), qubo.energy(bits)));
+    SampleSet::from_reads(seed_sample.into_iter().chain(reads))
 }
 
 /// Best-effort ground-state search: SA with an aggressive schedule and many
@@ -269,6 +384,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_read_matches_untraced_bit_for_bit() {
+        let q = random_qubo(14, &mut Rng64::new(81));
+        let (ising, _) = q.to_ising();
+        let csr = CsrIsing::from_ising(&ising);
+        let params = SaParams::default();
+        let start = vec![1i8; 14];
+        let plain = sa_read_csr(&csr, &params, &start, &mut Rng64::new(5));
+        let (traced, trace) = sa_read_csr_traced(&csr, &params, &start, &mut Rng64::new(5));
+        assert_eq!(plain.spins(), traced.spins());
+        assert_eq!(plain.energy().to_bits(), traced.energy().to_bits());
+        assert_eq!(trace.best_by_sweep.len(), params.sweeps + 1);
+        // Running best is non-increasing and ends at/below the final energy.
+        for w in trace.best_by_sweep.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(trace.best_energy() <= traced.energy() + 1e-12);
+    }
+
+    #[test]
+    fn trace_sweep_counters_are_consistent() {
+        let q = random_qubo(12, &mut Rng64::new(83));
+        let (ising, _) = q.to_ising();
+        let csr = CsrIsing::from_ising(&ising);
+        let start = vec![-1i8; 12];
+        let (_, trace) = sa_read_csr_traced(&csr, &SaParams::default(), &start, &mut Rng64::new(7));
+        let k = trace.sweeps_to_best();
+        assert!(k <= SaParams::default().sweeps);
+        assert_eq!(trace.sweeps_to_reach(trace.best_energy()), Some(k));
+        // The start state always "reaches" its own energy in zero sweeps.
+        assert_eq!(trace.sweeps_to_reach(trace.best_by_sweep[0]), Some(0));
+        // An unreachable target reports None.
+        assert_eq!(trace.sweeps_to_reach(trace.best_energy() - 1e6), None);
+    }
+
+    #[test]
+    fn warm_start_none_is_exactly_sample_qubo() {
+        let q = random_qubo(10, &mut Rng64::new(85));
+        let params = SaParams {
+            num_reads: 9,
+            ..SaParams::default()
+        };
+        let a = sample_qubo(&q, &params, &mut Rng64::new(3));
+        let b = sample_qubo_with_start(&q, &params, None, &mut Rng64::new(3));
+        assert_eq!(a.total_reads(), b.total_reads());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.bits, y.bits);
+            assert_eq!(x.energy.to_bits(), y.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_started_reads_never_lose_to_their_seed() {
+        // Structural guarantee: the seed joins the sample set as a
+        // zero-cost candidate, so even a pathologically hot schedule (one
+        // sweep at near-zero β, which randomizes the seed away) cannot
+        // return anything worse than the seed itself.
+        let mut rng = Rng64::new(87);
+        let (q, planted) = planted_qubo(24, 60, &mut rng);
+        let params = SaParams {
+            beta_initial: 1e-3,
+            beta_final: 1e-3,
+            sweeps: 1,
+            num_reads: 4,
+            ..SaParams::default()
+        };
+        let set = sample_qubo_with_start(&q, &params, Some(&planted), &mut rng);
+        assert_eq!(set.total_reads(), 5, "seed counts as one extra sample");
+        assert!(
+            set.best_energy() <= q.energy(&planted) + 1e-9,
+            "warm-started SA regressed below its seed quality"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start length")]
+    fn warm_start_length_mismatch_panics() {
+        let q = random_qubo(6, &mut Rng64::new(89));
+        sample_qubo_with_start(&q, &SaParams::default(), Some(&[0, 1]), &mut Rng64::new(1));
     }
 
     #[test]
