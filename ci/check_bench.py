@@ -20,7 +20,33 @@ BENCH_stream.json
     arrival period) at fixed rho.  The deadline-aware policy re-routes by
     queue state, so its miss rate is exempt by design.
 
-Usage: ci/check_bench.py [--kernels PATH] [--stream PATH]
+BENCH_fabric.json
+  * every point's rates are in [0, 1], latencies ordered (p99 >= p50 > 0),
+    per-backend utilization is in [0, 1], batch histograms account for
+    exactly the jobs served, and backend jobs + classical fallbacks add up
+    to the offered total;
+  * mock-QPU backends that ran batches derived each embedding shape exactly
+    once (cache misses >= 1, hits + misses == batch calls);
+  * the *degraded-service* rate (served-job deadline misses + classical
+    fallbacks — disjoint job sets, so a true rate) is monotone
+    non-decreasing in offered load (shorter arrival period) at fixed
+    (mix, cell count).  The raw miss rate alone is exempt for the same
+    reason the stream gate exempts the deadline-aware policy: the fabric's
+    admission control re-routes overload to the fast local fallback, which
+    *lowers* misses as load grows;
+  * at every (cell count, load), the batched mock-QPU mix's charged
+    service per served job (backend busy time / jobs) is no worse than the
+    unbatched mix's — batch formation amortizes network + programming +
+    embedding overhead across the batch — strictly better wherever batches
+    actually formed, and the batched mix falls back no more often (its
+    amortized capacity admits more of the offered load).  Mean *end-to-end*
+    served latency is deliberately not compared: admission control gives
+    the two arms different served populations (the unbatched arm rejects
+    most overload and serves a fast-path minority), so that comparison
+    carries survivor bias;
+  * at least one point actually formed a multi-job batch.
+
+Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
 """
 
 import argparse
@@ -109,14 +135,119 @@ def check_stream(path):
     print(f"{path}: {len(cells)} cells OK ({n_high} high-coherence warm-start cells)")
 
 
+def check_fabric(path):
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "fabric", f"{path}: wrong bench tag")
+    points = bench.get("points", [])
+    check(bool(points), f"{path}: no fabric points")
+
+    frames_per_cell = bench["scenario"]["frames_per_cell"]
+    any_batched = False
+    for p in points:
+        tag = f"{path}: [{p['mix']} cells={p['n_cells']} period={p['arrival_period_us']}]"
+        check(p["jobs"] == frames_per_cell * p["n_cells"], f"{tag} wrong job count")
+        for rate in ("ber", "deadline_miss_rate", "fallback_rate", "served_miss_rate"):
+            check(0.0 <= p[rate] <= 1.0, f"{tag} {rate} {p[rate]} out of range")
+        check(
+            p["served_miss_rate"] + p["fallback_rate"] <= 1.0 + 1e-12,
+            f"{tag} served misses and fallbacks overlap",
+        )
+        check(
+            p["served_miss_rate"] <= p["deadline_miss_rate"] + 1e-12,
+            f"{tag} served-miss rate exceeds the overall miss rate",
+        )
+        check(
+            p["p99_latency_us"] >= p["p50_latency_us"] > 0.0,
+            f"{tag} latency percentiles disordered",
+        )
+        backend_jobs = sum(b["jobs"] for b in p["backends"])
+        fallback_jobs = round(p["fallback_rate"] * p["jobs"])
+        check(
+            backend_jobs + fallback_jobs == p["jobs"],
+            f"{tag} backend jobs + fallbacks != offered jobs",
+        )
+        for b in p["backends"]:
+            btag = f"{tag} {b['name']}"
+            check(
+                0.0 <= b["utilization"] <= 1.0,
+                f"{btag} utilization {b['utilization']} out of [0, 1]",
+            )
+            hist_jobs = sum((i + 1) * c for i, c in enumerate(b["batch_histogram"]))
+            check(hist_jobs == b["jobs"], f"{btag} batch histogram loses jobs")
+            if b["mean_batch"] > 1.0:
+                any_batched = True
+            if b["name"] == "mock-qpu" and b["batches"] > 0:
+                check(
+                    b["embed_cache_misses"] >= 1,
+                    f"{btag} served batches without deriving an embedding",
+                )
+                check(
+                    b["embed_cache_hits"] + b["embed_cache_misses"] == b["batches"],
+                    f"{btag} cache lookups != batch calls",
+                )
+    check(any_batched, f"{path}: no point ever formed a multi-job batch")
+
+    # Degraded-service monotonicity in offered load at fixed (mix, cells).
+    groups = {}
+    for p in points:
+        groups.setdefault((p["mix"], p["n_cells"]), []).append(p)
+    for (mix, cells), group in sorted(groups.items()):
+        group.sort(key=lambda p: -p["arrival_period_us"])  # increasing load
+        # served_miss_rate and fallback_rate are disjoint job sets, so this
+        # is a true rate (<= 1): the fraction of jobs the fabric did not
+        # serve within budget.
+        degraded = [p["served_miss_rate"] + p["fallback_rate"] for p in group]
+        check(
+            all(a <= b + 1e-12 for a, b in zip(degraded, degraded[1:])),
+            f"{path}: [{mix} cells={cells}] degraded-service rate not "
+            f"monotone in load: {degraded}",
+        )
+
+    # Batched mock-QPU must beat (or match) unbatched at equal load.
+    qpu = {}
+    for p in points:
+        if p["mix"] in ("qpu-batched", "qpu-unbatched"):
+            qpu.setdefault((p["n_cells"], p["arrival_period_us"]), {})[p["mix"]] = p
+    pairs = 0
+    for (cells, period), arms in sorted(qpu.items()):
+        if len(arms) != 2:
+            continue
+        pairs += 1
+        batched, unbatched = arms["qpu-batched"], arms["qpu-unbatched"]
+        b_qpu = batched["backends"][0]
+        u_qpu = unbatched["backends"][0]
+        if b_qpu["jobs"] > 0 and u_qpu["jobs"] > 0:
+            amortized = b_qpu["mean_service_us"] <= u_qpu["mean_service_us"]
+            if b_qpu["mean_batch"] > 1.0:
+                amortized = b_qpu["mean_service_us"] < u_qpu["mean_service_us"]
+            check(
+                amortized,
+                f"{path}: [cells={cells} period={period}] batched QPU charged "
+                f"{b_qpu['mean_service_us']} us/job (mean batch "
+                f"{b_qpu['mean_batch']}), not amortizing vs unbatched "
+                f"{u_qpu['mean_service_us']} us/job",
+            )
+        check(
+            batched["fallback_rate"] <= unbatched["fallback_rate"],
+            f"{path}: [cells={cells} period={period}] batched QPU falls back "
+            f"more ({batched['fallback_rate']}) than unbatched "
+            f"({unbatched['fallback_rate']})",
+        )
+    check(pairs > 0, f"{path}: no batched-vs-unbatched QPU pairs to compare")
+    print(f"{path}: {len(points)} points OK ({pairs} batched-vs-unbatched pairs)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", default="BENCH_kernels.json")
     parser.add_argument("--stream", default="BENCH_stream.json")
+    parser.add_argument("--fabric", default="BENCH_fabric.json")
     args = parser.parse_args()
 
     check_kernels(args.kernels)
     check_stream(args.stream)
+    check_fabric(args.fabric)
 
     if failures:
         print(f"\nBENCH GATE FAILED ({len(failures)} violation(s)):", file=sys.stderr)

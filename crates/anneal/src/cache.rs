@@ -1,0 +1,126 @@
+//! Memoized clique embeddings for streaming / multi-tenant workloads.
+//!
+//! Deriving a [`CliqueEmbedding`] walks the whole Chimera cross
+//! construction — cheap once, wasteful when a shared QPU front end serves
+//! thousands of same-shape detection QUBOs per second (every MIMO frame of
+//! a given (users, modulation) cell produces a QUBO of identical size).
+//! [`EmbeddingCache`] memoizes embeddings by `(topology size m, n_logical)`:
+//! the first request for a shape derives and stores the embedding, later
+//! requests are an `Rc` clone.
+//!
+//! The construction in [`CliqueEmbedding::new`] is deterministic, so a
+//! cached embedding is **identical** to a freshly derived one (chains, chain
+//! edges and cross couplers — property-tested in `tests/proptests.rs`);
+//! caching can never change results, only skip the derivation cost. Hit and
+//! miss counters are exposed so cost models can charge the derivation
+//! exactly once per shape, the amortization the fabric scheduler's batch
+//! formation is designed around.
+
+use crate::embedding::CliqueEmbedding;
+use crate::topology::Chimera;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache key: Chimera size `m` and the logical problem size.
+pub type EmbeddingKey = (usize, usize);
+
+/// A memoizing store of clique embeddings, keyed by
+/// `(topology m, n_logical)`.
+///
+/// Single-owner by design (no interior locking): the deterministic
+/// simulations that use it are sequential per cell, and cross-cell fan-out
+/// builds one cache per cell so hit/miss counters stay reproducible at any
+/// thread count.
+#[derive(Debug, Default)]
+pub struct EmbeddingCache {
+    entries: HashMap<EmbeddingKey, Rc<CliqueEmbedding>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EmbeddingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        EmbeddingCache::default()
+    }
+
+    /// Returns the embedding of `n_logical` variables on `C_m`, deriving and
+    /// storing it on first request.
+    ///
+    /// # Panics
+    /// As [`CliqueEmbedding::new`]: zero variables or `n_logical > 4m`.
+    pub fn get(&mut self, graph: Chimera, n_logical: usize) -> Rc<CliqueEmbedding> {
+        let key = (graph.m(), n_logical);
+        if let Some(found) = self.entries.get(&key) {
+            self.hits += 1;
+            return Rc::clone(found);
+        }
+        self.misses += 1;
+        let derived = Rc::new(CliqueEmbedding::new(graph, n_logical));
+        self.entries.insert(key, Rc::clone(&derived));
+        derived
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of requests that derived a fresh embedding.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no embeddings yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_request_misses_then_hits() {
+        let mut cache = EmbeddingCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(Chimera::new(2), 8);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get(Chimera::new(2), 8);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Rc::ptr_eq(&a, &b), "hit must return the stored embedding");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_entries() {
+        let mut cache = EmbeddingCache::new();
+        let small = cache.get(Chimera::new(2), 4);
+        let large = cache.get(Chimera::new(2), 8);
+        let other_graph = cache.get(Chimera::new(3), 4);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(small.num_logical(), 4);
+        assert_eq!(large.num_logical(), 8);
+        // Same n on a bigger graph: longer chains, different entry.
+        assert!(other_graph.chain(0).len() > small.chain(0).len());
+    }
+
+    #[test]
+    fn cached_embedding_matches_fresh_derivation() {
+        let mut cache = EmbeddingCache::new();
+        let cached = cache.get(Chimera::new(3), 10);
+        let _ = cache.get(Chimera::new(3), 10);
+        let fresh = CliqueEmbedding::new(Chimera::new(3), 10);
+        for l in 0..10 {
+            assert_eq!(cached.chain(l), fresh.chain(l), "chain {l} differs");
+        }
+        assert_eq!(cached.qubits_used(), fresh.qubits_used());
+    }
+}

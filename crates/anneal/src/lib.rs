@@ -19,6 +19,9 @@
 //! * [`sampler`] — the D-Wave-style front end: `num_reads`, schedules,
 //!   reverse-anneal initial states, auto-scaling, parallel reads and QPU
 //!   time accounting.
+//! * [`cache`] — the embedding cache: memoized clique embeddings keyed by
+//!   (topology, logical size), so streaming workloads that re-solve
+//!   same-shape QUBOs never re-derive chains.
 //!
 //! Everything is deterministic from a seed, including multi-threaded
 //! sampling.
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod dwave;
 pub mod embedding;
 pub mod engine;
@@ -36,12 +40,13 @@ pub mod schedule;
 pub mod svmc;
 pub mod topology;
 
+pub use cache::EmbeddingCache;
 pub use dwave::DWaveProfile;
 pub use embedding::{ChainStrength, CliqueEmbedding};
 pub use engine::{AnnealEngine, AnnealParams};
 pub use noise::IceModel;
 pub use pimc::PimcEngine;
-pub use sampler::{AnnealResult, EngineKind, QuantumSampler, SamplerConfig};
+pub use sampler::{AnnealResult, ConfigError, EngineKind, QuantumSampler, SamplerConfig};
 pub use schedule::AnnealSchedule;
 pub use svmc::SvmcEngine;
 pub use topology::Chimera;

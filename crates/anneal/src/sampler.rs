@@ -79,19 +79,62 @@ impl Default for SamplerConfig {
     }
 }
 
+/// A [`SamplerConfig`] field that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_reads` was zero.
+    ZeroReads,
+    /// The PIMC engine was configured with fewer than two Trotter slices.
+    TooFewTrotterSlices {
+        /// The offending slice count.
+        trotter_slices: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroReads => write!(f, "SamplerConfig: num_reads must be > 0"),
+            ConfigError::TooFewTrotterSlices { trotter_slices } => write!(
+                f,
+                "SamplerConfig: need ≥ 2 Trotter slices, got {trotter_slices}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SamplerConfig {
     /// Validates the configuration.
     ///
+    /// # Errors
+    /// Returns the first violated constraint: zero reads or invalid engine
+    /// parameters.
+    ///
     /// # Panics
-    /// Panics on zero reads or invalid engine parameters.
-    pub fn validate(&self) {
-        assert!(self.num_reads > 0, "SamplerConfig: num_reads must be > 0");
+    /// Panics on invalid [`AnnealParams`] (those keep their own panicking
+    /// validator).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_reads == 0 {
+            return Err(ConfigError::ZeroReads);
+        }
         self.params.validate();
         if let EngineKind::Pimc { trotter_slices } = self.engine {
-            assert!(
-                trotter_slices >= 2,
-                "SamplerConfig: need ≥ 2 Trotter slices"
-            );
+            if trotter_slices < 2 {
+                return Err(ConfigError::TooFewTrotterSlices { trotter_slices });
+            }
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    ///
+    /// # Panics
+    /// Panics with the [`ConfigError`] message on any invalid field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 }
@@ -162,7 +205,7 @@ impl QuantumSampler {
     /// # Panics
     /// Panics on invalid configuration.
     pub fn new(profile: DWaveProfile, config: SamplerConfig) -> Self {
-        config.validate();
+        config.validate_or_panic();
         QuantumSampler { profile, config }
     }
 
@@ -291,7 +334,7 @@ impl QuantumSampler {
         initial: Option<&[i8]>,
         seed: u64,
     ) -> Vec<Vec<i8>> {
-        self.config.validate();
+        self.config.validate_or_panic();
         // Program the device: auto-scale the intended problem.
         let mut programmed = intended.clone();
         if self.config.auto_scale {
@@ -437,6 +480,46 @@ mod tests {
         assert!((out.timing.anneal_us_per_read - 2.2).abs() < 1e-9);
         assert_eq!(out.timing.num_reads, 10);
         assert!(out.timing.qpu_access_us() > out.timing.sampling_us());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_reports_violations() {
+        assert_eq!(SamplerConfig::default().validate(), Ok(()));
+
+        let zero_reads = SamplerConfig {
+            num_reads: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero_reads.validate(), Err(ConfigError::ZeroReads));
+
+        let one_slice = SamplerConfig {
+            engine: EngineKind::Pimc { trotter_slices: 1 },
+            ..Default::default()
+        };
+        assert_eq!(
+            one_slice.validate(),
+            Err(ConfigError::TooFewTrotterSlices { trotter_slices: 1 })
+        );
+        assert!(one_slice
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("Trotter"));
+    }
+
+    #[test]
+    fn validate_or_panic_passes_valid_configs() {
+        SamplerConfig::default().validate_or_panic();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_reads must be > 0")]
+    fn validate_or_panic_keeps_the_panicking_contract() {
+        let config = SamplerConfig {
+            num_reads: 0,
+            ..Default::default()
+        };
+        config.validate_or_panic();
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the annealer substrate.
 
-use hqw_anneal::embedding::CliqueEmbedding;
+use hqw_anneal::cache::EmbeddingCache;
+use hqw_anneal::embedding::{ChainStrength, CliqueEmbedding};
 use hqw_anneal::engine::{AnnealParams, FreezeOut};
 use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
 use hqw_anneal::schedule::AnnealSchedule;
@@ -97,6 +98,63 @@ proptest! {
         let n = 4 * m;
         let emb = CliqueEmbedding::new(graph, n);
         let mut rng = Rng64::new(seed);
+        let logical: Vec<i8> = (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect();
+        let physical = emb.embed_state(&logical, &mut rng);
+        let (back, broken) = emb.unembed(&physical);
+        prop_assert_eq!(back, logical);
+        prop_assert_eq!(broken, 0);
+    }
+
+    #[test]
+    fn cached_embeddings_are_identical_to_fresh_derivations(
+        m in 1usize..4, seed in any::<u64>()
+    ) {
+        // The fabric's embedding cache must be a pure memoization: a cached
+        // embedding is indistinguishable from a fresh derivation — same
+        // chains, and the same embedded physical problem.
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.next_index(4 * m);
+        let mut cache = EmbeddingCache::new();
+        let first = cache.get(Chimera::new(m), n);
+        let cached = cache.get(Chimera::new(m), n);
+        prop_assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let fresh = CliqueEmbedding::new(Chimera::new(m), n);
+        for l in 0..n {
+            prop_assert_eq!(first.chain(l), fresh.chain(l));
+            prop_assert_eq!(cached.chain(l), fresh.chain(l));
+        }
+        prop_assert_eq!(cached.qubits_used(), fresh.qubits_used());
+
+        // Same embedded problem: identical physical energies everywhere we
+        // probe.
+        let q = random_qubo(n, &mut rng);
+        let (logical, _) = q.to_ising();
+        let strength = ChainStrength::RelativeToMax(2.0);
+        let from_cache = cached.embed(&logical, strength);
+        let from_fresh = fresh.embed(&logical, strength);
+        for _ in 0..4 {
+            let state: Vec<i8> = (0..from_fresh.num_vars())
+                .map(|_| if rng.next_bool() { 1 } else { -1 })
+                .collect();
+            prop_assert_eq!(
+                from_cache.energy(&state).to_bits(),
+                from_fresh.energy(&state).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_partial_clique_embeddings_round_trip_states(
+        m in 1usize..4, seed in any::<u64>()
+    ) {
+        // embed_state → unembed through a *cached* embedding of a partial
+        // clique (n ≤ 4m) recovers the logical state with zero broken
+        // chains — the invariant the mock-QPU backend's reverse-anneal
+        // programming relies on.
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.next_index(4 * m);
+        let mut cache = EmbeddingCache::new();
+        let emb = cache.get(Chimera::new(m), n);
         let logical: Vec<i8> = (0..n).map(|_| if rng.next_bool() { 1 } else { -1 }).collect();
         let physical = emb.embed_state(&logical, &mut rng);
         let (back, broken) = emb.unembed(&physical);

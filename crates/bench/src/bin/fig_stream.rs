@@ -128,10 +128,7 @@ fn main() {
     table.write_csv(&csv_path).expect("write CSV");
     println!("CSV written to {}", csv_path.display());
 
-    let json_path = opts
-        .json_out
-        .clone()
-        .unwrap_or_else(|| "BENCH_stream.json".into());
+    let json_path = opts.json_path("BENCH_stream.json");
     report.write_json(&json_path).expect("write JSON report");
     println!("JSON report written to {}", json_path.display());
 }

@@ -112,6 +112,16 @@ impl Options {
         self.out_dir.join(name)
     }
 
+    /// Path for the binary's JSON report: the `--json` override when given,
+    /// `default_name` (at the working directory) otherwise. Shared by every
+    /// report-emitting fig binary so the default-path convention lives in
+    /// one place.
+    pub fn json_path(&self, default_name: &str) -> PathBuf {
+        self.json_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(default_name))
+    }
+
     /// Prints the standard experiment header.
     pub fn banner(&self, figure: &str, what: &str) {
         println!("=== {figure}: {what}");
@@ -175,6 +185,17 @@ mod tests {
         let o = parse_ok(&["--threads", "3", "--json", "/tmp/ber.json"]);
         assert_eq!(o.threads, 3);
         assert_eq!(o.json_out, Some(PathBuf::from("/tmp/ber.json")));
+    }
+
+    #[test]
+    fn json_path_prefers_the_override() {
+        let o = parse_ok(&[]);
+        assert_eq!(o.json_path("BENCH_x.json"), PathBuf::from("BENCH_x.json"));
+        let o = parse_ok(&["--json", "/tmp/report.json"]);
+        assert_eq!(
+            o.json_path("BENCH_x.json"),
+            PathBuf::from("/tmp/report.json")
+        );
     }
 
     #[test]

@@ -1,0 +1,1659 @@
+//! The quantum compute fabric: many cells sharing a pool of solver backends.
+//!
+//! The paper's deployment model (§1, §6) is not one base station with a
+//! dedicated annealer — it is *wirelessly-networked systems offloading
+//! NP-hard detection problems over the network to shared, centralized
+//! quantum(-inspired) processors*. This module simulates that structure:
+//! **C cells × U users** stream detection frames into a [`FabricScheduler`]
+//! that performs admission control, coalesces same-shape QUBOs into batches,
+//! and routes each batch to one of a heterogeneous pool of
+//! [`SolverBackend`]s — an SA worker pool, PIMC and SVMC annealer
+//! simulators, and a mock QPU behind a [`NetworkModel`] whose minor
+//! embeddings come from an [`hqw_anneal::EmbeddingCache`] so repeated
+//! frames never re-derive chains.
+//!
+//! Batch formation is the fabric's amortization lever: a batch pays the
+//! per-call overhead (network round trip, QPU programming, embedding
+//! derivation on a cache miss) **once**, then serves its jobs across the
+//! backend's parallel capacity. Under load, queued same-shape jobs coalesce
+//! automatically, so the batched mock QPU beats the unbatched one at equal
+//! offered load — the headline fabric invariant CI pins.
+//!
+//! ## Determinism contract
+//!
+//! One fabric simulation is a sequential virtual-time event loop: service
+//! times derive from [`DetectorMeta`] work counters through the stream
+//! engine's [`CostModel`], never wall clocks. [`run_fabric_grid`] fans the
+//! (backend-mix × cells × load) grid out with
+//! [`hqw_math::parallel::parallel_map_indexed`]; each grid point's seed
+//! derives from the grid seed and its **cell-count index only**, and each
+//! radio cell's [`ChannelTrack`] seed derives from the point seed and the
+//! cell index only ([`ChannelTrack::cells`]). Points differing in load or
+//! backend mix therefore see identical frame sequences (paired comparison),
+//! and `BENCH_fabric.json` is byte-identical at any thread count.
+
+use crate::pipeline::item_seed;
+use crate::scenario::json_num;
+use crate::stream::CostModel;
+use hqw_anneal::engine::FreezeOut;
+use hqw_anneal::{
+    AnnealParams, AnnealSchedule, ChainStrength, Chimera, DWaveProfile, EmbeddingCache, EngineKind,
+    QuantumSampler, SamplerConfig,
+};
+use hqw_math::parallel::parallel_map_indexed;
+use hqw_math::stats::percentile_sorted;
+use hqw_math::Rng64;
+use hqw_phy::channel::{ChannelTrack, TrackConfig};
+use hqw_phy::detect::{Detector, DetectorMeta, Mmse};
+use hqw_phy::instance::DetectionInstance;
+use hqw_phy::metrics::bit_error_rate;
+use hqw_qubo::sa::{sample_qubo_batch_seeded, SaParams};
+use std::collections::VecDeque;
+
+/// One detection frame offered to the fabric.
+#[derive(Debug)]
+pub struct FabricJob {
+    /// Originating radio cell.
+    pub cell: usize,
+    /// Frame index within the cell.
+    pub frame: usize,
+    /// Arrival time on the virtual clock (µs).
+    pub arrival_us: f64,
+    /// Per-job solver seed (stable under routing and batching).
+    pub seed: u64,
+    /// The detection problem.
+    pub inst: DetectionInstance,
+}
+
+/// A backend's answer for one job of a batch.
+#[derive(Debug, Clone)]
+pub struct JobDecision {
+    /// Detected Gray-labeled bits.
+    pub gray_bits: Vec<u8>,
+    /// Algorithmic work counters ([`CostModel`] converts them to service µs).
+    pub meta: DetectorMeta,
+}
+
+/// A backend's answer for a whole batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-job decisions, 1:1 with the submitted jobs.
+    pub decisions: Vec<JobDecision>,
+    /// Total charged service time for the batch call (µs), including any
+    /// per-call overhead (network, programming, embedding derivation).
+    pub service_us: f64,
+}
+
+/// A solver backend of the shared fabric pool.
+///
+/// Implementations own whatever state they amortize across calls (worker
+/// pools, samplers, embedding caches); the scheduler owns the clock and the
+/// queues. Service costs must derive from algorithmic counters via the
+/// passed [`CostModel`] — never from wall clocks — so fabric simulations
+/// stay byte-reproducible.
+pub trait SolverBackend {
+    /// Stable machine-readable name (used in fabric reports).
+    fn name(&self) -> &'static str;
+
+    /// Parallel job slots: a batch of `B` jobs runs in `ceil(B / capacity)`
+    /// service rounds.
+    fn capacity(&self) -> usize;
+
+    /// Most jobs the scheduler may coalesce into one call.
+    fn max_batch(&self) -> usize;
+
+    /// Predicted service µs for one job of `n_logical` variables — what the
+    /// scheduler's admission control budgets against.
+    fn predict_job_us(&self, cost: &CostModel, n_logical: usize) -> f64;
+
+    /// Predicted fixed per-call overhead µs (network round trip, QPU
+    /// programming; 0 for local backends).
+    fn predict_overhead_us(&self) -> f64 {
+        0.0
+    }
+
+    /// Solves a batch of same-shape jobs in one call.
+    fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome;
+
+    /// `(hits, misses)` of the backend's embedding cache, when it has one.
+    fn embedding_cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+/// Serializes a batch across `capacity` parallel slots: `ceil(B/capacity)`
+/// rounds of the per-job service time (all fabric batches are same-shape,
+/// so per-job times are uniform).
+fn rounds_us(batch: usize, capacity: usize, job_us: f64) -> f64 {
+    batch.div_ceil(capacity) as f64 * job_us
+}
+
+fn natural_to_gray_decision(
+    job: &FabricJob,
+    natural_bits: &[u8],
+    meta: DetectorMeta,
+) -> JobDecision {
+    JobDecision {
+        gray_bits: job.inst.reduction.natural_to_gray(natural_bits),
+        meta,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA worker pool
+// ---------------------------------------------------------------------------
+
+/// Configuration of the [`SaPoolBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct SaPoolConfig {
+    /// Worker slots (parallel capacity).
+    pub workers: usize,
+    /// Most jobs coalesced per call.
+    pub max_batch: usize,
+    /// SA schedule per job (`num_reads` reads per job).
+    pub sa: SaParams,
+}
+
+/// A pool of classical SA workers: the cheapest, always-available rung of
+/// the fabric. Batches fan all `jobs × num_reads` reads through
+/// [`hqw_qubo::sa::sample_qubo_batch_seeded`] in one dispatch, with each
+/// job's reads seeded from the job alone — decisions never depend on batch
+/// composition.
+#[derive(Debug)]
+pub struct SaPoolBackend {
+    config: SaPoolConfig,
+}
+
+impl SaPoolBackend {
+    /// Creates the pool.
+    ///
+    /// # Panics
+    /// Panics on zero workers/batch or invalid SA parameters.
+    pub fn new(config: SaPoolConfig) -> Self {
+        assert!(config.workers > 0, "SaPoolBackend: need >= 1 worker");
+        assert!(config.max_batch > 0, "SaPoolBackend: need max_batch >= 1");
+        config.sa.validate();
+        SaPoolBackend { config }
+    }
+}
+
+impl SolverBackend for SaPoolBackend {
+    fn name(&self) -> &'static str {
+        "sa-pool"
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.workers
+    }
+
+    fn max_batch(&self) -> usize {
+        self.config.max_batch
+    }
+
+    fn predict_job_us(&self, cost: &CostModel, _n_logical: usize) -> f64 {
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: (self.config.sa.sweeps * self.config.sa.num_reads) as u64,
+        };
+        cost.service_us(&meta)
+    }
+
+    fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
+        let qubos: Vec<_> = jobs.iter().map(|j| &j.inst.reduction.qubo).collect();
+        // One independent sampling stream per job, derived from the job's
+        // own seed: a job's decision (and therefore every BER metric) is
+        // invariant to how the scheduler happened to bucket it — the same
+        // paired-comparison property the mock QPU pins with per-job seeds.
+        let seeds: Vec<u64> = jobs.iter().map(|j| j.seed ^ 0x5A_B47C).collect();
+        let sample_sets = sample_qubo_batch_seeded(&qubos, &self.config.sa, &seeds);
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: (self.config.sa.sweeps * self.config.sa.num_reads) as u64,
+        };
+        let decisions = jobs
+            .iter()
+            .zip(&sample_sets)
+            .map(|(job, set)| {
+                let best = set.best().expect("SA batch produced no samples");
+                natural_to_gray_decision(job, &best.bits, meta)
+            })
+            .collect();
+        BatchOutcome {
+            decisions,
+            service_us: rounds_us(
+                jobs.len(),
+                self.config.workers,
+                self.predict_job_us(cost, jobs[0].inst.num_vars()),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PIMC / SVMC annealer simulators
+// ---------------------------------------------------------------------------
+
+/// Shared configuration of the [`PimcBackend`] and [`SvmcBackend`] annealer
+/// simulators.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealerConfig {
+    /// Reads per job.
+    pub num_reads: usize,
+    /// Forward-anneal duration per read (programmed µs).
+    pub anneal_us: f64,
+    /// Monte-Carlo sweeps simulated per programmed microsecond.
+    pub sweeps_per_us: usize,
+    /// Parallel job slots.
+    pub capacity: usize,
+    /// Most jobs coalesced per call.
+    pub max_batch: usize,
+}
+
+/// Total MC sweeps one annealer job costs:
+/// `reads × anneal_us × sweeps_per_us`. Shared by the PIMC/SVMC backends
+/// and the mock QPU so predicted and charged service can never drift apart.
+fn mc_sweeps_per_job(num_reads: usize, anneal_us: f64, sweeps_per_us: usize) -> u64 {
+    (num_reads as f64 * anneal_us * sweeps_per_us as f64).round() as u64
+}
+
+/// The one sampler construction every annealer-simulator backend shares.
+fn annealer_sampler(engine: EngineKind, num_reads: usize, sweeps_per_us: usize) -> QuantumSampler {
+    QuantumSampler::new(
+        DWaveProfile::calibrated(),
+        SamplerConfig {
+            num_reads,
+            engine,
+            params: AnnealParams {
+                sweeps_per_us,
+                beta_override: None,
+                freeze_out: Some(FreezeOut::default()),
+            },
+            threads: 1, // the fabric grid is the parallel level
+            ..SamplerConfig::default()
+        },
+    )
+}
+
+impl AnnealerConfig {
+    fn validate(&self) {
+        assert!(self.num_reads > 0, "AnnealerConfig: need >= 1 read");
+        assert!(
+            self.anneal_us > 0.0,
+            "AnnealerConfig: anneal_us must be > 0"
+        );
+        assert!(self.sweeps_per_us > 0, "AnnealerConfig: sweeps_per_us > 0");
+        assert!(self.capacity > 0, "AnnealerConfig: capacity must be > 0");
+        assert!(self.max_batch > 0, "AnnealerConfig: max_batch must be > 0");
+    }
+
+    fn sweeps_per_job(&self) -> u64 {
+        mc_sweeps_per_job(self.num_reads, self.anneal_us, self.sweeps_per_us)
+    }
+
+    fn sampler(&self, engine: EngineKind) -> QuantumSampler {
+        annealer_sampler(engine, self.num_reads, self.sweeps_per_us)
+    }
+}
+
+/// Runs one annealer job (forward schedule, per-job seed) and returns the
+/// decision. Shared by the PIMC, SVMC and mock-QPU backends.
+fn annealer_decide(
+    sampler: &QuantumSampler,
+    schedule: &AnnealSchedule,
+    sweeps_per_job: u64,
+    job: &FabricJob,
+) -> JobDecision {
+    let result = sampler.sample_qubo(&job.inst.reduction.qubo, schedule, None, job.seed);
+    let best = result.samples.best().expect("annealer produced no samples");
+    natural_to_gray_decision(
+        job,
+        &best.bits,
+        DetectorMeta {
+            nodes_visited: 0,
+            sweeps: sweeps_per_job,
+        },
+    )
+}
+
+macro_rules! annealer_backend {
+    ($(#[$doc:meta])* $name:ident, $tag:literal, $engine:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            config: AnnealerConfig,
+            sampler: QuantumSampler,
+            schedule: AnnealSchedule,
+        }
+
+        impl $name {
+            /// Creates the backend.
+            ///
+            /// # Panics
+            /// Panics on invalid configuration.
+            pub fn new(config: AnnealerConfig) -> Self {
+                config.validate();
+                $name {
+                    config,
+                    sampler: config.sampler($engine),
+                    schedule: AnnealSchedule::forward(config.anneal_us)
+                        .expect("anneal_us validated > 0"),
+                }
+            }
+        }
+
+        impl SolverBackend for $name {
+            fn name(&self) -> &'static str {
+                $tag
+            }
+
+            fn capacity(&self) -> usize {
+                self.config.capacity
+            }
+
+            fn max_batch(&self) -> usize {
+                self.config.max_batch
+            }
+
+            fn predict_job_us(&self, cost: &CostModel, _n_logical: usize) -> f64 {
+                cost.service_us(&DetectorMeta {
+                    nodes_visited: 0,
+                    sweeps: self.config.sweeps_per_job(),
+                })
+            }
+
+            fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
+                let sweeps = self.config.sweeps_per_job();
+                let decisions = jobs
+                    .iter()
+                    .map(|job| annealer_decide(&self.sampler, &self.schedule, sweeps, job))
+                    .collect();
+                BatchOutcome {
+                    decisions,
+                    service_us: rounds_us(
+                        jobs.len(),
+                        self.config.capacity,
+                        self.predict_job_us(cost, jobs[0].inst.num_vars()),
+                    ),
+                }
+            }
+        }
+    };
+}
+
+annealer_backend!(
+    /// Path-integral quantum Monte Carlo simulator backend (16 Trotter
+    /// slices by default of [`EngineKind`]; here 8 — quick but quantum).
+    PimcBackend,
+    "pimc",
+    EngineKind::Pimc { trotter_slices: 8 }
+);
+
+annealer_backend!(
+    /// Spin-vector (semi-classical) Monte Carlo simulator backend.
+    SvmcBackend,
+    "svmc",
+    EngineKind::Svmc
+);
+
+// ---------------------------------------------------------------------------
+// Mock QPU behind a network
+// ---------------------------------------------------------------------------
+
+/// Deterministic network model between the cells and a centralized QPU:
+/// a base round-trip time plus per-job jitter drawn from the job's seed.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Base round-trip time (µs).
+    pub rtt_base_us: f64,
+    /// Jitter amplitude (µs): each job draws `U[0, jitter_us)` on top of
+    /// the base RTT, deterministically from its seed.
+    pub jitter_us: f64,
+}
+
+impl NetworkModel {
+    /// A co-located backend: no network cost at all.
+    pub fn local() -> Self {
+        NetworkModel {
+            rtt_base_us: 0.0,
+            jitter_us: 0.0,
+        }
+    }
+
+    /// This job's round-trip time: base + seeded jitter.
+    pub fn rtt_us(&self, job_seed: u64) -> f64 {
+        if self.jitter_us == 0.0 {
+            return self.rtt_base_us;
+        }
+        self.rtt_base_us + self.jitter_us * Rng64::new(job_seed ^ 0x4E77_0A4B).next_f64()
+    }
+
+    /// The round trip a whole batch rides on: the slowest member's draw
+    /// (every job's answer returns with the batch).
+    pub fn batch_rtt_us(&self, jobs: &[&FabricJob]) -> f64 {
+        jobs.iter().map(|j| self.rtt_us(j.seed)).fold(0.0, f64::max)
+    }
+}
+
+/// Configuration of the [`MockQpuBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct MockQpuConfig {
+    /// Reads per job.
+    pub num_reads: usize,
+    /// Forward-anneal duration per read (programmed µs).
+    pub anneal_us: f64,
+    /// Monte-Carlo sweeps simulated per programmed microsecond (on the
+    /// embedded physical problem).
+    pub sweeps_per_us: usize,
+    /// Trotter slices of the PIMC engine behind the QPU front end.
+    pub trotter_slices: usize,
+    /// Most jobs coalesced per call (1 = unbatched submission).
+    pub max_batch: usize,
+    /// Network between the cells and the QPU.
+    pub network: NetworkModel,
+    /// Per-call problem programming overhead (µs), paid once per batch.
+    pub programming_us: f64,
+    /// Embedding derivation cost per physical qubit of the chain layout
+    /// (µs), paid only on an embedding-cache miss.
+    pub embed_derive_us_per_qubit: f64,
+    /// Chain strength relative to the logical problem's largest coefficient.
+    pub chain_strength: f64,
+}
+
+/// The centralized quantum processor: a [`QuantumSampler`] front end driving
+/// PIMC through a cached Chimera clique minor-embedding, reached over a
+/// [`NetworkModel`].
+///
+/// The per-call overhead — network round trip, programming, and chain
+/// derivation on an embedding-cache miss — is what batch formation
+/// amortizes: at equal offered load a batched QPU serves the same jobs at
+/// lower mean latency than an unbatched one (CI-pinned invariant).
+#[derive(Debug)]
+pub struct MockQpuBackend {
+    config: MockQpuConfig,
+    sampler: QuantumSampler,
+    schedule: AnnealSchedule,
+    cache: EmbeddingCache,
+}
+
+impl MockQpuBackend {
+    /// Creates the backend with an empty embedding cache.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(config: MockQpuConfig) -> Self {
+        assert!(config.num_reads > 0, "MockQpuBackend: need >= 1 read");
+        assert!(config.anneal_us > 0.0, "MockQpuBackend: anneal_us > 0");
+        assert!(config.max_batch > 0, "MockQpuBackend: max_batch >= 1");
+        assert!(
+            config.programming_us >= 0.0 && config.embed_derive_us_per_qubit >= 0.0,
+            "MockQpuBackend: negative overhead"
+        );
+        let sampler = annealer_sampler(
+            EngineKind::Pimc {
+                trotter_slices: config.trotter_slices,
+            },
+            config.num_reads,
+            config.sweeps_per_us,
+        );
+        MockQpuBackend {
+            config,
+            sampler,
+            schedule: AnnealSchedule::forward(config.anneal_us).expect("anneal_us validated > 0"),
+            cache: EmbeddingCache::new(),
+        }
+    }
+
+    /// Smallest Chimera hosting an `n_logical` clique with the cross
+    /// construction (`K_{4m}` on `C_m`).
+    fn chimera_for(n_logical: usize) -> Chimera {
+        Chimera::new(n_logical.div_ceil(4).max(1))
+    }
+
+    fn sweeps_per_job(&self) -> u64 {
+        mc_sweeps_per_job(
+            self.config.num_reads,
+            self.config.anneal_us,
+            self.config.sweeps_per_us,
+        )
+    }
+}
+
+impl SolverBackend for MockQpuBackend {
+    fn name(&self) -> &'static str {
+        "mock-qpu"
+    }
+
+    fn capacity(&self) -> usize {
+        1 // one annealer: reads are sequential on the device
+    }
+
+    fn max_batch(&self) -> usize {
+        self.config.max_batch
+    }
+
+    fn predict_job_us(&self, cost: &CostModel, _n_logical: usize) -> f64 {
+        cost.service_us(&DetectorMeta {
+            nodes_visited: 0,
+            sweeps: self.sweeps_per_job(),
+        })
+    }
+
+    fn predict_overhead_us(&self) -> f64 {
+        self.config.network.rtt_base_us + self.config.programming_us
+    }
+
+    fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
+        let n = jobs[0].inst.num_vars();
+        let misses_before = self.cache.misses();
+        let embedding = self.cache.get(Self::chimera_for(n), n);
+        // Chain derivation is charged only when the cache actually derived.
+        let derive_us = if self.cache.misses() > misses_before {
+            embedding.qubits_used() as f64 * self.config.embed_derive_us_per_qubit
+        } else {
+            0.0
+        };
+
+        let sweeps = self.sweeps_per_job();
+        let strength = ChainStrength::RelativeToMax(self.config.chain_strength);
+        let decisions: Vec<JobDecision> = jobs
+            .iter()
+            .map(|job| {
+                let (result, _chain_breaks) = self.sampler.sample_qubo_embedded(
+                    &job.inst.reduction.qubo,
+                    &embedding,
+                    strength,
+                    &self.schedule,
+                    None,
+                    job.seed,
+                );
+                let best = result.samples.best().expect("QPU produced no samples");
+                natural_to_gray_decision(
+                    job,
+                    &best.bits,
+                    DetectorMeta {
+                        nodes_visited: 0,
+                        sweeps,
+                    },
+                )
+            })
+            .collect();
+
+        let overhead =
+            self.config.network.batch_rtt_us(jobs) + self.config.programming_us + derive_us;
+        BatchOutcome {
+            decisions,
+            service_us: overhead + rounds_us(jobs.len(), 1, self.predict_job_us(cost, n)),
+        }
+    }
+
+    fn embedding_cache_stats(&self) -> Option<(u64, u64)> {
+        Some((self.cache.hits(), self.cache.misses()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend specs and mixes
+// ---------------------------------------------------------------------------
+
+/// A buildable description of one backend — what the grid fans out, so each
+/// grid point constructs its own (stateful) backends and stays deterministic
+/// at any thread count.
+#[derive(Debug, Clone, Copy)]
+pub enum BackendSpec {
+    /// Classical SA worker pool.
+    SaPool(SaPoolConfig),
+    /// PIMC annealer simulator.
+    Pimc(AnnealerConfig),
+    /// SVMC annealer simulator.
+    Svmc(AnnealerConfig),
+    /// Centralized mock QPU behind a network.
+    MockQpu(MockQpuConfig),
+}
+
+impl BackendSpec {
+    /// Builds the backend.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn build(&self) -> Box<dyn SolverBackend> {
+        match *self {
+            BackendSpec::SaPool(c) => Box::new(SaPoolBackend::new(c)),
+            BackendSpec::Pimc(c) => Box::new(PimcBackend::new(c)),
+            BackendSpec::Svmc(c) => Box::new(SvmcBackend::new(c)),
+            BackendSpec::MockQpu(c) => Box::new(MockQpuBackend::new(c)),
+        }
+    }
+}
+
+/// A named pool composition — one value of the fabric grid's backend-mix
+/// axis.
+#[derive(Debug, Clone)]
+pub struct BackendMix {
+    /// Stable machine-readable name (used in fabric reports).
+    pub name: String,
+    /// The pool.
+    pub backends: Vec<BackendSpec>,
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------------
+
+/// Configuration of one fabric simulation (one grid point).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Channel process shared by every cell (per-cell seeds differ).
+    pub track: TrackConfig,
+    /// Number of radio cells sharing the fabric.
+    pub n_cells: usize,
+    /// Frames streamed per cell.
+    pub frames_per_cell: usize,
+    /// Per-cell frame inter-arrival period (µs); cells are phase-staggered
+    /// by `period / n_cells` so offered load scales with the cell count.
+    pub arrival_period_us: f64,
+    /// Per-frame end-to-end latency budget (µs).
+    pub deadline_us: f64,
+    /// Work-counter → service-time model.
+    pub cost: CostModel,
+    /// The shared backend pool.
+    pub backends: Vec<BackendSpec>,
+    /// Simulation seed; cell tracks and job seeds derive from it.
+    pub seed: u64,
+}
+
+/// Per-backend slice of a [`FabricReport`].
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Backend name.
+    pub name: String,
+    /// Jobs served.
+    pub jobs: usize,
+    /// Batch calls made.
+    pub batches: u64,
+    /// Busy time over the simulation makespan (provably ≤ 1).
+    pub utilization: f64,
+    /// Mean jobs per batch call (0 when no batches ran).
+    pub mean_batch: f64,
+    /// Mean charged service time per served job (µs; busy time over jobs,
+    /// 0 when idle). The amortization metric: batching spreads the
+    /// per-call overhead (network, programming, derivation) across the
+    /// batch, so a batched backend's per-job cost undercuts an unbatched
+    /// one's regardless of what admission control did upstream.
+    pub mean_service_us: f64,
+    /// `batch_histogram[k]` = batches that carried `k + 1` jobs.
+    pub batch_histogram: Vec<u64>,
+    /// Embedding-cache hits (0 for backends without a cache).
+    pub embed_cache_hits: u64,
+    /// Embedding-cache misses (0 for backends without a cache).
+    pub embed_cache_misses: u64,
+}
+
+/// Aggregate report of one fabric simulation.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Backend-mix name.
+    pub mix: String,
+    /// Radio cells sharing the fabric.
+    pub n_cells: usize,
+    /// Per-cell arrival period (µs).
+    pub arrival_period_us: f64,
+    /// Total jobs across all cells.
+    pub jobs: usize,
+    /// Mean wireless bit error rate across jobs.
+    pub ber: f64,
+    /// Fraction of jobs whose end-to-end latency exceeded the deadline.
+    pub deadline_miss_rate: f64,
+    /// Fraction of jobs the admission control downgraded to local MMSE.
+    pub fallback_rate: f64,
+    /// Fraction of jobs that were **fabric-served and** missed the
+    /// deadline. Disjoint from `fallback_rate` by construction, so
+    /// `served_miss_rate + fallback_rate ≤ 1` is the degraded-service rate
+    /// (jobs the fabric did not serve within budget) the CI gate checks for
+    /// monotonicity in load.
+    pub served_miss_rate: f64,
+    /// Median end-to-end latency (µs).
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_latency_us: f64,
+    /// Mean end-to-end latency across all jobs (µs).
+    pub mean_latency_us: f64,
+    /// Mean end-to-end latency of **fabric-served** jobs only (µs; 0 when
+    /// everything fell back). The apples-to-apples batching metric: the
+    /// all-jobs mean rewards heavy fallback, because rejected jobs finish
+    /// in one fast classical service.
+    pub mean_served_latency_us: f64,
+    /// Per-backend statistics, in pool order.
+    pub backends: Vec<BackendReport>,
+}
+
+/// Bookkeeping entry of one finished job.
+#[derive(Debug, Clone, Copy)]
+struct JobFinish {
+    latency_us: f64,
+    ber: f64,
+    /// Whether the job was downgraded to the local classical fallback.
+    fallback: bool,
+}
+
+/// Runtime state of one backend inside the scheduler.
+struct BackendState {
+    backend: Box<dyn SolverBackend>,
+    queue: VecDeque<usize>,
+    /// Jobs of the in-flight batch with their decisions (empty when idle).
+    in_flight: Vec<(usize, JobDecision)>,
+    free_at: f64,
+    busy_us: f64,
+    batches: u64,
+    batch_histogram: Vec<u64>,
+    jobs_done: usize,
+}
+
+impl BackendState {
+    fn predicted_completion(&self, now: f64, cost: &CostModel, n_logical: usize) -> f64 {
+        let job_us = self.backend.predict_job_us(cost, n_logical);
+        // The backlog plus this job will form at least this many batch
+        // calls — each paying the per-call overhead — and serve in
+        // capacity-wide rounds, the same accounting `solve_batch` charges.
+        let jobs_ahead = self.queue.len() + 1;
+        let batches_ahead = jobs_ahead.div_ceil(self.backend.max_batch()) as f64;
+        let ready = if self.in_flight.is_empty() {
+            now
+        } else {
+            self.free_at.max(now)
+        };
+        ready
+            + batches_ahead * self.backend.predict_overhead_us()
+            + rounds_us(jobs_ahead, self.backend.capacity(), job_us)
+    }
+
+    /// Starts the next batch from the queue at `start` (queue must be
+    /// non-empty): pops the longest same-shape prefix up to `max_batch`.
+    fn start_batch(&mut self, start: f64, cost: &CostModel, jobs: &[FabricJob]) {
+        debug_assert!(self.in_flight.is_empty());
+        let head_vars = jobs[*self.queue.front().expect("start_batch: empty queue")].num_vars();
+        let mut batch_ids = Vec::new();
+        while batch_ids.len() < self.backend.max_batch() {
+            match self.queue.front() {
+                Some(&id) if jobs[id].num_vars() == head_vars => {
+                    batch_ids.push(id);
+                    self.queue.pop_front();
+                }
+                _ => break,
+            }
+        }
+        let batch_jobs: Vec<&FabricJob> = batch_ids.iter().map(|&id| &jobs[id]).collect();
+        let outcome = self.backend.solve_batch(cost, &batch_jobs);
+        assert_eq!(
+            outcome.decisions.len(),
+            batch_jobs.len(),
+            "backend {} returned a mismatched batch",
+            self.backend.name()
+        );
+        self.free_at = start + outcome.service_us;
+        self.busy_us += outcome.service_us;
+        self.batches += 1;
+        if self.batch_histogram.len() < batch_ids.len() {
+            self.batch_histogram.resize(batch_ids.len(), 0);
+        }
+        self.batch_histogram[batch_ids.len() - 1] += 1;
+        self.in_flight = batch_ids.into_iter().zip(outcome.decisions).collect();
+    }
+}
+
+impl FabricJob {
+    fn num_vars(&self) -> usize {
+        self.inst.num_vars()
+    }
+}
+
+/// Generates every job of the simulation, sorted by arrival time (ties
+/// break by cell, then frame — a total, deterministic order).
+fn generate_jobs(config: &FabricConfig) -> Vec<FabricJob> {
+    let tracks = ChannelTrack::cells(config.track, config.n_cells, config.seed ^ 0xCE11_5EED);
+    let mut jobs = Vec::with_capacity(config.n_cells * config.frames_per_cell);
+    let phase = config.arrival_period_us / config.n_cells as f64;
+    for (cell, mut track) in tracks.into_iter().enumerate() {
+        for frame in 0..config.frames_per_cell {
+            let inst = track.next().expect("ChannelTrack is infinite");
+            jobs.push(FabricJob {
+                cell,
+                frame,
+                arrival_us: frame as f64 * config.arrival_period_us + cell as f64 * phase,
+                seed: item_seed(item_seed(config.seed ^ 0xFAB_0B5, cell), frame),
+                inst,
+            });
+        }
+    }
+    jobs.sort_by(|a, b| {
+        a.arrival_us
+            .partial_cmp(&b.arrival_us)
+            .expect("arrival times are finite")
+            .then(a.cell.cmp(&b.cell))
+            .then(a.frame.cmp(&b.frame))
+    });
+    jobs
+}
+
+/// The fabric's control plane: admission control, batch formation and
+/// backend routing over a virtual clock.
+///
+/// At each arrival the scheduler routes the job to the backend minimizing
+/// predicted completion — or, when no backend's prediction fits the
+/// deadline, falls back to the cell's local classical detector exactly as
+/// the stream engine's deadline-aware [`crate::stream::DispatchPolicy`]
+/// does (local compute is uncontended: fallback latency is the classical
+/// service time alone). Idle backends start serving immediately; jobs
+/// arriving at a busy backend queue up and coalesce into its next
+/// same-shape batch when the backend frees.
+pub struct FabricScheduler {
+    cost: CostModel,
+    deadline_us: f64,
+    backends: Vec<BackendState>,
+    fallbacks: usize,
+}
+
+impl std::fmt::Debug for FabricScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricScheduler")
+            .field("deadline_us", &self.deadline_us)
+            .field("backends", &self.backends.len())
+            .field("fallbacks", &self.fallbacks)
+            .finish()
+    }
+}
+
+impl FabricScheduler {
+    /// Builds the scheduler and its backend pool.
+    ///
+    /// # Panics
+    /// Panics on an empty pool, a negative deadline, or invalid backend
+    /// parameters.
+    pub fn new(specs: &[BackendSpec], cost: CostModel, deadline_us: f64) -> Self {
+        assert!(!specs.is_empty(), "FabricScheduler: empty backend pool");
+        assert!(
+            deadline_us >= 0.0,
+            "FabricScheduler: deadline must be >= 0 (0 = everything falls back)"
+        );
+        FabricScheduler {
+            cost,
+            deadline_us,
+            backends: specs
+                .iter()
+                .map(|spec| BackendState {
+                    backend: spec.build(),
+                    queue: VecDeque::new(),
+                    in_flight: Vec::new(),
+                    free_at: 0.0,
+                    busy_us: 0.0,
+                    batches: 0,
+                    batch_histogram: Vec::new(),
+                    jobs_done: 0,
+                })
+                .collect(),
+            fallbacks: 0,
+        }
+    }
+
+    /// The earliest in-flight batch completion, as `(time, backend index)`
+    /// (ties break to the lowest index).
+    fn next_completion(&self) -> Option<(f64, usize)> {
+        self.backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.in_flight.is_empty())
+            .map(|(i, b)| (b.free_at, i))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite times")
+                    .then(a.1.cmp(&b.1))
+            })
+    }
+
+    /// Completes backend `b_idx`'s in-flight batch at `t_c`, recording each
+    /// job's outcome into `finished`, then starts the next batch from its
+    /// queue when one is waiting.
+    fn complete(
+        &mut self,
+        b_idx: usize,
+        t_c: f64,
+        jobs: &[FabricJob],
+        finished: &mut [Option<JobFinish>],
+    ) {
+        let state = &mut self.backends[b_idx];
+        for (job_id, decision) in std::mem::take(&mut state.in_flight) {
+            let job = &jobs[job_id];
+            finished[job_id] = Some(JobFinish {
+                latency_us: t_c - job.arrival_us,
+                ber: bit_error_rate(&job.inst.tx_gray_bits, &decision.gray_bits),
+                fallback: false,
+            });
+            state.jobs_done += 1;
+        }
+        if !state.queue.is_empty() {
+            state.start_batch(t_c, &self.cost, jobs);
+        }
+    }
+
+    /// Admits job `job_id` arriving at `t_a`: routes it to the backend with
+    /// the lowest predicted completion when that fits the deadline, or runs
+    /// the local classical fallback immediately (recording its result into
+    /// `finished`).
+    fn admit(
+        &mut self,
+        job_id: usize,
+        t_a: f64,
+        jobs: &[FabricJob],
+        classical: &dyn Detector,
+        finished: &mut [Option<JobFinish>],
+    ) {
+        let job = &jobs[job_id];
+        let n = job.num_vars();
+        let best = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.predicted_completion(t_a, &self.cost, n), i))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite predictions")
+                    .then(a.1.cmp(&b.1))
+            })
+            .expect("backend pool is non-empty");
+        if best.0 - t_a <= self.deadline_us {
+            let state = &mut self.backends[best.1];
+            state.queue.push_back(job_id);
+            if state.in_flight.is_empty() {
+                state.start_batch(t_a, &self.cost, jobs);
+            }
+        } else {
+            // Admission control rejects: local classical fallback,
+            // uncontended at the cell.
+            self.fallbacks += 1;
+            let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
+            finished[job_id] = Some(JobFinish {
+                latency_us: self.cost.service_us(&result.meta),
+                ber: bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits),
+                fallback: true,
+            });
+        }
+    }
+}
+
+/// Runs one fabric simulation: a deterministic virtual-time event loop over
+/// job arrivals and batch completions, driven by a [`FabricScheduler`].
+///
+/// # Panics
+/// Panics on zero cells/frames, a non-positive arrival period, a negative
+/// deadline, an empty backend pool, or invalid backend parameters.
+pub fn run_fabric(config: &FabricConfig) -> FabricReport {
+    assert!(config.n_cells > 0, "run_fabric: need at least one cell");
+    assert!(
+        config.frames_per_cell > 0,
+        "run_fabric: need at least one frame per cell"
+    );
+    assert!(
+        config.arrival_period_us > 0.0,
+        "run_fabric: arrival period must be > 0"
+    );
+
+    let jobs = generate_jobs(config);
+    let classical = Mmse::new(config.track.noise_variance);
+    let mut scheduler = FabricScheduler::new(&config.backends, config.cost, config.deadline_us);
+
+    // Per-job outcomes; filled as jobs finish.
+    let mut finished: Vec<Option<JobFinish>> = vec![None; jobs.len()];
+    let mut next_arrival = 0usize;
+
+    loop {
+        let arrival_t = jobs.get(next_arrival).map(|j| j.arrival_us);
+        match (scheduler.next_completion(), arrival_t) {
+            (None, None) => break,
+            // Completions fire first on ties so freed capacity is visible
+            // to the arrival that shares its timestamp.
+            (Some((t_c, b_idx)), arrival) if arrival.is_none_or(|t_a| t_c <= t_a) => {
+                scheduler.complete(b_idx, t_c, &jobs, &mut finished);
+            }
+            (_, Some(t_a)) => {
+                scheduler.admit(next_arrival, t_a, &jobs, &classical, &mut finished);
+                next_arrival += 1;
+            }
+            (Some(_), None) => unreachable!("guarded arm covers completions with no arrivals"),
+        }
+    }
+
+    let backends = scheduler.backends;
+    let fallbacks = scheduler.fallbacks;
+    let per_job: Vec<JobFinish> = finished
+        .into_iter()
+        .map(|f| f.expect("every job finishes"))
+        .collect();
+    let n = per_job.len() as f64;
+    let makespan_us = jobs
+        .iter()
+        .zip(&per_job)
+        .map(|(job, f)| job.arrival_us + f.latency_us)
+        .fold(0.0, f64::max);
+    let mut latencies: Vec<f64> = per_job.iter().map(|f| f.latency_us).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let misses = latencies
+        .iter()
+        .filter(|&&l| l > config.deadline_us)
+        .count();
+    let served: Vec<f64> = per_job
+        .iter()
+        .filter(|f| !f.fallback)
+        .map(|f| f.latency_us)
+        .collect();
+    let served_misses = served.iter().filter(|&&l| l > config.deadline_us).count();
+
+    FabricReport {
+        mix: String::new(), // filled by the grid runner
+        n_cells: config.n_cells,
+        arrival_period_us: config.arrival_period_us,
+        jobs: jobs.len(),
+        ber: per_job.iter().map(|f| f.ber).sum::<f64>() / n,
+        deadline_miss_rate: misses as f64 / n,
+        fallback_rate: fallbacks as f64 / n,
+        served_miss_rate: served_misses as f64 / n,
+        p50_latency_us: percentile_sorted(&latencies, 50.0),
+        p99_latency_us: percentile_sorted(&latencies, 99.0),
+        mean_latency_us: latencies.iter().sum::<f64>() / n,
+        mean_served_latency_us: if served.is_empty() {
+            0.0
+        } else {
+            served.iter().sum::<f64>() / served.len() as f64
+        },
+        backends: backends
+            .iter()
+            .map(|b| {
+                let (hits, misses) = b.backend.embedding_cache_stats().unwrap_or((0, 0));
+                BackendReport {
+                    name: b.backend.name().to_string(),
+                    jobs: b.jobs_done,
+                    batches: b.batches,
+                    utilization: if makespan_us > 0.0 {
+                        b.busy_us / makespan_us
+                    } else {
+                        0.0
+                    },
+                    mean_batch: if b.batches > 0 {
+                        b.jobs_done as f64 / b.batches as f64
+                    } else {
+                        0.0
+                    },
+                    mean_service_us: if b.jobs_done > 0 {
+                        b.busy_us / b.jobs_done as f64
+                    } else {
+                        0.0
+                    },
+                    batch_histogram: b.batch_histogram.clone(),
+                    embed_cache_hits: hits,
+                    embed_cache_misses: misses,
+                }
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The grid
+// ---------------------------------------------------------------------------
+
+/// Configuration of a full (backend-mix × cells × load) fabric sweep.
+#[derive(Debug, Clone)]
+pub struct FabricGridConfig {
+    /// Channel process shared by every cell.
+    pub track: TrackConfig,
+    /// Frames per cell.
+    pub frames_per_cell: usize,
+    /// Cell counts to sweep (the new scenario axis).
+    pub cell_counts: Vec<usize>,
+    /// Per-cell arrival periods to sweep (µs), **descending** so "later in
+    /// the list" means "higher offered load".
+    pub arrival_periods_us: Vec<f64>,
+    /// Backend mixes to sweep.
+    pub mixes: Vec<BackendMix>,
+    /// Latency budget shared by every point (µs).
+    pub deadline_us: f64,
+    /// Work-counter → service-time model.
+    pub cost: CostModel,
+    /// Grid seed. Point seeds derive from it and the **cell-count index**
+    /// only, so points differing in load or mix see identical frames.
+    pub seed: u64,
+    /// Worker threads for the point fan-out (0 = all available cores).
+    /// Results are bit-identical for any value.
+    pub threads: usize,
+}
+
+/// A full fabric-sweep report: the config echo plus one report per grid
+/// point, in (mix, cells, load) order.
+#[derive(Debug, Clone)]
+pub struct FabricGridReport {
+    /// Number of transmitting users per cell.
+    pub n_users: usize,
+    /// Number of receive antennas per cell.
+    pub n_rx: usize,
+    /// Modulation name.
+    pub modulation: String,
+    /// AWGN per-antenna variance.
+    pub noise_variance: f64,
+    /// Frames per cell.
+    pub frames_per_cell: usize,
+    /// Latency budget (µs).
+    pub deadline_us: f64,
+    /// Grid seed.
+    pub seed: u64,
+    /// Per-point reports: mix-major, then cell count, then load.
+    pub points: Vec<FabricReport>,
+}
+
+/// Runs the full (mix × cells × load) grid, fanning points out across
+/// `config.threads` workers. See the module docs for the determinism
+/// contract.
+///
+/// # Panics
+/// Panics on an empty mix/cells/load axis or invalid point parameters.
+pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
+    assert!(!config.mixes.is_empty(), "run_fabric_grid: empty mix axis");
+    assert!(
+        !config.cell_counts.is_empty(),
+        "run_fabric_grid: empty cells axis"
+    );
+    assert!(
+        !config.arrival_periods_us.is_empty(),
+        "run_fabric_grid: empty load axis"
+    );
+
+    let mut points = Vec::new();
+    for mix in &config.mixes {
+        for (cells_idx, &n_cells) in config.cell_counts.iter().enumerate() {
+            for &arrival_period_us in &config.arrival_periods_us {
+                points.push((
+                    mix.name.clone(),
+                    FabricConfig {
+                        track: config.track,
+                        n_cells,
+                        frames_per_cell: config.frames_per_cell,
+                        arrival_period_us,
+                        deadline_us: config.deadline_us,
+                        cost: config.cost,
+                        backends: mix.backends.clone(),
+                        // Cell-count-indexed only: same frames across loads
+                        // and mixes.
+                        seed: item_seed(config.seed, cells_idx),
+                    },
+                ));
+            }
+        }
+    }
+
+    let reports = parallel_map_indexed(&points, config.threads, |_, (mix_name, point)| {
+        let mut report = run_fabric(point);
+        report.mix = mix_name.clone();
+        report
+    });
+
+    FabricGridReport {
+        n_users: config.track.n_users,
+        n_rx: config.track.n_rx,
+        modulation: config.track.modulation.name().to_string(),
+        noise_variance: config.track.noise_variance,
+        frames_per_cell: config.frames_per_cell,
+        deadline_us: config.deadline_us,
+        seed: config.seed,
+        points: reports,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+impl BackendReport {
+    fn to_json_object(&self) -> String {
+        let histogram = self
+            .batch_histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"name\": \"{}\", \"jobs\": {}, \"batches\": {}, \
+             \"utilization\": {}, \"mean_batch\": {}, \
+             \"mean_service_us\": {}, \"batch_histogram\": [{}], \
+             \"embed_cache_hits\": {}, \"embed_cache_misses\": {}}}",
+            self.name,
+            self.jobs,
+            self.batches,
+            json_num(self.utilization),
+            json_num(self.mean_batch),
+            json_num(self.mean_service_us),
+            histogram,
+            self.embed_cache_hits,
+            self.embed_cache_misses,
+        )
+    }
+}
+
+impl FabricReport {
+    /// Renders one grid point as a JSON object (one entry of the `points`
+    /// array).
+    fn to_json_object(&self) -> String {
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| b.to_json_object())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"mix\": \"{}\", \"n_cells\": {}, \"arrival_period_us\": {}, \
+             \"jobs\": {}, \"ber\": {}, \"deadline_miss_rate\": {}, \
+             \"fallback_rate\": {}, \"served_miss_rate\": {}, \
+             \"p50_latency_us\": {}, \
+             \"p99_latency_us\": {}, \"mean_latency_us\": {}, \
+             \"mean_served_latency_us\": {}, \"backends\": [{}]}}",
+            self.mix,
+            self.n_cells,
+            json_num(self.arrival_period_us),
+            self.jobs,
+            json_num(self.ber),
+            json_num(self.deadline_miss_rate),
+            json_num(self.fallback_rate),
+            json_num(self.served_miss_rate),
+            json_num(self.p50_latency_us),
+            json_num(self.p99_latency_us),
+            json_num(self.mean_latency_us),
+            json_num(self.mean_served_latency_us),
+            backends,
+        )
+    }
+}
+
+impl FabricGridReport {
+    /// Renders the report as the `BENCH_fabric.json` document (schema in
+    /// `crates/bench/README.md`). Pure function of the report contents:
+    /// byte-identical across runs and thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"fabric\",\n  \"scenario\": {\n");
+        s.push_str(&format!("    \"n_users\": {},\n", self.n_users));
+        s.push_str(&format!("    \"n_rx\": {},\n", self.n_rx));
+        s.push_str(&format!("    \"modulation\": \"{}\",\n", self.modulation));
+        s.push_str(&format!(
+            "    \"noise_variance\": {},\n",
+            json_num(self.noise_variance)
+        ));
+        s.push_str(&format!(
+            "    \"frames_per_cell\": {},\n",
+            self.frames_per_cell
+        ));
+        s.push_str(&format!(
+            "    \"deadline_us\": {},\n",
+            json_num(self.deadline_us)
+        ));
+        s.push_str(&format!("    \"seed\": {}\n  }},\n", self.seed));
+        s.push_str("  \"points\": [\n");
+        for (i, point) in self.points.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&point.to_json_object());
+            s.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes [`FabricGridReport::to_json`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{run_stream, DispatchPolicy, StreamConfig};
+    use hqw_phy::channel::snr_db_to_noise_variance;
+    use hqw_phy::modulation::Modulation;
+
+    fn track() -> TrackConfig {
+        TrackConfig {
+            n_users: 2,
+            n_rx: 2,
+            modulation: Modulation::Qpsk,
+            rho: 0.9,
+            noise_variance: snr_db_to_noise_variance(14.0, 2),
+        }
+    }
+
+    fn quick_sa_pool() -> BackendSpec {
+        BackendSpec::SaPool(SaPoolConfig {
+            workers: 2,
+            max_batch: 4,
+            sa: SaParams {
+                sweeps: 32,
+                num_reads: 2,
+                threads: 1,
+                ..SaParams::default()
+            },
+        })
+    }
+
+    fn quick_annealer() -> AnnealerConfig {
+        AnnealerConfig {
+            num_reads: 2,
+            anneal_us: 2.0,
+            sweeps_per_us: 4,
+            capacity: 1,
+            max_batch: 4,
+        }
+    }
+
+    fn quick_qpu(max_batch: usize) -> BackendSpec {
+        BackendSpec::MockQpu(MockQpuConfig {
+            num_reads: 2,
+            anneal_us: 2.0,
+            sweeps_per_us: 4,
+            trotter_slices: 4,
+            max_batch,
+            network: NetworkModel {
+                rtt_base_us: 30.0,
+                jitter_us: 10.0,
+            },
+            programming_us: 120.0,
+            embed_derive_us_per_qubit: 2.0,
+            chain_strength: 2.0,
+        })
+    }
+
+    fn hetero_pool() -> Vec<BackendSpec> {
+        vec![
+            quick_sa_pool(),
+            BackendSpec::Pimc(quick_annealer()),
+            BackendSpec::Svmc(quick_annealer()),
+            quick_qpu(4),
+        ]
+    }
+
+    fn fabric(
+        n_cells: usize,
+        period: f64,
+        deadline: f64,
+        backends: Vec<BackendSpec>,
+    ) -> FabricConfig {
+        FabricConfig {
+            track: track(),
+            n_cells,
+            frames_per_cell: 16,
+            arrival_period_us: period,
+            deadline_us: deadline,
+            cost: CostModel::default(),
+            backends,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn fabric_is_deterministic_per_seed() {
+        let config = fabric(2, 150.0, 600.0, hetero_pool());
+        let a = run_fabric(&config);
+        let b = run_fabric(&config);
+        assert_eq!(a.to_json_object(), b.to_json_object());
+    }
+
+    #[test]
+    fn every_job_is_served_and_metrics_are_sane() {
+        let config = fabric(3, 120.0, 500.0, hetero_pool());
+        let report = run_fabric(&config);
+        assert_eq!(report.jobs, 3 * 16);
+        let backend_jobs: usize = report.backends.iter().map(|b| b.jobs).sum();
+        let fallback_jobs = (report.fallback_rate * report.jobs as f64).round() as usize;
+        assert_eq!(backend_jobs + fallback_jobs, report.jobs);
+        assert!((0.0..=1.0).contains(&report.ber));
+        assert!((0.0..=1.0).contains(&report.deadline_miss_rate));
+        assert!((0.0..=1.0).contains(&report.fallback_rate));
+        assert!(report.p99_latency_us >= report.p50_latency_us);
+        assert!(report.p50_latency_us > 0.0);
+        for b in &report.backends {
+            assert!(
+                (0.0..=1.0).contains(&b.utilization),
+                "{}: utilization {}",
+                b.name,
+                b.utilization
+            );
+            let hist_jobs: u64 = b
+                .batch_histogram
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as u64 + 1) * c)
+                .sum();
+            assert_eq!(hist_jobs as usize, b.jobs, "{}: histogram mismatch", b.name);
+        }
+    }
+
+    #[test]
+    fn batches_form_under_load_and_amortize_qpu_overhead() {
+        // One QPU, load well beyond its single-job service rate: queued jobs
+        // must coalesce, and the batched fabric must beat the unbatched one
+        // on mean latency over the *same* frames.
+        let batched = run_fabric(&fabric(4, 100.0, 1e9, vec![quick_qpu(8)]));
+        let unbatched = run_fabric(&fabric(4, 100.0, 1e9, vec![quick_qpu(1)]));
+        assert_eq!(batched.jobs, unbatched.jobs);
+        assert_eq!(batched.fallback_rate, 0.0);
+        assert_eq!(unbatched.fallback_rate, 0.0);
+        let qpu = &batched.backends[0];
+        assert!(qpu.mean_batch > 1.0, "no batching: {}", qpu.mean_batch);
+        assert_eq!(unbatched.backends[0].mean_batch, 1.0);
+        assert!(
+            batched.mean_latency_us < unbatched.mean_latency_us,
+            "batched {} vs unbatched {}",
+            batched.mean_latency_us,
+            unbatched.mean_latency_us
+        );
+        // No fallbacks here, so the served mean is the all-jobs mean.
+        assert_eq!(
+            batched.mean_latency_us.to_bits(),
+            batched.mean_served_latency_us.to_bits()
+        );
+        // The amortization metric: charged service per job strictly drops
+        // when overhead is shared across a batch.
+        assert!(
+            qpu.mean_service_us < unbatched.backends[0].mean_service_us,
+            "batched {} us/job vs unbatched {} us/job",
+            qpu.mean_service_us,
+            unbatched.backends[0].mean_service_us
+        );
+    }
+
+    #[test]
+    fn decisions_are_stable_under_batching_and_load() {
+        // Per-job solver seeds make decisions independent of batch
+        // composition: BER is identical across batching modes and loads,
+        // for the mock QPU and the SA pool alike — the paired-comparison
+        // property the grid's load axis relies on.
+        let a = run_fabric(&fabric(2, 100.0, 1e9, vec![quick_qpu(8)]));
+        let b = run_fabric(&fabric(2, 100.0, 1e9, vec![quick_qpu(1)]));
+        let c = run_fabric(&fabric(2, 400.0, 1e9, vec![quick_qpu(8)]));
+        assert_eq!(a.ber.to_bits(), b.ber.to_bits());
+        assert_eq!(a.ber.to_bits(), c.ber.to_bits());
+
+        let sa_pool = |max_batch: usize| {
+            BackendSpec::SaPool(SaPoolConfig {
+                workers: 1,
+                max_batch,
+                sa: SaParams {
+                    sweeps: 24,
+                    num_reads: 2,
+                    threads: 1,
+                    ..SaParams::default()
+                },
+            })
+        };
+        let d = run_fabric(&fabric(2, 100.0, 1e9, vec![sa_pool(6)]));
+        let e = run_fabric(&fabric(2, 100.0, 1e9, vec![sa_pool(1)]));
+        let f = run_fabric(&fabric(2, 400.0, 1e9, vec![sa_pool(6)]));
+        assert!(d.backends[0].mean_batch > 1.0, "SA pool never batched");
+        assert_eq!(d.ber.to_bits(), e.ber.to_bits());
+        assert_eq!(d.ber.to_bits(), f.ber.to_bits());
+    }
+
+    #[test]
+    fn embedding_cache_derives_once_per_shape() {
+        let report = run_fabric(&fabric(2, 80.0, 1e9, vec![quick_qpu(4)]));
+        let qpu = &report.backends[0];
+        assert!(
+            qpu.batches > 1,
+            "need several batches to exercise the cache"
+        );
+        assert_eq!(qpu.embed_cache_misses, 1, "one shape, one derivation");
+        assert_eq!(
+            qpu.embed_cache_hits + qpu.embed_cache_misses,
+            qpu.batches,
+            "one cache lookup per batch call"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_downgrades_everything_to_classical() {
+        let report = run_fabric(&fabric(2, 100.0, 0.0, hetero_pool()));
+        assert_eq!(report.fallback_rate, 1.0);
+        assert_eq!(report.deadline_miss_rate, 1.0, "classical still misses 0");
+        assert_eq!(report.served_miss_rate, 0.0, "no fabric-served jobs");
+        for b in &report.backends {
+            assert_eq!(b.jobs, 0);
+            assert_eq!(b.utilization, 0.0);
+        }
+        // The classical fallback still detects: moderate BER at 14 dB.
+        assert!(report.ber < 0.2, "fallback BER {}", report.ber);
+    }
+
+    #[test]
+    fn single_sa_backend_degenerates_to_the_stream_engine_queue() {
+        // One cell, one unbatched single-worker SA backend, one read per
+        // job: the fabric is exactly the stream engine's single-server FIFO
+        // (start = max(arrival, prev_finish)) with the same nominal service
+        // times, so the latency metrics must agree bit for bit.
+        let sa = SaParams {
+            sweeps: 48,
+            num_reads: 1,
+            threads: 1,
+            ..SaParams::default()
+        };
+        let seed = 42u64;
+        let period = 80.0; // below the ~82 µs nominal service: queueing grows
+        let deadline = 1e9;
+        let fabric_report = run_fabric(&FabricConfig {
+            track: track(),
+            n_cells: 1,
+            frames_per_cell: 32,
+            arrival_period_us: period,
+            deadline_us: deadline,
+            cost: CostModel::default(),
+            backends: vec![BackendSpec::SaPool(SaPoolConfig {
+                workers: 1,
+                max_batch: 1,
+                sa,
+            })],
+            seed,
+        });
+        // The fabric's cell-0 track seed, per ChannelTrack::cells.
+        let cell0_seed = Rng64::new(seed ^ 0xCE11_5EED).next_u64();
+        let stream_report = run_stream(
+            &StreamConfig {
+                track: track(),
+                frames: 32,
+                arrival_period_us: period,
+                deadline_us: deadline,
+                policy: DispatchPolicy::AlwaysHybrid,
+                cost: CostModel::default(),
+                sa,
+                seed: cell0_seed,
+            },
+            &Mmse::new(track().noise_variance),
+        );
+        assert_eq!(fabric_report.fallback_rate, 0.0);
+        assert_eq!(
+            fabric_report.p50_latency_us.to_bits(),
+            stream_report.p50_latency_us.to_bits()
+        );
+        assert_eq!(
+            fabric_report.p99_latency_us.to_bits(),
+            stream_report.p99_latency_us.to_bits()
+        );
+        assert_eq!(
+            fabric_report.deadline_miss_rate,
+            stream_report.deadline_miss_rate
+        );
+    }
+
+    fn quick_grid(threads: usize) -> FabricGridConfig {
+        FabricGridConfig {
+            track: track(),
+            frames_per_cell: 10,
+            cell_counts: vec![1, 2],
+            arrival_periods_us: vec![300.0, 120.0],
+            mixes: vec![
+                BackendMix {
+                    name: "sa-pool".into(),
+                    backends: vec![quick_sa_pool()],
+                },
+                BackendMix {
+                    name: "hetero".into(),
+                    backends: hetero_pool(),
+                },
+            ],
+            deadline_us: 600.0,
+            cost: CostModel::default(),
+            seed: 7,
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_report_is_bit_identical_for_any_thread_count() {
+        let serial = run_fabric_grid(&quick_grid(1)).to_json();
+        for threads in [2, 0] {
+            let parallel = run_fabric_grid(&quick_grid(threads)).to_json();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_point_in_mix_major_order() {
+        let report = run_fabric_grid(&quick_grid(0));
+        assert_eq!(report.points.len(), 2 * 2 * 2);
+        assert_eq!(report.points[0].mix, "sa-pool");
+        assert_eq!(report.points[4].mix, "hetero");
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"fabric\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"mix\"").count(), report.points.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty backend pool")]
+    fn empty_pool_rejected() {
+        run_fabric(&fabric(1, 100.0, 100.0, Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let mut config = fabric(1, 100.0, 100.0, hetero_pool());
+        config.frames_per_cell = 0;
+        run_fabric(&config);
+    }
+}

@@ -29,6 +29,10 @@
 //!   temporally-correlated channels ([`hqw_phy::channel::ChannelTrack`]),
 //!   deadline-aware classical/hybrid dispatch on a virtual clock, and
 //!   warm-started solvers measuring warm-vs-cold sweeps-to-solution.
+//! * [`fabric`] — the quantum compute fabric: many cells sharing a
+//!   heterogeneous pool of solver backends (SA pool, PIMC, SVMC, mock QPU
+//!   behind a network with cached embeddings) through the batching,
+//!   deadline-aware [`fabric::FabricScheduler`].
 //! * [`experiments`] — canned runners for every figure in the evaluation.
 //! * [`report`] — table/CSV rendering for the bench binaries.
 
@@ -36,6 +40,7 @@
 
 pub mod event_sim;
 pub mod experiments;
+pub mod fabric;
 pub mod harvest;
 pub mod iterative;
 pub mod metrics;
@@ -48,6 +53,10 @@ pub mod stages;
 pub mod stream;
 pub mod sweep;
 
+pub use fabric::{
+    run_fabric, run_fabric_grid, BackendMix, BackendSpec, FabricConfig, FabricGridConfig,
+    FabricGridReport, FabricReport, FabricScheduler, NetworkModel, SolverBackend,
+};
 pub use protocol::Protocol;
 pub use scenario::{run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig};
 pub use solver::{HybridConfig, HybridResult, HybridSolver};

@@ -197,15 +197,20 @@ pub struct StreamReport {
 /// not charged to the virtual clock.
 ///
 /// # Panics
-/// Panics on zero frames, non-positive arrival period or deadline, or
-/// invalid SA/track parameters.
+/// Panics on zero frames, a non-positive arrival period, a negative
+/// deadline, or invalid SA/track parameters. A deadline of exactly 0 is
+/// accepted: every frame then misses it, and the deadline-aware policy
+/// downgrades everything to the classical arm.
 pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamReport {
     assert!(config.frames > 0, "run_stream: need at least one frame");
     assert!(
         config.arrival_period_us > 0.0,
         "run_stream: arrival period must be > 0"
     );
-    assert!(config.deadline_us > 0.0, "run_stream: deadline must be > 0");
+    assert!(
+        config.deadline_us >= 0.0,
+        "run_stream: deadline must be >= 0 (a zero budget downgrades every deadline-aware frame)"
+    );
     config.sa.validate();
 
     let mut track = ChannelTrack::new(config.track, config.seed);
@@ -715,6 +720,38 @@ mod tests {
             assert_eq!(pair[0].rho, pair[1].rho);
             assert_eq!(pair[0].ber.to_bits(), pair[1].ber.to_bits());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one frame")]
+    fn zero_frame_track_rejected() {
+        let mut config = cell(DispatchPolicy::AlwaysHybrid, 0.5, 100.0);
+        config.frames = 0;
+        run_stream(&config, &mmse());
+    }
+
+    #[test]
+    fn zero_deadline_budget_downgrades_every_frame() {
+        // A budget of 0 is legal: the deadline-aware policy can never fit
+        // the hybrid path, so everything falls back to the classical arm —
+        // and every frame (classical service > 0) is counted as a miss.
+        let mut config = cell(DispatchPolicy::DeadlineAware, 0.9, 100.0);
+        config.deadline_us = 0.0;
+        let report = run_stream(&config, &mmse());
+        assert_eq!(report.hybrid_frames, 0, "zero budget must disable hybrid");
+        assert_eq!(report.classical_frames, report.frames);
+        assert_eq!(report.warm_pairs, 0);
+        assert_eq!(report.deadline_miss_rate, 1.0);
+        // The downgraded stream still detects (MMSE at 14 dB).
+        assert!(report.ber < 0.2, "fallback BER {}", report.ber);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be >= 0")]
+    fn negative_deadline_rejected() {
+        let mut config = cell(DispatchPolicy::DeadlineAware, 0.9, 100.0);
+        config.deadline_us = -1.0;
+        run_stream(&config, &mmse());
     }
 
     #[test]

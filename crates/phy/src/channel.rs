@@ -160,6 +160,24 @@ impl ChannelTrack {
     pub fn config(&self) -> &TrackConfig {
         &self.config
     }
+
+    /// Builds `n_cells` **independent** tracks of the same configuration —
+    /// one per radio cell of a multi-cell deployment sharing a centralized
+    /// compute fabric. Each cell's seed derives from `seed` and the cell
+    /// index alone, so cell `c`'s frame sequence is invariant to the number
+    /// of other cells, the offered load, and the backend mix — the paired
+    /// comparison the fabric grid's scenario axes rely on.
+    ///
+    /// # Panics
+    /// Panics on invalid track parameters (see [`ChannelTrack::new`]).
+    pub fn cells(config: TrackConfig, n_cells: usize, seed: u64) -> Vec<ChannelTrack> {
+        (0..n_cells)
+            .map(|c| {
+                let mut mix = Rng64::new(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ChannelTrack::new(config, mix.next_u64())
+            })
+            .collect()
+    }
 }
 
 impl Iterator for ChannelTrack {
@@ -364,6 +382,24 @@ mod tests {
         let energy = energy / count as f64;
         assert!((corr - 0.9).abs() < 0.08, "lag-1 correlation {corr}");
         assert!((energy - 1.0).abs() < 0.1, "marginal energy {energy}");
+    }
+
+    #[test]
+    fn cell_tracks_are_independent_and_stable_under_cell_count() {
+        let cfg = track_config(0.8);
+        let mut four = ChannelTrack::cells(cfg, 4, 23);
+        let mut two = ChannelTrack::cells(cfg, 2, 23);
+        // Cell c's frames don't depend on how many cells exist.
+        for c in 0..2 {
+            let a = four[c].next().unwrap();
+            let b = two[c].next().unwrap();
+            assert_eq!(a.h.max_abs_diff(&b.h), 0.0, "cell {c} drifted");
+            assert_eq!(a.tx_gray_bits, b.tx_gray_bits);
+        }
+        // Distinct cells see distinct channels.
+        let h2 = four[2].next().unwrap().h;
+        let h3 = four[3].next().unwrap().h;
+        assert!(h2.max_abs_diff(&h3) > 0.0, "cells share a channel");
     }
 
     #[test]

@@ -269,6 +269,97 @@ pub fn sample_qubo_with_start(
     SampleSet::from_reads(seed_sample.into_iter().chain(reads))
 }
 
+/// Samples a **batch** of QUBOs in one call — the backend-side primitive the
+/// compute-fabric scheduler coalesces same-shape detection problems into.
+///
+/// All `problems × num_reads` reads fan out through a **single** parallel
+/// dispatch, so a pool with more workers than any one problem has reads
+/// still saturates (cross-problem parallelism) — the batching win over a
+/// `sample_qubo` loop, whose fan-outs are bounded by `num_reads` each.
+///
+/// Results are bit-identical to the sequential loop: per-read seeds are
+/// drawn from the caller's RNG problem-major (problem 0's reads first),
+/// exactly the positions `sample_qubo` would consume, and each read's
+/// Metropolis stream depends only on its seed (regression-tested below).
+///
+/// # Panics
+/// Panics on invalid parameters.
+pub fn sample_qubo_batch(qubos: &[&Qubo], params: &SaParams, rng: &mut Rng64) -> Vec<SampleSet> {
+    params.validate();
+    // Problem-major seed draw: the exact stream positions a sequential
+    // `sample_qubo` loop would consume.
+    let read_seeds: Vec<(usize, u64)> = (0..qubos.len())
+        .flat_map(|k| std::iter::repeat_n(k, params.num_reads))
+        .map(|k| (k, rng.next_u64()))
+        .collect();
+    run_batch_reads(qubos, params, read_seeds)
+}
+
+/// [`sample_qubo_batch`] with **one independent seed per problem**: problem
+/// `k`'s reads derive from `seeds[k]` alone, so its sample set is
+/// bit-identical to `sample_qubo(qubos[k], params, &mut Rng64::new(seeds[k]))`
+/// regardless of which other problems share the call. This is the variant a
+/// scheduler that re-buckets jobs into batches dynamically wants: results
+/// can never depend on batch composition (regression-tested below).
+///
+/// # Panics
+/// Panics on invalid parameters or a `qubos`/`seeds` length mismatch.
+pub fn sample_qubo_batch_seeded(
+    qubos: &[&Qubo],
+    params: &SaParams,
+    seeds: &[u64],
+) -> Vec<SampleSet> {
+    params.validate();
+    assert_eq!(
+        qubos.len(),
+        seeds.len(),
+        "sample_qubo_batch_seeded: one seed per problem"
+    );
+    let read_seeds: Vec<(usize, u64)> = seeds
+        .iter()
+        .enumerate()
+        .flat_map(|(k, &seed)| {
+            let mut problem_rng = Rng64::new(seed);
+            (0..params.num_reads)
+                .map(|_| (k, problem_rng.next_u64()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    run_batch_reads(qubos, params, read_seeds)
+}
+
+/// Shared fan-out core of the batch samplers: runs every `(problem, read
+/// seed)` pair through one parallel dispatch and regroups by problem.
+fn run_batch_reads(
+    qubos: &[&Qubo],
+    params: &SaParams,
+    read_seeds: Vec<(usize, u64)>,
+) -> Vec<SampleSet> {
+    let prepared: Vec<(CsrIsing, f64, usize)> = qubos
+        .iter()
+        .map(|qubo| {
+            let (ising, offset) = qubo.to_ising();
+            (CsrIsing::from_ising(&ising), offset, qubo.num_vars())
+        })
+        .collect();
+
+    let reads = parallel_map_indexed(&read_seeds, params.threads, |_, &(k, read_seed)| {
+        let (csr, offset, n) = &prepared[k];
+        let mut read_rng = Rng64::new(read_seed);
+        let start: Vec<i8> = (0..*n)
+            .map(|_| if read_rng.next_bool() { 1 } else { -1 })
+            .collect();
+        let state = sa_read_csr(csr, params, &start, &mut read_rng);
+        (spins_to_bits(state.spins()), state.energy() + offset)
+    });
+
+    let mut per_problem: Vec<Vec<(Vec<u8>, f64)>> = vec![Vec::new(); qubos.len()];
+    for (&(k, _), read) in read_seeds.iter().zip(reads) {
+        per_problem[k].push(read);
+    }
+    per_problem.into_iter().map(SampleSet::from_reads).collect()
+}
+
 /// Best-effort ground-state search: SA with an aggressive schedule and many
 /// reads, refined by steepest descent. Returns `(bits, energy)`.
 ///
@@ -384,6 +475,107 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_sampling_matches_the_sequential_loop() {
+        let mut rng = Rng64::new(97);
+        let problems: Vec<Qubo> = (0..3).map(|_| random_qubo(10, &mut rng)).collect();
+        let refs: Vec<&Qubo> = problems.iter().collect();
+        let params = SaParams {
+            sweeps: 24,
+            num_reads: 6,
+            threads: 1,
+            ..SaParams::default()
+        };
+
+        let batch = sample_qubo_batch(&refs, &params, &mut Rng64::new(5));
+        let mut seq_rng = Rng64::new(5);
+        let sequential: Vec<SampleSet> = problems
+            .iter()
+            .map(|q| sample_qubo(q, &params, &mut seq_rng))
+            .collect();
+
+        assert_eq!(batch.len(), sequential.len());
+        for (a, b) in batch.iter().zip(&sequential) {
+            let av: Vec<_> = a.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+            let bv: Vec<_> = b.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+            assert_eq!(av, bv, "batched and sequential samples diverged");
+        }
+    }
+
+    #[test]
+    fn batched_sampling_is_thread_count_invariant() {
+        let mut rng = Rng64::new(99);
+        let problems: Vec<Qubo> = (0..4).map(|_| random_qubo(8, &mut rng)).collect();
+        let refs: Vec<&Qubo> = problems.iter().collect();
+        let mut params = SaParams {
+            sweeps: 16,
+            num_reads: 3,
+            threads: 1,
+            ..SaParams::default()
+        };
+        let serial = sample_qubo_batch(&refs, &params, &mut Rng64::new(8));
+        for threads in [2, 0] {
+            params.threads = threads;
+            let parallel = sample_qubo_batch(&refs, &params, &mut Rng64::new(8));
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.best_energy(), b.best_energy(), "threads={threads}");
+                let av: Vec<_> = a.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+                let bv: Vec<_> = b.iter().map(|s| (s.bits.clone(), s.occurrences)).collect();
+                assert_eq!(av, bv, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sampling_accepts_an_empty_batch() {
+        let out = sample_qubo_batch(&[], &SaParams::default(), &mut Rng64::new(1));
+        assert!(out.is_empty());
+        assert!(sample_qubo_batch_seeded(&[], &SaParams::default(), &[]).is_empty());
+    }
+
+    #[test]
+    fn seeded_batch_is_independent_of_batch_composition() {
+        let mut rng = Rng64::new(101);
+        let problems: Vec<Qubo> = (0..3).map(|_| random_qubo(9, &mut rng)).collect();
+        let refs: Vec<&Qubo> = problems.iter().collect();
+        let seeds = [11u64, 22, 33];
+        let params = SaParams {
+            sweeps: 20,
+            num_reads: 4,
+            threads: 1,
+            ..SaParams::default()
+        };
+
+        let samples = |set: &SampleSet| -> Vec<(Vec<u8>, u64)> {
+            set.iter()
+                .map(|s| (s.bits.clone(), s.occurrences))
+                .collect()
+        };
+
+        let together = sample_qubo_batch_seeded(&refs, &params, &seeds);
+        // Each problem alone, and in reversed company: identical results.
+        for (k, (q, &seed)) in problems.iter().zip(&seeds).enumerate() {
+            let alone = sample_qubo_batch_seeded(&[q], &params, &[seed]);
+            assert_eq!(samples(&together[k]), samples(&alone[0]), "problem {k}");
+            let direct = sample_qubo(q, &params, &mut Rng64::new(seed));
+            assert_eq!(samples(&together[k]), samples(&direct), "problem {k}");
+        }
+        let rev_refs: Vec<&Qubo> = problems.iter().rev().collect();
+        let rev_seeds: Vec<u64> = seeds.iter().rev().copied().collect();
+        let reversed = sample_qubo_batch_seeded(&rev_refs, &params, &rev_seeds);
+        for k in 0..3 {
+            assert_eq!(samples(&together[k]), samples(&reversed[2 - k]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per problem")]
+    fn seeded_batch_rejects_seed_length_mismatch() {
+        let mut rng = Rng64::new(103);
+        let q = random_qubo(4, &mut rng);
+        sample_qubo_batch_seeded(&[&q], &SaParams::default(), &[1, 2]);
     }
 
     #[test]
