@@ -20,6 +20,17 @@ BENCH_stream.json
     arrival period) at fixed rho.  The deadline-aware policy re-routes by
     queue state, so its miss rate is exempt by design.
 
+BENCH_ber.json
+  * the report covers >= 3 detector families with at least one
+    QUBO/anneal-backed arm, every curve is non-empty, and every rate is a
+    probability.
+
+hqw_manifest.json (--manifest, checked when the file is given)
+  * the `hqw list --json` registry manifest is well-formed: a spec_version,
+    unique experiment names with non-empty descriptions, all three headline
+    grid experiments (ber/stream/fabric) present, and at least 17
+    registered experiments (the three grids + every canned figure).
+
 BENCH_fabric.json
   * every point's rates are in [0, 1], latencies ordered (p99 >= p50 > 0),
     per-backend utilization is in [0, 1], batch histograms account for
@@ -47,6 +58,7 @@ BENCH_fabric.json
   * at least one point actually formed a multi-job batch.
 
 Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
+                         [--ber PATH] [--manifest PATH]
 """
 
 import argparse
@@ -78,6 +90,52 @@ def check_kernels(path):
             f"{speedup}x (floor: 3x)",
         )
     print(f"{path}: {len(results)} measurements, dense-256 speedup {speedup}x")
+
+
+def check_ber(path):
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "ber", f"{path}: wrong bench tag")
+    series = bench.get("series", [])
+    check(len(series) >= 3, f"{path}: need >= 3 detectors, got {len(series)}")
+    check(
+        any(s.get("qubo_backed") for s in series),
+        f"{path}: no QUBO/anneal-backed arm",
+    )
+    for s in series:
+        tag = f"{path}: [{s.get('detector', '?')}]"
+        check(bool(s.get("points")), f"{tag} empty curve")
+        for p in s.get("points", []):
+            check(
+                0.0 <= p["ber"] <= 1.0,
+                f"{tag} BER {p['ber']} out of range at {p['snr_db']} dB",
+            )
+            check(
+                0.0 <= p["bler"] <= 1.0,
+                f"{tag} BLER {p['bler']} out of range at {p['snr_db']} dB",
+            )
+    print(f"{path}: {len(series)} detector curves OK")
+
+
+def check_manifest(path):
+    with open(path) as f:
+        manifest = json.load(f)
+    check(
+        isinstance(manifest.get("spec_version"), int),
+        f"{path}: missing integer spec_version",
+    )
+    experiments = manifest.get("experiments", [])
+    check(len(experiments) >= 17, f"{path}: registry shrank to {len(experiments)}")
+    names = [e.get("name") for e in experiments]
+    check(len(set(names)) == len(names), f"{path}: duplicate experiment names")
+    for headline in ("ber", "stream", "fabric"):
+        check(headline in names, f"{path}: headline experiment '{headline}' missing")
+    for e in experiments:
+        check(
+            bool(e.get("name")) and bool(e.get("description")),
+            f"{path}: entry {e} needs a name and a description",
+        )
+    print(f"{path}: {len(experiments)} registered experiments OK")
 
 
 def check_stream(path):
@@ -243,11 +301,20 @@ def main():
     parser.add_argument("--kernels", default="BENCH_kernels.json")
     parser.add_argument("--stream", default="BENCH_stream.json")
     parser.add_argument("--fabric", default="BENCH_fabric.json")
+    parser.add_argument("--ber", default="BENCH_ber.json")
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="hqw list --json output; registry shape is checked when given",
+    )
     args = parser.parse_args()
 
     check_kernels(args.kernels)
+    check_ber(args.ber)
     check_stream(args.stream)
     check_fabric(args.fabric)
+    if args.manifest is not None:
+        check_manifest(args.manifest)
 
     if failures:
         print(f"\nBENCH GATE FAILED ({len(failures)} violation(s)):", file=sys.stderr)

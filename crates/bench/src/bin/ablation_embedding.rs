@@ -1,109 +1,9 @@
-//! Ablation: Chimera minor-embedding overhead vs direct (logical) sampling.
+//! Registry shim: `ablation-embedding — Chimera minor-embedding overhead`
 //!
-//! The paper's hardware pipeline must compile dense MIMO QUBOs onto the
-//! 2000Q's sparse Chimera graph with qubit chains; the figure harnesses here
-//! default to logical sampling for tractability. This ablation quantifies
-//! what embedding costs: chain breaks, success probability, and the qubit
-//! blow-up, on a small problem where both paths are feasible.
-
-use hqw_anneal::embedding::{ChainStrength, CliqueEmbedding};
-use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
-use hqw_anneal::topology::Chimera;
-use hqw_anneal::DWaveProfile;
-use hqw_bench::cli::Options;
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::solution::{bits_to_spins, spins_to_bits};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ablation-embedding` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Ablation",
-        "Chimera clique-embedding overhead vs direct sampling (3-user 16-QAM, C_3)",
-    );
-
-    let mut rng = Rng64::new(opts.seed);
-    let inst = DetectionInstance::generate(&InstanceConfig::paper(3, Modulation::Qam16), &mut rng);
-    let eg = inst.ground_energy();
-    let (logical, _off) = inst.reduction.qubo.to_ising();
-    let n = logical.num_vars(); // 12
-
-    let graph = Chimera::new(3); // K12 fits on C3
-    let embedding = CliqueEmbedding::new(graph, n);
-    println!(
-        "Logical vars: {n}; physical qubits used: {} (chains of {}); hardware size: {}",
-        embedding.qubits_used(),
-        embedding.chain(0).len(),
-        graph.num_qubits()
-    );
-
-    let schedule = Protocol::paper_fa(0.45).schedule().unwrap();
-    let sampler = QuantumSampler::new(
-        DWaveProfile::calibrated(),
-        SamplerConfig {
-            num_reads: opts.scale.reads,
-            engine: EngineKind::Pimc { trotter_slices: 8 },
-            auto_scale: true,
-            ..Default::default()
-        },
-    );
-
-    // Direct (logical) sampling.
-    let direct = sampler.sample_ising(&logical, &schedule, None, opts.seed);
-    let direct_p = direct
-        .samples
-        .iter()
-        .filter(|s| inst.reduction.qubo.energy(&s.bits) <= eg + 1e-6)
-        .map(|s| s.occurrences)
-        .sum::<u64>() as f64
-        / direct.samples.total_reads() as f64;
-
-    let mut table = Table::new(&["path", "chain_strength", "p_star", "chain_break_frac"]);
-    table.push_row(vec![
-        "direct (logical)".into(),
-        "-".into(),
-        fnum(direct_p, 4),
-        "0.000".into(),
-    ]);
-
-    // Embedded sampling at several chain strengths.
-    for &factor in &[0.5, 1.0, 2.0, 4.0] {
-        let physical = embedding.embed(&logical, ChainStrength::RelativeToMax(factor));
-        let run = sampler.sample_ising(&physical, &schedule, None, opts.seed ^ 9);
-        let mut hits = 0u64;
-        let mut total = 0u64;
-        let mut breaks = 0u64;
-        let mut chains_seen = 0u64;
-        for s in run.samples.iter() {
-            let spins = bits_to_spins(&s.bits);
-            let (logical_spins, broken) = embedding.unembed(&spins);
-            let bits = spins_to_bits(&logical_spins);
-            let e = inst.reduction.qubo.energy(&bits);
-            total += s.occurrences;
-            breaks += broken as u64 * s.occurrences;
-            chains_seen += n as u64 * s.occurrences;
-            if e <= eg + 1e-6 {
-                hits += s.occurrences;
-            }
-        }
-        table.push_row(vec![
-            "embedded (Chimera C3)".into(),
-            format!("{}×max", fnum(factor, 1)),
-            fnum(hits as f64 / total as f64, 4),
-            fnum(breaks as f64 / chains_seen as f64, 4),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Expected: weak chains break and destroy solutions; strong chains crowd out the problem \
-         energy scale; embedded p★ < direct p★ at every setting (the compilation overhead the \
-         paper inherits from QuAMax)."
-    );
-
-    let path = opts.csv_path("ablation_embedding.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ablation-embedding");
 }

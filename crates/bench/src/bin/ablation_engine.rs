@@ -1,108 +1,9 @@
-//! Ablation: simulation-engine and move-set choices behind DESIGN.md.
+//! Registry shim: `ablation-engine — simulation-engine and move-set choices`
 //!
-//! Compares, on the same 8-user 16-QAM workload and the paper's protocols:
-//! * PIMC vs SVMC engines;
-//! * PIMC Trotter-slice counts;
-//! * cluster moves on/off (the imaginary-time tunneling channel);
-//! * freeze-out gate on/off (the late-anneal kinetics lock).
-
-use hqw_anneal::engine::FreezeOut;
-use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
-use hqw_anneal::{AnnealParams, DWaveProfile};
-use hqw_bench::cli::Options;
-use hqw_core::metrics::{delta_e_percent, success_probability};
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::greedy_search;
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ablation-engine` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Ablation",
-        "engine / Trotter slices / cluster moves / freeze-out, 8-user 16-QAM",
-    );
-
-    let mut rng = Rng64::new(opts.seed);
-    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
-    let eg = inst.ground_energy();
-    let qubo = &inst.reduction.qubo;
-    let (gs_bits, _) = greedy_search(qubo, Default::default());
-
-    let arms: Vec<(&str, EngineKind, Option<FreezeOut>)> = vec![
-        (
-            "PIMC P=16 (default)",
-            EngineKind::Pimc { trotter_slices: 16 },
-            Some(FreezeOut::default()),
-        ),
-        (
-            "PIMC P=8",
-            EngineKind::Pimc { trotter_slices: 8 },
-            Some(FreezeOut::default()),
-        ),
-        (
-            "PIMC P=32",
-            EngineKind::Pimc { trotter_slices: 32 },
-            Some(FreezeOut::default()),
-        ),
-        (
-            "PIMC no freeze-out",
-            EngineKind::Pimc { trotter_slices: 16 },
-            None,
-        ),
-        ("SVMC", EngineKind::Svmc, Some(FreezeOut::default())),
-    ];
-
-    let mut table = Table::new(&[
-        "configuration",
-        "FA p*",
-        "FA mean dE%",
-        "RA-GS p*",
-        "RA-GS mean dE%",
-    ]);
-    for (label, engine, freeze) in arms {
-        let sampler = QuantumSampler::new(
-            DWaveProfile::calibrated(),
-            SamplerConfig {
-                num_reads: opts.scale.reads,
-                engine,
-                params: AnnealParams {
-                    freeze_out: freeze,
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
-        );
-        let fa = sampler.sample_qubo(
-            qubo,
-            &Protocol::paper_fa(0.45).schedule().unwrap(),
-            None,
-            opts.seed,
-        );
-        let ra = sampler.sample_qubo(
-            qubo,
-            &Protocol::paper_ra(0.69).schedule().unwrap(),
-            Some(&gs_bits),
-            opts.seed,
-        );
-        table.push_row(vec![
-            label.to_string(),
-            fnum(success_probability(&fa.samples, eg), 4),
-            fnum(delta_e_percent(fa.samples.mean_energy(), eg), 2),
-            fnum(success_probability(&ra.samples, eg), 4),
-            fnum(delta_e_percent(ra.samples.mean_energy(), eg), 2),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Expected: without freeze-out the simulator turns SA-like (FA improves, RA memory washes \
-         out); slice count shifts quantum-fluctuation strength mildly; SVMC is the semi-classical \
-         reference."
-    );
-
-    let path = opts.csv_path("ablation_engine.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ablation-engine");
 }

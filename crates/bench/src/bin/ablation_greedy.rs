@@ -1,82 +1,9 @@
-//! Ablation: Greedy Search variants (§4.1 prose ambiguity).
+//! Registry shim: `ablation-greedy — Greedy Search order/variant`
 //!
-//! The paper sorts bits "in ascending order" of |Ising field| but its cited
-//! greedy-descent reference fixes the strongest field first; DESIGN.md
-//! documents the discrepancy and this ablation measures all four variants.
-
-use hqw_bench::cli::Options;
-use hqw_core::metrics::delta_e_percent;
-use hqw_core::report::{fnum, Table};
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::greedy::{greedy_search, GreedyConfig, GreedyOrder, GreedyVariant};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ablation-greedy` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Ablation",
-        "Greedy Search order/variant on 8-user 16-QAM seed quality",
-    );
-    let instances = opts.scale.instances.max(20) * 3;
-    let mut rng = Rng64::new(opts.seed);
-    let config = InstanceConfig::paper(8, Modulation::Qam16);
-
-    let arms = [
-        (
-            "descending/dynamic (default)",
-            GreedyOrder::Descending,
-            GreedyVariant::Dynamic,
-        ),
-        (
-            "descending/static",
-            GreedyOrder::Descending,
-            GreedyVariant::StaticOrder,
-        ),
-        (
-            "ascending/dynamic",
-            GreedyOrder::Ascending,
-            GreedyVariant::Dynamic,
-        ),
-        (
-            "ascending/static (paper prose)",
-            GreedyOrder::Ascending,
-            GreedyVariant::StaticOrder,
-        ),
-    ];
-
-    let mut sums = vec![(0.0f64, 0usize); arms.len()]; // (ΔE_IS sum, exact hits)
-    for _ in 0..instances {
-        let inst = DetectionInstance::generate(&config, &mut rng);
-        let eg = inst.ground_energy();
-        for (k, (_, order, variant)) in arms.iter().enumerate() {
-            let (_, e) = greedy_search(
-                &inst.reduction.qubo,
-                GreedyConfig {
-                    order: *order,
-                    variant: *variant,
-                },
-            );
-            let de = delta_e_percent(e, eg);
-            sums[k].0 += de;
-            if de <= 1e-9 {
-                sums[k].1 += 1;
-            }
-        }
-    }
-
-    let mut table = Table::new(&["variant", "mean_dEis%", "exact_rate"]);
-    for (k, (label, _, _)) in arms.iter().enumerate() {
-        table.push_row(vec![
-            label.to_string(),
-            fnum(sums[k].0 / instances as f64, 2),
-            fnum(sums[k].1 as f64 / instances as f64, 3),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("({} instances; lower ΔE_IS% = better RA seeds)", instances);
-
-    let path = opts.csv_path("ablation_greedy.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ablation-greedy");
 }

@@ -1,80 +1,9 @@
-//! Ablation: the anneal pause (`t_p`) — the paper's footnote 3.
+//! Registry shim: `ablation-pause — anneal-pause duration`
 //!
-//! "It has been shown that the annealing pause brings out improvements for
-//! FA \[26, 29, 36\] and for RA \[52\]." This ablation sweeps the pause duration
-//! for both protocols at their preferred `s_p` and reports `p★` and TTS —
-//! TTS exposes the trade-off, since pausing lengthens every read.
-
-use hqw_bench::cli::Options;
-use hqw_core::metrics::{success_probability, time_to_solution};
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::greedy_search;
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ablation-pause` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Ablation",
-        "pause duration t_p for FA (s_p=0.45) and RA-GS (s_p=0.69), 8-user 16-QAM",
-    );
-
-    let mut rng = Rng64::new(opts.seed);
-    let inst = DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
-    let eg = inst.ground_energy();
-    let qubo = &inst.reduction.qubo;
-    let (gs_bits, _) = greedy_search(qubo, Default::default());
-    let sampler = hqw_core::experiments::paper_sampler(opts.scale.reads);
-
-    // Arms chosen where the pause has leverage: FA pausing near the device's
-    // A=B crossing, RA from the exact ground state at the *edge* of its
-    // success band (s_p = 0.61), where retention is most pause-sensitive,
-    // and RA from the GS seed for reference.
-    let mut table = Table::new(&["protocol", "t_p_us", "duration_us", "p_star", "TTS99_us"]);
-    for &t_p in &[0.0, 0.5, 1.0, 2.0, 4.0] {
-        for (label, protocol, init) in [
-            (
-                "FA",
-                Protocol::Forward {
-                    t_a: 1.45,
-                    pause: if t_p > 0.0 { Some((0.45, t_p)) } else { None },
-                },
-                None,
-            ),
-            (
-                "RA-ground@0.61",
-                Protocol::Reverse { s_p: 0.61, t_p },
-                Some(inst.tx_natural_bits.as_slice()),
-            ),
-            (
-                "RA-GS@0.69",
-                Protocol::Reverse { s_p: 0.69, t_p },
-                Some(gs_bits.as_slice()),
-            ),
-        ] {
-            let schedule = protocol.schedule().expect("valid");
-            let run = sampler.sample_qubo(qubo, &schedule, init, opts.seed ^ t_p.to_bits());
-            let p = success_probability(&run.samples, eg);
-            table.push_row(vec![
-                label.to_string(),
-                fnum(t_p, 1),
-                fnum(schedule.duration_us(), 2),
-                fnum(p, 4),
-                fnum(time_to_solution(schedule.duration_us(), p, 99.0), 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!(
-        "Two regimes: when the seed needs repair (imperfect seeds, or FA mid-anneal), pause time \
-         buys thermalization and p★ grows; when the seed is already the ground state, the pause \
-         only melts it — p★ falls monotonically with t_p and TTS is best with no pause at all. \
-         The paper's fixed t_p = 1 µs is a compromise across seed qualities."
-    );
-
-    let path = opts.csv_path("ablation_pause.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ablation-pause");
 }

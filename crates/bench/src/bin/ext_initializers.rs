@@ -1,51 +1,9 @@
-//! §5 extension: application-specific classical initializers for RA.
+//! Registry shim: `ext-initializers — application-specific initializers (§5)`
 //!
-//! Paper outlook: "Linear solvers (e.g., zero-forcing) can likely achieve
-//! better initialization quality ΔE_IS% than GS … Tree-based solvers (e.g.,
-//! FCSD and K-best SD) have tunable complexity."
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_ext_initializers;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ext-initializers` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "§5 extension",
-        "classical initializers feeding RA on noisy 5-user 16-QAM (exhaustive ground truth)",
-    );
-    let rows = run_ext_initializers(opts.scale, opts.seed);
-
-    let mut table = Table::new(&[
-        "initializer",
-        "mean_dEis%",
-        "classical_us",
-        "hybrid_p*",
-        "mean_TTS_us",
-    ]);
-    for r in &rows {
-        table.push_row(vec![
-            r.name.to_string(),
-            fnum(r.mean_delta_e_is, 2),
-            fnum(r.mean_latency_us, 2),
-            fnum(r.p_star, 4),
-            fnum(r.mean_tts_us, 1),
-        ]);
-    }
-    println!("{}", table.render());
-
-    let get = |name: &str| rows.iter().find(|r| r.name == name);
-    if let (Some(gs), Some(zf)) = (get("GS"), get("ZF")) {
-        println!(
-            "ZF vs GS seed quality: {} vs {} ΔE_IS% (paper predicts ZF better, at higher latency: {} vs {} µs)",
-            fnum(zf.mean_delta_e_is, 2),
-            fnum(gs.mean_delta_e_is, 2),
-            fnum(zf.mean_latency_us, 2),
-            fnum(gs.mean_latency_us, 2),
-        );
-    }
-
-    let path = opts.csv_path("ext_initializers.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ext-initializers");
 }

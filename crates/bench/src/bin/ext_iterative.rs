@@ -1,112 +1,9 @@
-//! §2 extension: richer hybrid computation structures.
+//! Registry shim: `ext-iterative — iterated RA and sample persistence (§2)`
 //!
-//! Compares, at a matched anneal-time budget, the paper's one-shot GS→RA
-//! prototype against (a) iterated reverse annealing (each round seeded by
-//! the best state so far) and (b) sample-persistence variable prefixing
-//! (Karimi & Rosenberg \[28\]) — the §2 patterns the paper surveys but does
-//! not prototype.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::paper_sampler;
-use hqw_core::iterative::{iterated_reverse_annealing, sample_persistence_solve};
-use hqw_core::metrics::delta_e_percent;
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::greedy_search;
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ext-iterative` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "§2 extension",
-        "one-shot GS→RA vs iterated RA vs sample-persistence prefixing (8-user 16-QAM)",
-    );
-
-    let rounds = 4;
-    let s_p = 0.69;
-    let instances = opts.scale.instances.max(4);
-    // Matched budget: the one-shot arm gets rounds× the reads of each
-    // iterated round.
-    let one_shot_sampler = paper_sampler(opts.scale.reads * rounds);
-    let round_sampler = paper_sampler(opts.scale.reads);
-
-    let mut sums = [0.0f64; 4]; // seed, one-shot, iterated, persistence (ΔE%)
-    let mut exact = [0usize; 4];
-    let mut rng = Rng64::new(opts.seed);
-    for k in 0..instances {
-        let inst =
-            DetectionInstance::generate(&InstanceConfig::paper(8, Modulation::Qam16), &mut rng);
-        let eg = inst.ground_energy();
-        let qubo = &inst.reduction.qubo;
-        let (gs_bits, gs_e) = greedy_search(qubo, Default::default());
-
-        let one_shot = one_shot_sampler.sample_qubo(
-            qubo,
-            &Protocol::paper_ra(s_p).schedule().unwrap(),
-            Some(&gs_bits),
-            opts.seed + k as u64,
-        );
-        let one_shot_e = one_shot.samples.best_energy().min(gs_e);
-
-        let iterated = iterated_reverse_annealing(
-            &round_sampler,
-            qubo,
-            s_p,
-            &gs_bits,
-            rounds,
-            opts.seed + 100 + k as u64,
-        );
-        let persistence = sample_persistence_solve(
-            &round_sampler,
-            qubo,
-            s_p,
-            &gs_bits,
-            0.2,
-            rounds,
-            opts.seed + 200 + k as u64,
-        );
-
-        for (slot, e) in [
-            (0, gs_e),
-            (1, one_shot_e),
-            (2, iterated.best_energy),
-            (3, persistence.best_energy),
-        ] {
-            let de = delta_e_percent(e, eg);
-            sums[slot] += de;
-            if de <= 1e-9 {
-                exact[slot] += 1;
-            }
-        }
-    }
-
-    let mut table = Table::new(&["structure", "mean_dE%", "exact_rate"]);
-    for (k, label) in [
-        "GS seed (no quantum)",
-        "one-shot GS→RA (paper prototype)",
-        "iterated RA (best-state feedback)",
-        "sample-persistence prefixing",
-    ]
-    .iter()
-    .enumerate()
-    {
-        table.push_row(vec![
-            label.to_string(),
-            fnum(sums[k] / instances as f64, 3),
-            fnum(exact[k] as f64 / instances as f64, 2),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "All quantum arms share the same total anneal budget ({} reads). The iterated arms can \
-         only help over one-shot when intermediate states open new basins — the §2 argument for \
-         closed-loop hybrid designs.",
-        opts.scale.reads * rounds
-    );
-
-    let path = opts.csv_path("ext_iterative.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("ext-iterative");
 }

@@ -1,47 +1,9 @@
-//! Figure 3: the QUBO-simplification (Lewis–Glover preprocessing) sweep.
+//! Registry shim: `fig3 — QUBO-simplification preprocessing sweep (Figure 3)`
 //!
-//! Paper result: ratio of simplified instances and mean fixed-variable count
-//! fall to zero by 32–40 variables for every modulation.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_fig3;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig3` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 3",
-        "QUBO-simplification preprocessing across problem sizes and modulations",
-    );
-    let instances = opts.scale.instances.max(10) * 5; // cheap: use many instances
-    let rows = run_fig3(instances, opts.seed);
-
-    let mut table = Table::new(&["modulation", "n_vars", "simplified_ratio", "avg_fixed_vars"]);
-    for r in &rows {
-        table.push_row(vec![
-            r.modulation.name().to_string(),
-            r.n_vars.to_string(),
-            fnum(r.simplified_ratio, 3),
-            fnum(r.avg_fixed, 2),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("({} instances per point)", instances);
-
-    let largest_simplified = rows
-        .iter()
-        .filter(|r| r.simplified_ratio > 0.0)
-        .map(|r| r.n_vars)
-        .max();
-    match largest_simplified {
-        Some(n) => println!(
-            "Largest problem size with any simplification: {n} variables \
-             (paper: no effect beyond 32–40)."
-        ),
-        None => println!("No instance simplified at any size."),
-    }
-
-    let path = opts.csv_path("fig3.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig3");
 }

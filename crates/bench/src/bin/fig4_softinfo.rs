@@ -1,58 +1,9 @@
-//! §3.1 / Figure 4: soft-information constraint injection under analog
-//! (ICE) noise.
+//! Registry shim: `fig4-softinfo — soft-information constraints under ICE noise (Figure 4 / §3.1)`
 //!
-//! Paper finding: the scheme "seemingly looks useful, but it is difficult to
-//! find proper constraint factors on noisy, analog quantum machines" —
-//! i.e. there is no strength setting that is both effective and robust.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_fig4_softinfo;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig4-softinfo` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 4 / §3.1",
-        "correct pair-constraints vs strength, noiseless and under ICE noise",
-    );
-    let rows = run_fig4_softinfo(opts.scale, opts.seed);
-
-    let mut table = Table::new(&["strength", "ice", "p_star(truth)", "optimum_preserved"]);
-    for r in &rows {
-        table.push_row(vec![
-            fnum(r.strength, 2),
-            r.ice.to_string(),
-            fnum(r.p_star, 4),
-            r.optimum_preserved.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // Fragility summary: the best noiseless strength vs its ICE performance.
-    let best_clean = rows
-        .iter()
-        .filter(|r| !r.ice)
-        .max_by(|a, b| a.p_star.partial_cmp(&b.p_star).unwrap());
-    if let Some(clean) = best_clean {
-        let same_under_ice = rows
-            .iter()
-            .find(|r| r.ice && (r.strength - clean.strength).abs() < 1e-9);
-        if let Some(noisy) = same_under_ice {
-            println!(
-                "Best noiseless strength {}: p★ {} clean vs {} under ICE — {}",
-                fnum(clean.strength, 2),
-                fnum(clean.p_star, 3),
-                fnum(noisy.p_star, 3),
-                if noisy.p_star < clean.p_star {
-                    "analog noise erodes the tuned setting (paper's finding)"
-                } else {
-                    "robust here"
-                }
-            );
-        }
-    }
-
-    let path = opts.csv_path("fig4_softinfo.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig4-softinfo");
 }

@@ -1,62 +1,9 @@
-//! Figure 5: the three anneal-schedule shapes (FA, RA, FR).
+//! Registry shim: `fig5-schedules — FA / RA / FR anneal-schedule shapes (Figure 5)`
 //!
-//! Prints the `[time µs, s]` waypoints of each protocol at the paper's
-//! settings, plus a coarse ASCII rendering of `s(t)`.
-
-use hqw_bench::cli::Options;
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig5-schedules` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 5",
-        "FA / RA / FR anneal schedule shapes (s_p = 0.41, c_p = 0.65)",
-    );
-
-    let protocols = [
-        Protocol::paper_fa(0.41),
-        Protocol::paper_ra(0.41),
-        Protocol::paper_fr(0.65, 0.41),
-    ];
-
-    let mut table = Table::new(&["protocol", "waypoints [t µs, s]", "duration µs"]);
-    for p in &protocols {
-        let schedule = p.schedule().expect("valid paper parameters");
-        let pts = schedule
-            .points()
-            .iter()
-            .map(|(t, s)| format!("[{},{}]", fnum(*t, 2), fnum(*s, 2)))
-            .collect::<Vec<_>>()
-            .join(" → ");
-        table.push_row(vec![
-            p.name().to_string(),
-            pts,
-            fnum(schedule.duration_us(), 2),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // ASCII rendering: 10 rows of s from 1.0 down to 0.0.
-    for p in &protocols {
-        let schedule = p.schedule().expect("valid");
-        let duration = schedule.duration_us();
-        println!("{} (s vs t):", p.name());
-        for level in (0..=10).rev() {
-            let s_level = level as f64 / 10.0;
-            let mut line = String::new();
-            for col in 0..60 {
-                let t = duration * col as f64 / 59.0;
-                let s = schedule.s_at(t);
-                line.push(if (s - s_level).abs() < 0.05 { '*' } else { ' ' });
-            }
-            println!("  {:>4} |{line}", fnum(s_level, 1));
-        }
-        println!("        0 µs{:>52}", format!("{} µs", fnum(duration, 2)));
-        println!();
-    }
-
-    let path = opts.csv_path("fig5_schedules.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig5-schedules");
 }

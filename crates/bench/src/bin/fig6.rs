@@ -1,79 +1,9 @@
-//! Figure 6: ΔE% sample distributions for FA, RA-random-init and RA-GS-init
-//! on 36-variable instances of all four modulations.
+//! Registry shim: `fig6 — ΔE% distributions for FA / RA-random / RA-GS (Figure 6)`
 //!
-//! Paper result: RA from a random state is *worse* than FA (distribution
-//! skewed to poor solutions); RA from the Greedy Search state is the best of
-//! the three — the basis for the hybrid prototype.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_fig6;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig6` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 6",
-        "ΔE% distribution of anneal samples, 36-variable problems, per modulation",
-    );
-    let rows = run_fig6(opts.scale, opts.seed);
-
-    let mut table = Table::new(&[
-        "modulation",
-        "arm",
-        "s_p",
-        "P10",
-        "P25",
-        "P50",
-        "P75",
-        "P90",
-        "mean_dE%",
-        "ground_frac",
-    ]);
-    let pick = |r: &hqw_core::experiments::Fig6Row, p: f64| -> f64 {
-        r.percentiles
-            .iter()
-            .find(|(pp, _)| (*pp - p).abs() < 1e-9)
-            .map(|(_, v)| *v)
-            .unwrap_or(f64::NAN)
-    };
-    for r in &rows {
-        table.push_row(vec![
-            r.modulation.name().to_string(),
-            r.arm.to_string(),
-            fnum(r.s_p, 2),
-            fnum(pick(r, 10.0), 2),
-            fnum(pick(r, 25.0), 2),
-            fnum(pick(r, 50.0), 2),
-            fnum(pick(r, 75.0), 2),
-            fnum(pick(r, 90.0), 2),
-            fnum(r.mean_delta_e, 2),
-            fnum(r.ground_fraction, 4),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // The paper's qualitative ordering, checked per modulation.
-    for m in hqw_phy::modulation::Modulation::ALL {
-        let get = |arm: &str| {
-            rows.iter()
-                .find(|r| r.modulation == m && r.arm == arm)
-                .map(|r| r.mean_delta_e)
-        };
-        if let (Some(fa), Some(ra_rand), Some(ra_gs)) = (get("FA"), get("RA-random"), get("RA-GS"))
-        {
-            let ordering_holds = ra_gs <= fa && fa <= ra_rand + 1e-9;
-            println!(
-                "{}: mean ΔE%  RA-GS {} ≤ FA {} ≤ RA-random {}  → paper ordering {}",
-                m.name(),
-                fnum(ra_gs, 2),
-                fnum(fa, 2),
-                fnum(ra_rand, 2),
-                if ordering_holds { "HOLDS" } else { "differs" }
-            );
-        }
-    }
-
-    let path = opts.csv_path("fig6.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig6");
 }

@@ -1,53 +1,9 @@
-//! Figure 7: RA success probability and expected cost vs the quality of the
-//! initial state (ΔE_IS%, binned in 2% steps), 8-user 16-QAM.
+//! Registry shim: `fig7 — RA performance vs initial-state quality (Figure 7)`
 //!
-//! Paper result: "the probability of success and the expectation value for
-//! the cost function is generally better if the ΔE_IS% is low".
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_fig7;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig7` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 7",
-        "RA success probability & E[cost] vs initial-state quality ΔE_IS% (8-user 16-QAM)",
-    );
-    let (s_p, rows) = run_fig7(opts.scale, opts.seed);
-    println!("RA switch/pause location s_p = {}", fnum(s_p, 2));
-    println!();
-
-    let mut table = Table::new(&["dEis_bin_center_%", "n_states", "p_star", "E[cost]_dE%"]);
-    for r in &rows {
-        table.push_row(vec![
-            fnum(r.bin_center, 1),
-            r.n_states.to_string(),
-            fnum(r.p_star, 4),
-            fnum(r.mean_cost_delta_e, 2),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // Trend check: success probability should broadly decrease with ΔE_IS%.
-    if rows.len() >= 3 {
-        let first = rows.first().unwrap();
-        let last = rows.last().unwrap();
-        println!(
-            "Trend: p★ {} at ΔE_IS={}% vs {} at ΔE_IS={}% → {}",
-            fnum(first.p_star, 3),
-            fnum(first.bin_center, 1),
-            fnum(last.p_star, 3),
-            fnum(last.bin_center, 1),
-            if first.p_star >= last.p_star {
-                "decreasing (matches paper)"
-            } else {
-                "NOT decreasing"
-            }
-        );
-    }
-
-    let path = opts.csv_path("fig7.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig7");
 }

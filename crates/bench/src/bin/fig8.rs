@@ -1,66 +1,9 @@
-//! Figure 8: success probability and TTS(99%) as a function of the switch &
-//! pause location `s_p`, for FA, RA (several initial-state qualities) and FR
-//! (oracle `c_p`), on an 8-user 16-QAM instance.
+//! Registry shim: `fig8 — p★ and TTS vs s_p for FA / RA / FR (Figure 8)`
 //!
-//! Paper result: FA succeeds only at isolated pause locations; RA succeeds
-//! over a contiguous `s_p` band; FR (even with oracle `c_p`) underperforms
-//! both; ground-state-initialized RA is the upper envelope.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_fig8;
-use hqw_core::report::{fnum, Table};
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fig8` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 8",
-        "p★ and TTS(99%) vs s_p for FA / RA(initial states) / FR(oracle c_p)",
-    );
-    let series = run_fig8(opts.scale, opts.seed);
-
-    let mut table = Table::new(&["series", "s_p", "p_star", "duration_us", "TTS99_us"]);
-    for s in &series {
-        for p in &s.points {
-            table.push_row(vec![
-                s.label.clone(),
-                fnum(p.param, 2),
-                fnum(p.p_star, 4),
-                fnum(p.duration_us, 2),
-                fnum(p.tts_us, 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-
-    // Headline shape summary per series.
-    println!("Per-series best points:");
-    for s in &series {
-        let best = s
-            .points
-            .iter()
-            .max_by(|a, b| a.p_star.partial_cmp(&b.p_star).unwrap());
-        let band: Vec<f64> = s
-            .points
-            .iter()
-            .filter(|p| p.p_star > 0.0)
-            .map(|p| p.param)
-            .collect();
-        match best {
-            Some(b) if b.p_star > 0.0 => println!(
-                "  {:<16} best p★={} at s_p={}, TTS={} µs, success band s_p ∈ [{}, {}] ({} pts)",
-                s.label,
-                fnum(b.p_star, 3),
-                fnum(b.param, 2),
-                fnum(b.tts_us, 1),
-                fnum(band.iter().cloned().fold(f64::INFINITY, f64::min), 2),
-                fnum(band.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 2),
-                band.len(),
-            ),
-            _ => println!("  {:<16} never found the ground state", s.label),
-        }
-    }
-
-    let path = opts.csv_path("fig8.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("fig8");
 }

@@ -1,152 +1,9 @@
-//! BER-vs-SNR scenario sweep — the paper-style end-to-end comparison.
+//! Registry shim: `ber — BER-vs-SNR scenario sweep across every detector family`
 //!
-//! Runs the `hqw-core` scenario engine over a roster spanning every detector
-//! family in the workspace: linear (ZF, noise-matched MMSE), tree-search
-//! (budgeted sphere decoder, K-best, FCSD), the SA-backed QUBO path, and the
-//! full annealer-backed hybrid solver. Every arm sees the same channel
-//! realizations at every SNR point (paired comparison), and the whole grid
-//! fans out deterministically: output — including `BENCH_ber.json` — is
-//! byte-identical for any `--threads` value, which CI pins by diffing a
-//! 1-thread run against an N-thread run.
-//!
-//! ```text
-//! cargo run -p hqw-bench --release --bin fig-ber -- --quick
-//! ```
-//!
-//! Output: a table on stdout, `results/fig_ber.csv`, and a JSON report
-//! (default `BENCH_ber.json`, override with `--json <path>`; schema in the
-//! crate README).
-
-use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
-use hqw_anneal::DWaveProfile;
-use hqw_bench::cli::Options;
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_core::scenario::{run_ber_sweep, HybridDetector, ScenarioDetector, SnrSweepConfig};
-use hqw_core::solver::{HybridConfig, HybridSolver};
-use hqw_core::stages::GreedyInitializer;
-use hqw_phy::channel::ChannelModel;
-use hqw_phy::detect::{Fcsd, KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
-use std::sync::Arc;
-
-/// Scenario shape per scale: (modulation, users, SNR grid, realizations).
-fn scenario_shape(scale_name: &str) -> (Modulation, usize, Vec<f64>, usize) {
-    match scale_name {
-        "quick" => (Modulation::Qpsk, 3, vec![0.0, 8.0, 16.0, 24.0], 4),
-        "full" => (
-            Modulation::Qam16,
-            4,
-            (0..=10).map(|i| 3.0 * i as f64).collect(),
-            50,
-        ),
-        _ => (
-            Modulation::Qpsk,
-            4,
-            (0..=6).map(|i| 4.0 * i as f64).collect(),
-            20,
-        ),
-    }
-}
-
-/// The full detector roster: ≥ 3 families, two of them QUBO/anneal-backed.
-fn roster(seed: u64) -> Vec<ScenarioDetector> {
-    let sa_params = SaParams {
-        sweeps: 96,
-        num_reads: 24,
-        threads: 1, // the grid is the parallel level; keep reads serial
-        ..Default::default()
-    };
-    let sampler = QuantumSampler::new(
-        DWaveProfile::calibrated(),
-        SamplerConfig {
-            num_reads: 16,
-            engine: EngineKind::Pimc { trotter_slices: 8 },
-            threads: 1,
-            ..Default::default()
-        },
-    );
-    let hybrid = HybridSolver::new(
-        sampler,
-        HybridConfig {
-            protocol: Protocol::paper_ra(0.65),
-            initializer: Box::new(GreedyInitializer::default()),
-        },
-    );
-    vec![
-        ScenarioDetector::fixed(false, ZeroForcing),
-        ScenarioDetector::noise_matched("MMSE", false, |nv| Arc::new(Mmse::new(nv))),
-        ScenarioDetector::fixed(false, SphereDecoder::with_budget(100_000)),
-        ScenarioDetector::fixed(false, KBest::new(8)),
-        ScenarioDetector::fixed(false, Fcsd::new(1)),
-        ScenarioDetector::fixed(true, QuboDetector::with_params(sa_params, seed)),
-        ScenarioDetector::fixed(true, HybridDetector::new(hybrid, seed)),
-    ]
-}
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run ber` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "BER sweep",
-        "end-to-end BER/SER-vs-SNR across every detector family",
-    );
-
-    let (modulation, n_users, snr_db, realizations) = scenario_shape(opts.scale_name);
-    let config = SnrSweepConfig {
-        n_users,
-        n_rx: n_users,
-        modulation,
-        channel: ChannelModel::UnitGainRandomPhase,
-        snr_db,
-        realizations,
-        seed: opts.seed,
-        threads: opts.threads,
-    };
-    println!(
-        "{} users, {}, {} SNR points x {} realizations, threads={} (0 = all cores)",
-        config.n_users,
-        config.modulation.name(),
-        config.snr_db.len(),
-        config.realizations,
-        config.threads
-    );
-    println!();
-
-    let detectors = roster(opts.seed);
-    let report = run_ber_sweep(&config, &detectors);
-
-    let mut table = Table::new(&[
-        "detector",
-        "snr_db",
-        "ber",
-        "ser",
-        "bler",
-        "goodput_bpcu",
-        "avg_nodes",
-        "avg_sweeps",
-    ]);
-    for series in &report.series {
-        for p in &series.points {
-            table.push_row(vec![
-                series.detector.clone(),
-                fnum(p.snr_db, 1),
-                fnum(p.ber, 5),
-                fnum(p.ser, 5),
-                fnum(p.bler, 5),
-                fnum(p.goodput_bpcu, 3),
-                fnum(p.avg_nodes_visited, 1),
-                fnum(p.avg_sweeps, 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-
-    let csv_path = opts.csv_path("fig_ber.csv");
-    table.write_csv(&csv_path).expect("write CSV");
-    println!("CSV written to {}", csv_path.display());
-
-    let json_path = opts.json_path("BENCH_ber.json");
-    report.write_json(&json_path).expect("write JSON report");
-    println!("JSON report written to {}", json_path.display());
+    hqw_bench::registry::run_registered("ber");
 }

@@ -1,192 +1,9 @@
-//! Quantum compute-fabric sweep — many cells sharing a solver pool.
+//! Registry shim: `fabric — multi-cell streaming detection over a shared solver pool`
 //!
-//! Runs the `hqw-core` fabric engine over a (backend-mix × cells × load)
-//! grid: every radio cell streams detection frames from its own
-//! time-correlated channel into a shared `FabricScheduler`, which batches
-//! same-shape QUBOs and routes them across a heterogeneous backend pool
-//! (SA worker pool, PIMC, SVMC, and a mock QPU behind a network with cached
-//! minor embeddings), falling back to local classical MMSE when no backend
-//! can meet the deadline. Output — including `BENCH_fabric.json` — is
-//! byte-identical for any `--threads` value, which CI pins by diffing a
-//! 1-thread run against an N-thread run.
-//!
-//! ```text
-//! cargo run -p hqw-bench --release --bin fig-fabric -- --quick
-//! ```
-//!
-//! Output: a table on stdout, `results/fig_fabric.csv`, and a JSON report
-//! (default `BENCH_fabric.json`, override with `--json <path>`; schema in
-//! the crate README).
-
-use hqw_bench::cli::Options;
-use hqw_core::fabric::{
-    run_fabric_grid, AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig,
-    NetworkModel, SaPoolConfig,
-};
-use hqw_core::report::{fnum, Table};
-use hqw_core::stream::CostModel;
-use hqw_phy::channel::{snr_db_to_noise_variance, TrackConfig};
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
-
-/// Operating SNR of every cell's uplink (dB).
-const SNR_DB: f64 = 14.0;
-
-/// Grid shape per scale: (frames/cell, cell counts, arrival periods µs
-/// descending).
-fn grid_shape(scale_name: &str) -> (usize, Vec<usize>, Vec<f64>) {
-    match scale_name {
-        "quick" => (24, vec![2, 4], vec![400.0, 200.0, 120.0]),
-        "full" => (
-            256,
-            vec![1, 2, 4, 8],
-            vec![600.0, 400.0, 250.0, 160.0, 100.0],
-        ),
-        _ => (64, vec![1, 2, 4], vec![400.0, 200.0, 120.0]),
-    }
-}
-
-/// The pool compositions swept as the backend-mix axis. The two mock-QPU
-/// mixes differ only in `max_batch`, which is what the batched-vs-unbatched
-/// latency invariant in `ci/check_bench.py` compares.
-fn mixes() -> Vec<BackendMix> {
-    let sa_pool = BackendSpec::SaPool(SaPoolConfig {
-        workers: 2,
-        max_batch: 4,
-        sa: SaParams {
-            sweeps: 48,
-            num_reads: 2,
-            threads: 1,
-            ..SaParams::default()
-        },
-    });
-    let annealer = AnnealerConfig {
-        num_reads: 2,
-        anneal_us: 2.0,
-        sweeps_per_us: 8,
-        capacity: 1,
-        max_batch: 4,
-    };
-    let qpu = |max_batch: usize| {
-        BackendSpec::MockQpu(MockQpuConfig {
-            num_reads: 4,
-            anneal_us: 2.0,
-            sweeps_per_us: 8,
-            trotter_slices: 8,
-            max_batch,
-            network: NetworkModel {
-                rtt_base_us: 30.0,
-                jitter_us: 10.0,
-            },
-            programming_us: 120.0,
-            embed_derive_us_per_qubit: 2.0,
-            chain_strength: 2.0,
-        })
-    };
-    vec![
-        BackendMix {
-            name: "sa-pool".into(),
-            backends: vec![sa_pool],
-        },
-        BackendMix {
-            name: "hetero".into(),
-            backends: vec![
-                sa_pool,
-                BackendSpec::Pimc(annealer),
-                BackendSpec::Svmc(annealer),
-                qpu(4),
-            ],
-        },
-        BackendMix {
-            name: "qpu-batched".into(),
-            backends: vec![qpu(8)],
-        },
-        BackendMix {
-            name: "qpu-unbatched".into(),
-            backends: vec![qpu(1)],
-        },
-    ]
-}
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run fabric` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Fabric sweep",
-        "multi-cell streaming detection over a shared multi-backend solver pool",
-    );
-
-    let (frames_per_cell, cell_counts, arrival_periods_us) = grid_shape(opts.scale_name);
-    let n_users = 2;
-    let noise_variance = snr_db_to_noise_variance(SNR_DB, n_users);
-    let config = FabricGridConfig {
-        track: TrackConfig {
-            n_users,
-            n_rx: n_users,
-            modulation: Modulation::Qpsk,
-            rho: 0.9,
-            noise_variance,
-        },
-        frames_per_cell,
-        cell_counts,
-        arrival_periods_us,
-        mixes: mixes(),
-        deadline_us: 700.0,
-        cost: CostModel::default(),
-        seed: opts.seed,
-        threads: opts.threads,
-    };
-    println!(
-        "{} users QPSK at {SNR_DB} dB per cell, {} frames/cell, deadline {} us, \
-         {} mixes x {} cell-counts x {} loads, threads={} (0 = all cores)",
-        config.track.n_users,
-        config.frames_per_cell,
-        config.deadline_us,
-        config.mixes.len(),
-        config.cell_counts.len(),
-        config.arrival_periods_us.len(),
-        config.threads
-    );
-    println!();
-
-    let report = run_fabric_grid(&config);
-
-    let mut table = Table::new(&[
-        "mix",
-        "cells",
-        "period_us",
-        "ber",
-        "miss_rate",
-        "fallback",
-        "p50_us",
-        "p99_us",
-        "served_us",
-        "util_max",
-        "mean_batch",
-    ]);
-    for p in &report.points {
-        let util_max = p.backends.iter().map(|b| b.utilization).fold(0.0, f64::max);
-        let mean_batch = p.backends.iter().map(|b| b.mean_batch).fold(0.0, f64::max);
-        table.push_row(vec![
-            p.mix.clone(),
-            p.n_cells.to_string(),
-            fnum(p.arrival_period_us, 0),
-            fnum(p.ber, 5),
-            fnum(p.deadline_miss_rate, 4),
-            fnum(p.fallback_rate, 4),
-            fnum(p.p50_latency_us, 1),
-            fnum(p.p99_latency_us, 1),
-            fnum(p.mean_served_latency_us, 1),
-            fnum(util_max, 3),
-            fnum(mean_batch, 2),
-        ]);
-    }
-    println!("{}", table.render());
-
-    let csv_path = opts.csv_path("fig_fabric.csv");
-    table.write_csv(&csv_path).expect("write CSV");
-    println!("CSV written to {}", csv_path.display());
-
-    let json_path = opts.json_path("BENCH_fabric.json");
-    report.write_json(&json_path).expect("write JSON report");
-    println!("JSON report written to {}", json_path.display());
+    hqw_bench::registry::run_registered("fabric");
 }

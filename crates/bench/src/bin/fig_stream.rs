@@ -1,134 +1,9 @@
-//! Streaming frame-engine sweep — link-layer deadlines meets warm starts.
+//! Registry shim: `stream — deadline-aware streaming detection over a time-correlated channel`
 //!
-//! Runs the `hqw-core` stream engine over a (load × ρ × policy) grid: frames
-//! arrive on a virtual clock from a Gauss–Markov time-correlated channel,
-//! each dispatch policy routes them between a noise-matched MMSE detector
-//! and the warm-started SA path, and per-frame service times derive
-//! deterministically from algorithmic work counters (never wall clocks).
-//! Output — including `BENCH_stream.json` — is byte-identical for any
-//! `--threads` value, which CI pins by diffing a 1-thread run against an
-//! N-thread run.
-//!
-//! ```text
-//! cargo run -p hqw-bench --release --bin fig-stream -- --quick
-//! ```
-//!
-//! Output: a table on stdout, `results/fig_stream.csv`, and a JSON report
-//! (default `BENCH_stream.json`, override with `--json <path>`; schema in
-//! the crate README).
-
-use hqw_bench::cli::Options;
-use hqw_core::report::{fnum, Table};
-use hqw_core::stream::{run_stream_grid, CostModel, DispatchPolicy, StreamGridConfig};
-use hqw_phy::channel::{snr_db_to_noise_variance, TrackConfig};
-use hqw_phy::detect::Mmse;
-use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
-
-/// Operating SNR of the streaming uplink (dB).
-const SNR_DB: f64 = 14.0;
-
-/// Grid shape per scale: (frames, ρ values, arrival periods µs descending).
-fn grid_shape(scale_name: &str) -> (usize, Vec<f64>, Vec<f64>) {
-    match scale_name {
-        "quick" => (64, vec![0.0, 0.5, 0.95], vec![400.0, 160.0, 90.0]),
-        "full" => (
-            1024,
-            vec![0.0, 0.5, 0.9, 0.99],
-            vec![400.0, 250.0, 160.0, 120.0, 90.0, 60.0],
-        ),
-        _ => (
-            256,
-            vec![0.0, 0.5, 0.9, 0.99],
-            vec![400.0, 200.0, 120.0, 80.0],
-        ),
-    }
-}
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run stream` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Stream sweep",
-        "deadline-aware streaming detection over a time-correlated channel",
-    );
-
-    let (frames, rhos, arrival_periods_us) = grid_shape(opts.scale_name);
-    let n_users = 3;
-    let noise_variance = snr_db_to_noise_variance(SNR_DB, n_users);
-    let config = StreamGridConfig {
-        track: TrackConfig {
-            n_users,
-            n_rx: n_users,
-            modulation: Modulation::Qpsk,
-            rho: 0.0, // per-cell override
-            noise_variance,
-        },
-        frames,
-        arrival_periods_us,
-        rhos,
-        policies: DispatchPolicy::ALL.to_vec(),
-        deadline_us: 300.0,
-        cost: CostModel::default(),
-        sa: SaParams {
-            sweeps: 96,
-            num_reads: 1,
-            threads: 1,
-            ..SaParams::default()
-        },
-        seed: opts.seed,
-        threads: opts.threads,
-    };
-    println!(
-        "{} users QPSK at {SNR_DB} dB, {} frames/cell, deadline {} us, \
-         {} policies x {} rho x {} loads, threads={} (0 = all cores)",
-        config.track.n_users,
-        config.frames,
-        config.deadline_us,
-        config.policies.len(),
-        config.rhos.len(),
-        config.arrival_periods_us.len(),
-        config.threads
-    );
-    println!();
-
-    let classical = Mmse::new(noise_variance);
-    let report = run_stream_grid(&config, &classical);
-
-    let mut table = Table::new(&[
-        "policy",
-        "rho",
-        "period_us",
-        "ber",
-        "miss_rate",
-        "p50_us",
-        "p99_us",
-        "fr_per_ms",
-        "hybrid",
-        "cold_sweeps",
-        "warm_sweeps",
-    ]);
-    for c in &report.cells {
-        table.push_row(vec![
-            c.policy.name().to_string(),
-            fnum(c.rho, 2),
-            fnum(c.arrival_period_us, 0),
-            fnum(c.ber, 5),
-            fnum(c.deadline_miss_rate, 4),
-            fnum(c.p50_latency_us, 1),
-            fnum(c.p99_latency_us, 1),
-            fnum(c.throughput_per_ms, 3),
-            format!("{}/{}", c.hybrid_frames, c.frames),
-            fnum(c.cold_sweeps_to_solution, 2),
-            fnum(c.warm_sweeps_to_solution, 2),
-        ]);
-    }
-    println!("{}", table.render());
-
-    let csv_path = opts.csv_path("fig_stream.csv");
-    table.write_csv(&csv_path).expect("write CSV");
-    println!("CSV written to {}", csv_path.display());
-
-    let json_path = opts.json_path("BENCH_stream.json");
-    report.write_json(&json_path).expect("write JSON report");
-    println!("JSON report written to {}", json_path.display());
+    hqw_bench::registry::run_registered("stream");
 }

@@ -1,87 +1,9 @@
-//! The headline claim (abstract / §1 / §4.3): the GS+RA hybrid achieves
-//! roughly **2–10× better** success probability / processing time than
-//! forward annealing on 8-user 16-QAM decoding.
-
-use hqw_bench::cli::Options;
-use hqw_core::experiments::run_headline;
-use hqw_core::report::{fnum, Table};
+//! Registry shim: `headline — RA+GS vs FA success probability (abstract / §4.3)`
+//!
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run headline` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Headline",
-        "best-parameter RA+GS vs best-parameter FA over 8-user 16-QAM instances",
-    );
-    let rows = run_headline(opts.scale, opts.seed);
-
-    let mut table = Table::new(&[
-        "instance",
-        "GS_dEis%",
-        "FA_best_p*",
-        "FA_TTS_us",
-        "RA_best_p*",
-        "RA_TTS_us",
-        "p*_ratio",
-    ]);
-    let mut ratios = Vec::new();
-    let mut ra_only = 0usize;
-    let mut fa_only = 0usize;
-    let mut neither = 0usize;
-    for r in &rows {
-        let (fa_p, fa_tts) = r
-            .fa_best
-            .map(|p| (p.p_star, p.tts_us))
-            .unwrap_or((0.0, f64::INFINITY));
-        let (ra_p, ra_tts) = r
-            .ra_best
-            .map(|p| (p.p_star, p.tts_us))
-            .unwrap_or((0.0, f64::INFINITY));
-        let ratio = r.p_ratio();
-        if let Some(x) = ratio {
-            ratios.push(x);
-        } else if ra_p > 0.0 {
-            ra_only += 1;
-        } else if fa_p > 0.0 {
-            fa_only += 1;
-        } else {
-            neither += 1;
-        }
-        table.push_row(vec![
-            r.instance.to_string(),
-            fnum(r.gs_delta_e_is, 2),
-            fnum(fa_p, 4),
-            fnum(fa_tts, 1),
-            fnum(ra_p, 4),
-            fnum(ra_tts, 1),
-            ratio.map(|x| fnum(x, 1)).unwrap_or_else(|| {
-                if ra_p > 0.0 {
-                    "RA-only".into()
-                } else if fa_p > 0.0 {
-                    "FA-only".into()
-                } else {
-                    "-".into()
-                }
-            }),
-        ]);
-    }
-    println!("{}", table.render());
-
-    if !ratios.is_empty() {
-        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        println!(
-            "p★ ratio RA/FA over {} comparable instances: min {} / median {} / max {}",
-            ratios.len(),
-            fnum(ratios[0], 1),
-            fnum(ratios[ratios.len() / 2], 1),
-            fnum(*ratios.last().unwrap(), 1),
-        );
-    }
-    println!(
-        "RA succeeded where FA failed on {ra_only} instance(s); FA-only: {fa_only}; neither: {neither}."
-    );
-    println!("(Paper: ~2–10× better success probability than published FA results.)");
-
-    let path = opts.csv_path("headline.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("headline");
 }

@@ -1,0 +1,69 @@
+//! `hqw` — the unified experiment runner.
+//!
+//! ```text
+//! hqw list [--json]
+//! hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR]
+//!                          [--threads N] [--json PATH]
+//! ```
+//!
+//! `hqw list` prints the experiment registry (add `--json` for the
+//! machine-readable manifest CI iterates). `hqw run <name>` runs a
+//! registered preset; `hqw run spec.json` parses a declarative
+//! `ExperimentSpec` document (schema in `crates/bench/README.md`) and runs
+//! it. For spec-file runs, explicit `--seed`/`--threads` override the
+//! file's values and `--quick`/`--full` are rejected (the file carries its
+//! own shape). Malformed commands, unknown experiment names and invalid
+//! spec files are reported on stderr with the usage line and exit status
+//! 2 — never a panic.
+
+use hqw_bench::cli::{HqwCommand, HQW_USAGE};
+use hqw_bench::registry;
+
+fn main() {
+    let command = match HqwCommand::parse(std::env::args().skip(1)) {
+        Ok(command) => command,
+        Err(message) => fail(&message),
+    };
+    match command {
+        HqwCommand::List { json } => {
+            if json {
+                print!("{}", registry::manifest_json());
+            } else {
+                let width = registry::all()
+                    .iter()
+                    .map(|e| e.name.len())
+                    .max()
+                    .unwrap_or(0);
+                println!("registered experiments ({}):", registry::all().len());
+                for entry in registry::all() {
+                    println!("  {:width$}  {}", entry.name, entry.description);
+                }
+                println!();
+                println!("run one with: hqw run <name> [--quick|--full]");
+            }
+        }
+        HqwCommand::Run {
+            target,
+            mut options,
+            given,
+        } => {
+            let spec = match registry::resolve_target(&target, &options, given) {
+                Ok(spec) => spec,
+                Err(message) => fail(&message),
+            };
+            if target.ends_with(".json") {
+                // The banner reports what actually ran: a spec file's shape
+                // is its own, not a named scale preset.
+                options.scale_name = "spec";
+            }
+            registry::run_spec(&spec, &options);
+        }
+    }
+}
+
+/// Prints the error and usage, then exits with status 2.
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{HQW_USAGE}");
+    std::process::exit(2);
+}

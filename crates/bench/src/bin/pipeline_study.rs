@@ -1,121 +1,9 @@
-//! Figure 2 / Challenge 3: the pipelined classical-quantum computation
-//! structure over successive channel uses.
+//! Registry shim: `pipeline-study — the Figure-2 pipelined computation structure`
 //!
-//! Two studies:
-//! 1. **Discrete-event analysis** (programmed microseconds): classical and
-//!    quantum stage latencies from the workspace's models, swept over the
-//!    per-use read budget, against a 3 ms link-layer turnaround budget.
-//! 2. **Real threaded pipeline**: wall-clock speedup of overlapping the
-//!    classical stage with the quantum stage on actual instances.
-
-use hqw_bench::cli::Options;
-use hqw_core::event_sim::{simulate_pipeline, uniform_stage};
-use hqw_core::pipeline::{run_pipelined, run_sequential};
-use hqw_core::protocol::Protocol;
-use hqw_core::report::{fnum, Table};
-use hqw_core::solver::{HybridConfig, HybridSolver};
-use hqw_core::stages::GreedyInitializer;
-use hqw_math::Rng64;
-use hqw_phy::instance::{DetectionInstance, InstanceConfig};
-use hqw_phy::modulation::Modulation;
+//! The experiment wiring lives in the `hqw-bench` registry; this binary
+//! exists for backwards compatibility with existing CI paths and scripts.
+//! `hqw run pipeline-study` is the unified entry point and emits identical output.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.banner(
-        "Figure 2",
-        "pipelined classical-quantum processing of successive channel uses",
-    );
-
-    // --- Study 1: discrete-event latency/throughput analysis -------------
-    let n_uses = 64;
-    let n_vars = 32.0; // 8-user 16-QAM
-    let classical_us = n_vars * n_vars / 1000.0; // GS latency model
-    let ra = Protocol::paper_ra(0.69);
-    let per_read_us = ra.duration_us() + 123.0 + 21.0; // anneal + readout + delay
-    let deadline_us = 3000.0; // LTE-class turnaround budget
-
-    let mut table = Table::new(&[
-        "reads/use",
-        "quantum_us",
-        "arrival_us",
-        "p50_latency_us",
-        "p99_latency_us",
-        "throughput/ms",
-        "deadline_viol",
-        "max_queue",
-    ]);
-    for &reads in &[1usize, 4, 16, 64] {
-        let quantum_us = reads as f64 * per_read_us;
-        // Arrivals at 110% of the bottleneck service rate: sustainable load.
-        let arrival_us = quantum_us.max(classical_us) * 1.1;
-        let stages = [
-            uniform_stage("classical", classical_us, n_uses),
-            uniform_stage("quantum", quantum_us, n_uses),
-        ];
-        let report = simulate_pipeline(arrival_us, &stages, deadline_us);
-        let mut lat = report.latency_us.clone();
-        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        table.push_row(vec![
-            reads.to_string(),
-            fnum(quantum_us, 1),
-            fnum(arrival_us, 1),
-            fnum(lat[lat.len() / 2], 1),
-            fnum(lat[lat.len() * 99 / 100], 1),
-            fnum(report.throughput_per_ms, 3),
-            report.deadline_violations.to_string(),
-            report.max_queue_depth.iter().max().unwrap().to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "(classical stage {} µs/use; RA read {} µs incl. readout; deadline {} µs)",
-        fnum(classical_us, 2),
-        fnum(per_read_us, 1),
-        fnum(deadline_us, 0)
-    );
-    println!();
-
-    // --- Study 2: real threaded pipeline ---------------------------------
-    let batch = {
-        let mut rng = Rng64::new(opts.seed);
-        DetectionInstance::generate_batch(
-            &InstanceConfig::paper(4, Modulation::Qam16),
-            opts.scale.instances.max(6),
-            &mut rng,
-        )
-    };
-    let solver = HybridSolver::new(
-        hqw_core::experiments::paper_sampler(opts.scale.reads),
-        HybridConfig {
-            protocol: ra,
-            initializer: Box::new(GreedyInitializer::default()),
-        },
-    );
-
-    let t0 = std::time::Instant::now();
-    let seq = run_sequential(&solver, &batch, opts.seed);
-    let sequential_wall = t0.elapsed();
-    let t1 = std::time::Instant::now();
-    let pip = run_pipelined(&solver, &batch, opts.seed, 4);
-    let pipelined_wall = t1.elapsed();
-
-    let identical = seq
-        .iter()
-        .zip(&pip)
-        .all(|(a, b)| a.best_bits == b.best_bits && a.best_energy == b.best_energy);
-    println!(
-        "Threaded pipeline over {} channel uses: sequential {:?}, pipelined {:?} — outputs {}",
-        batch.len(),
-        sequential_wall,
-        pipelined_wall,
-        if identical {
-            "bit-identical"
-        } else {
-            "DIFFER (bug!)"
-        }
-    );
-
-    let path = opts.csv_path("pipeline_study.csv");
-    table.write_csv(&path).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    hqw_bench::registry::run_registered("pipeline-study");
 }

@@ -15,6 +15,7 @@
 //! clean diagnostic and a nonzero status).
 
 use hqw_core::experiments::Scale;
+use hqw_core::report::Report;
 use std::path::PathBuf;
 
 /// One-line usage summary, printed alongside parse errors.
@@ -131,6 +132,112 @@ impl Options {
         );
         println!();
     }
+
+    /// The one emission path every report-producing experiment uses: print
+    /// the table, write the CSV under `--out`, write the JSON report at the
+    /// `--json` override or `json_default` — previously copy-pasted across
+    /// the fig binaries.
+    ///
+    /// # Panics
+    /// Panics when the CSV or JSON file cannot be written.
+    pub fn emit_report(&self, report: &dyn Report, csv_name: &str, json_default: &str) {
+        println!("{}", report.render_table());
+        let csv_path = self.csv_path(csv_name);
+        report.write_csv(&csv_path).expect("write CSV");
+        println!("CSV written to {}", csv_path.display());
+        let json_path = self.json_path(json_default);
+        report.write_json(&json_path).expect("write JSON report");
+        println!("JSON report written to {}", json_path.display());
+    }
+}
+
+/// One-line usage summary of the `hqw` runner binary.
+///
+/// For spec-file runs, `--seed`/`--threads` override the file's values and
+/// `--quick`/`--full` are rejected (a spec file carries its own shape; the
+/// scale presets only parameterize registry names).
+pub const HQW_USAGE: &str = "usage: hqw list [--json]\n       \
+     hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]";
+
+/// Which standard flags appeared *explicitly* on a `hqw run` command line —
+/// the spec-file resolution path uses this to override exactly what the
+/// user asked for (and to reject what cannot apply) instead of silently
+/// ignoring flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GivenFlags {
+    /// `--threads` appeared (overrides a spec file's `threads` field).
+    pub threads: bool,
+    /// `--seed` appeared (overrides a spec file's `seed` field).
+    pub seed: bool,
+    /// `--quick` or `--full` appeared (rejected for spec-file runs).
+    pub scale: bool,
+}
+
+/// A parsed `hqw` runner command line.
+#[derive(Debug, Clone)]
+pub enum HqwCommand {
+    /// `hqw list [--json]` — print the experiment registry.
+    List {
+        /// Emit the machine-readable JSON manifest instead of a table.
+        json: bool,
+    },
+    /// `hqw run <name|spec.json> [flags]` — run one experiment.
+    Run {
+        /// Registry name, or a path ending in `.json` to a spec file.
+        target: String,
+        /// The standard experiment flags.
+        options: Options,
+        /// Which flags the user gave explicitly.
+        given: GivenFlags,
+    },
+}
+
+impl HqwCommand {
+    /// Parses an explicit argument list (testable core of the `hqw` main).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for a missing/unknown subcommand or
+    /// malformed flags; the binary prints it with [`HQW_USAGE`] and exits
+    /// with status 2 — never a panic.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<HqwCommand, String> {
+        let mut args = args.into_iter();
+        match args.next().as_deref() {
+            None => Err("missing command (expected 'list' or 'run')".to_string()),
+            Some("list") => {
+                let mut json = false;
+                for arg in args {
+                    match arg.as_str() {
+                        "--json" => json = true,
+                        other => return Err(format!("unknown list flag '{other}'")),
+                    }
+                }
+                Ok(HqwCommand::List { json })
+            }
+            Some("run") => {
+                let target = args
+                    .next()
+                    .ok_or("run needs an experiment name or spec file")?;
+                if target.starts_with('-') {
+                    return Err(format!(
+                        "run needs an experiment name or spec file before flags, got '{target}'"
+                    ));
+                }
+                let rest: Vec<String> = args.collect();
+                let given = GivenFlags {
+                    threads: rest.iter().any(|a| a == "--threads"),
+                    seed: rest.iter().any(|a| a == "--seed"),
+                    scale: rest.iter().any(|a| a == "--quick" || a == "--full"),
+                };
+                let options = Options::parse(rest)?;
+                Ok(HqwCommand::Run {
+                    target,
+                    options,
+                    given,
+                })
+            }
+            Some(other) => Err(format!("unknown command '{other}'")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +326,80 @@ mod tests {
         assert_eq!(parse_err(&["--nope"]), "unknown flag '--nope'");
         // A valid prefix doesn't rescue a later bad flag.
         assert_eq!(parse_err(&["--quick", "--oops"]), "unknown flag '--oops'");
+    }
+
+    fn hqw_ok(list: &[&str]) -> HqwCommand {
+        HqwCommand::parse(args(list)).expect("command should parse")
+    }
+
+    fn hqw_err(list: &[&str]) -> String {
+        HqwCommand::parse(args(list)).expect_err("command should be rejected")
+    }
+
+    #[test]
+    fn hqw_list_parses_with_and_without_json() {
+        assert!(matches!(
+            hqw_ok(&["list"]),
+            HqwCommand::List { json: false }
+        ));
+        assert!(matches!(
+            hqw_ok(&["list", "--json"]),
+            HqwCommand::List { json: true }
+        ));
+        assert_eq!(hqw_err(&["list", "--oops"]), "unknown list flag '--oops'");
+    }
+
+    #[test]
+    fn hqw_run_parses_target_and_tracks_explicit_flags() {
+        match hqw_ok(&["run", "ber", "--quick", "--threads", "2"]) {
+            HqwCommand::Run {
+                target,
+                options,
+                given,
+            } => {
+                assert_eq!(target, "ber");
+                assert_eq!(options.scale_name, "quick");
+                assert_eq!(options.threads, 2);
+                assert_eq!(
+                    given,
+                    GivenFlags {
+                        threads: true,
+                        seed: false,
+                        scale: true,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match hqw_ok(&["run", "specs/my.json", "--seed", "3"]) {
+            HqwCommand::Run { target, given, .. } => {
+                assert_eq!(target, "specs/my.json");
+                assert_eq!(
+                    given,
+                    GivenFlags {
+                        threads: false,
+                        seed: true,
+                        scale: false,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hqw_malformed_commands_are_reported_not_panicked() {
+        assert_eq!(hqw_err(&[]), "missing command (expected 'list' or 'run')");
+        assert_eq!(hqw_err(&["frob"]), "unknown command 'frob'");
+        assert_eq!(
+            hqw_err(&["run"]),
+            "run needs an experiment name or spec file"
+        );
+        assert!(hqw_err(&["run", "--quick"]).contains("before flags"));
+        // Flag errors surface through the shared Options parser.
+        assert_eq!(
+            hqw_err(&["run", "ber", "--threads", "many"]),
+            "--threads needs an unsigned integer, got 'many'"
+        );
     }
 }

@@ -1,18 +1,27 @@
 //! # hqw-bench — benchmark harness
 //!
-//! Two kinds of targets:
+//! Three kinds of targets:
 //!
+//! * **The `hqw` runner** (`src/bin/hqw.rs`): the unified entry point —
+//!   `hqw list` prints the experiment [`registry`], `hqw run <name>` runs a
+//!   registered preset at `--quick`/`--full`/standard scale, and
+//!   `hqw run spec.json` runs a declarative
+//!   [`hqw_core::spec::ExperimentSpec`] document.
 //! * **Figure-regeneration binaries** (`src/bin/`): one per figure/claim in
-//!   the paper's evaluation; each prints the series the paper plots and
-//!   writes CSV under `results/`. Run e.g.
-//!   `cargo run -p hqw-bench --release --bin fig8 -- --quick`.
+//!   the paper's evaluation, each a thin shim over the registry (so
+//!   `fig-ber --quick` and `hqw run ber --quick` emit byte-identical
+//!   output). Run e.g. `cargo run -p hqw-bench --release --bin fig8 -- --quick`.
 //! * **Kernel benches** (`benches/`): std-only micro/meso benchmarks of the
 //!   hot kernels (sweep kernels before/after the incremental-field rework,
 //!   parallel reads, annealer engines) with a JSON trajectory emitter — see
 //!   the crate README for the output format.
 //!
-//! Shared CLI conventions live in [`cli`].
+//! Shared CLI conventions live in [`cli`]; experiment wiring lives in
+//! [`runs`] (grid experiments) and [`legacy`] (canned figures).
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod legacy;
+pub mod registry;
+pub mod runs;

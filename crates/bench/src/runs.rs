@@ -1,0 +1,302 @@
+//! Runners for the three headline grid experiments (`ber`, `stream`,
+//! `fabric`): the preset configurations each scale maps to, the shared
+//! detector roster / backend mixes, and the execution + emission wiring.
+//!
+//! This module is the single home of what used to be hand-wired per binary:
+//! `fig-ber`, `fig-stream` and `fig-fabric` are thin shims over
+//! [`crate::registry`], which routes here, and the `hqw` runner drives the
+//! same functions — so `hqw run ber --quick` and `fig-ber --quick` emit
+//! byte-identical output by construction (CI pins it with `cmp`).
+
+use crate::cli::Options;
+use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
+use hqw_anneal::DWaveProfile;
+use hqw_core::fabric::{
+    run_fabric_grid, AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig,
+    NetworkModel, SaPoolConfig,
+};
+use hqw_core::protocol::Protocol;
+use hqw_core::scenario::{run_ber_sweep, HybridDetector, ScenarioDetector, SnrSweepConfig};
+use hqw_core::solver::{HybridConfig, HybridSolver};
+use hqw_core::stages::GreedyInitializer;
+use hqw_core::stream::{run_stream_grid, CostModel, DispatchPolicy, StreamGridConfig};
+use hqw_phy::channel::{snr_db_to_noise_variance, ChannelModel, TrackConfig};
+use hqw_phy::detect::{Fcsd, KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
+use hqw_phy::modulation::Modulation;
+use hqw_qubo::sa::SaParams;
+use std::sync::Arc;
+
+/// Operating SNR of the streaming/fabric uplinks (dB).
+const SNR_DB: f64 = 14.0;
+
+// ---------------------------------------------------------------------------
+// Presets: scale name → grid configuration
+// ---------------------------------------------------------------------------
+
+/// The `ber` preset at a given scale (`"quick"`, `"full"`, or standard).
+pub fn ber_config(scale_name: &str, seed: u64, threads: usize) -> SnrSweepConfig {
+    let (modulation, n_users, snr_db, realizations) = match scale_name {
+        "quick" => (Modulation::Qpsk, 3, vec![0.0, 8.0, 16.0, 24.0], 4),
+        "full" => (
+            Modulation::Qam16,
+            4,
+            (0..=10).map(|i| 3.0 * i as f64).collect(),
+            50,
+        ),
+        _ => (
+            Modulation::Qpsk,
+            4,
+            (0..=6).map(|i| 4.0 * i as f64).collect(),
+            20,
+        ),
+    };
+    SnrSweepConfig {
+        n_users,
+        n_rx: n_users,
+        modulation,
+        channel: ChannelModel::UnitGainRandomPhase,
+        snr_db,
+        realizations,
+        seed,
+        threads,
+    }
+}
+
+/// The `stream` preset at a given scale.
+pub fn stream_config(scale_name: &str, seed: u64, threads: usize) -> StreamGridConfig {
+    let (frames, rhos, arrival_periods_us) = match scale_name {
+        "quick" => (64, vec![0.0, 0.5, 0.95], vec![400.0, 160.0, 90.0]),
+        "full" => (
+            1024,
+            vec![0.0, 0.5, 0.9, 0.99],
+            vec![400.0, 250.0, 160.0, 120.0, 90.0, 60.0],
+        ),
+        _ => (
+            256,
+            vec![0.0, 0.5, 0.9, 0.99],
+            vec![400.0, 200.0, 120.0, 80.0],
+        ),
+    };
+    let n_users = 3;
+    StreamGridConfig {
+        track: TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: Modulation::Qpsk,
+            rho: 0.0, // per-cell override
+            noise_variance: snr_db_to_noise_variance(SNR_DB, n_users),
+        },
+        frames,
+        arrival_periods_us,
+        rhos,
+        policies: DispatchPolicy::ALL.to_vec(),
+        deadline_us: 300.0,
+        cost: CostModel::default(),
+        sa: SaParams {
+            sweeps: 96,
+            num_reads: 1,
+            threads: 1,
+            ..SaParams::default()
+        },
+        seed,
+        threads,
+    }
+}
+
+/// The pool compositions swept as the `fabric` backend-mix axis. The two
+/// mock-QPU mixes differ only in `max_batch`, which is what the
+/// batched-vs-unbatched latency invariant in `ci/check_bench.py` compares.
+pub fn fabric_mixes() -> Vec<BackendMix> {
+    let sa_pool = BackendSpec::SaPool(SaPoolConfig {
+        workers: 2,
+        max_batch: 4,
+        sa: SaParams {
+            sweeps: 48,
+            num_reads: 2,
+            threads: 1,
+            ..SaParams::default()
+        },
+    });
+    let annealer = AnnealerConfig {
+        num_reads: 2,
+        anneal_us: 2.0,
+        sweeps_per_us: 8,
+        capacity: 1,
+        max_batch: 4,
+    };
+    let qpu = |max_batch: usize| {
+        BackendSpec::MockQpu(MockQpuConfig {
+            num_reads: 4,
+            anneal_us: 2.0,
+            sweeps_per_us: 8,
+            trotter_slices: 8,
+            max_batch,
+            network: NetworkModel {
+                rtt_base_us: 30.0,
+                jitter_us: 10.0,
+            },
+            programming_us: 120.0,
+            embed_derive_us_per_qubit: 2.0,
+            chain_strength: 2.0,
+        })
+    };
+    vec![
+        BackendMix {
+            name: "sa-pool".into(),
+            backends: vec![sa_pool],
+        },
+        BackendMix {
+            name: "hetero".into(),
+            backends: vec![
+                sa_pool,
+                BackendSpec::Pimc(annealer),
+                BackendSpec::Svmc(annealer),
+                qpu(4),
+            ],
+        },
+        BackendMix {
+            name: "qpu-batched".into(),
+            backends: vec![qpu(8)],
+        },
+        BackendMix {
+            name: "qpu-unbatched".into(),
+            backends: vec![qpu(1)],
+        },
+    ]
+}
+
+/// The `fabric` preset at a given scale.
+pub fn fabric_config(scale_name: &str, seed: u64, threads: usize) -> FabricGridConfig {
+    let (frames_per_cell, cell_counts, arrival_periods_us) = match scale_name {
+        "quick" => (24, vec![2, 4], vec![400.0, 200.0, 120.0]),
+        "full" => (
+            256,
+            vec![1, 2, 4, 8],
+            vec![600.0, 400.0, 250.0, 160.0, 100.0],
+        ),
+        _ => (64, vec![1, 2, 4], vec![400.0, 200.0, 120.0]),
+    };
+    let n_users = 2;
+    FabricGridConfig {
+        track: TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: Modulation::Qpsk,
+            rho: 0.9,
+            noise_variance: snr_db_to_noise_variance(SNR_DB, n_users),
+        },
+        frames_per_cell,
+        cell_counts,
+        arrival_periods_us,
+        mixes: fabric_mixes(),
+        deadline_us: 700.0,
+        cost: CostModel::default(),
+        seed,
+        threads,
+    }
+}
+
+/// The full `ber` detector roster: ≥ 3 families, two of them
+/// QUBO/anneal-backed.
+pub fn roster(seed: u64) -> Vec<ScenarioDetector> {
+    let sa_params = SaParams {
+        sweeps: 96,
+        num_reads: 24,
+        threads: 1, // the grid is the parallel level; keep reads serial
+        ..Default::default()
+    };
+    let sampler = QuantumSampler::new(
+        DWaveProfile::calibrated(),
+        SamplerConfig {
+            num_reads: 16,
+            engine: EngineKind::Pimc { trotter_slices: 8 },
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let hybrid = HybridSolver::new(
+        sampler,
+        HybridConfig {
+            protocol: Protocol::paper_ra(0.65),
+            initializer: Box::new(GreedyInitializer::default()),
+        },
+    );
+    vec![
+        ScenarioDetector::fixed(false, ZeroForcing),
+        ScenarioDetector::noise_matched("MMSE", false, |nv| Arc::new(Mmse::new(nv))),
+        ScenarioDetector::fixed(false, SphereDecoder::with_budget(100_000)),
+        ScenarioDetector::fixed(false, KBest::new(8)),
+        ScenarioDetector::fixed(false, Fcsd::new(1)),
+        ScenarioDetector::fixed(true, QuboDetector::with_params(sa_params, seed)),
+        ScenarioDetector::fixed(true, HybridDetector::new(hybrid, seed)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Execution + emission
+// ---------------------------------------------------------------------------
+
+/// Runs a BER sweep over the standard roster and emits table + CSV + JSON.
+pub fn run_ber(config: &SnrSweepConfig, opts: &Options) {
+    opts.banner(
+        "BER sweep",
+        "end-to-end BER/SER-vs-SNR across every detector family",
+    );
+    println!(
+        "{} users, {}, {} SNR points x {} realizations, threads={} (0 = all cores)",
+        config.n_users,
+        config.modulation.name(),
+        config.snr_db.len(),
+        config.realizations,
+        config.threads
+    );
+    println!();
+    let detectors = roster(config.seed);
+    let report = run_ber_sweep(config, &detectors);
+    opts.emit_report(&report, "fig_ber.csv", "BENCH_ber.json");
+}
+
+/// Runs a streaming grid sweep and emits table + CSV + JSON.
+pub fn run_stream(config: &StreamGridConfig, opts: &Options) {
+    opts.banner(
+        "Stream sweep",
+        "deadline-aware streaming detection over a time-correlated channel",
+    );
+    println!(
+        "{} users QPSK at {SNR_DB} dB, {} frames/cell, deadline {} us, \
+         {} policies x {} rho x {} loads, threads={} (0 = all cores)",
+        config.track.n_users,
+        config.frames,
+        config.deadline_us,
+        config.policies.len(),
+        config.rhos.len(),
+        config.arrival_periods_us.len(),
+        config.threads
+    );
+    println!();
+    let classical = Mmse::new(config.track.noise_variance);
+    let report = run_stream_grid(config, &classical);
+    opts.emit_report(&report, "fig_stream.csv", "BENCH_stream.json");
+}
+
+/// Runs a fabric grid sweep and emits table + CSV + JSON.
+pub fn run_fabric(config: &FabricGridConfig, opts: &Options) {
+    opts.banner(
+        "Fabric sweep",
+        "multi-cell streaming detection over a shared multi-backend solver pool",
+    );
+    println!(
+        "{} users QPSK at {SNR_DB} dB per cell, {} frames/cell, deadline {} us, \
+         {} mixes x {} cell-counts x {} loads, threads={} (0 = all cores)",
+        config.track.n_users,
+        config.frames_per_cell,
+        config.deadline_us,
+        config.mixes.len(),
+        config.cell_counts.len(),
+        config.arrival_periods_us.len(),
+        config.threads
+    );
+    println!();
+    let report = run_fabric_grid(config);
+    opts.emit_report(&report, "fig_fabric.csv", "BENCH_fabric.json");
+}

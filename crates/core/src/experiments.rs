@@ -29,7 +29,7 @@ use hqw_qubo::exact::exhaustive_minimum;
 use hqw_qubo::preprocess::preprocess;
 
 /// Experiment scale knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Instances per experimental point.
     pub instances: usize,

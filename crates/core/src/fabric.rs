@@ -34,6 +34,7 @@
 
 use crate::pipeline::item_seed;
 use crate::scenario::json_num;
+use crate::spec::SpecError;
 use crate::stream::CostModel;
 use hqw_anneal::engine::FreezeOut;
 use hqw_anneal::{
@@ -139,12 +140,21 @@ fn natural_to_gray_decision(
     }
 }
 
+/// The one constructor-side validation shim every backend shares: panics
+/// with the validator's message (the assert-style contract backend
+/// constructors keep; spec-driven paths use the `Result` validators).
+fn expect_valid(result: Result<(), String>) {
+    if let Err(e) = result {
+        panic!("{e}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // SA worker pool
 // ---------------------------------------------------------------------------
 
 /// Configuration of the [`SaPoolBackend`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaPoolConfig {
     /// Worker slots (parallel capacity).
     pub workers: usize,
@@ -152,6 +162,22 @@ pub struct SaPoolConfig {
     pub max_batch: usize,
     /// SA schedule per job (`num_reads` reads per job).
     pub sa: SaParams,
+}
+
+impl SaPoolConfig {
+    /// Validates the pool configuration.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("SaPoolConfig: need >= 1 worker".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("SaPoolConfig: need max_batch >= 1".to_string());
+        }
+        self.sa.validate()
+    }
 }
 
 /// A pool of classical SA workers: the cheapest, always-available rung of
@@ -170,9 +196,7 @@ impl SaPoolBackend {
     /// # Panics
     /// Panics on zero workers/batch or invalid SA parameters.
     pub fn new(config: SaPoolConfig) -> Self {
-        assert!(config.workers > 0, "SaPoolBackend: need >= 1 worker");
-        assert!(config.max_batch > 0, "SaPoolBackend: need max_batch >= 1");
-        config.sa.validate();
+        expect_valid(config.validate());
         SaPoolBackend { config }
     }
 }
@@ -235,7 +259,7 @@ impl SolverBackend for SaPoolBackend {
 
 /// Shared configuration of the [`PimcBackend`] and [`SvmcBackend`] annealer
 /// simulators.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnealerConfig {
     /// Reads per job.
     pub num_reads: usize,
@@ -275,15 +299,27 @@ fn annealer_sampler(engine: EngineKind, num_reads: usize, sweeps_per_us: usize) 
 }
 
 impl AnnealerConfig {
-    fn validate(&self) {
-        assert!(self.num_reads > 0, "AnnealerConfig: need >= 1 read");
-        assert!(
-            self.anneal_us > 0.0,
-            "AnnealerConfig: anneal_us must be > 0"
-        );
-        assert!(self.sweeps_per_us > 0, "AnnealerConfig: sweeps_per_us > 0");
-        assert!(self.capacity > 0, "AnnealerConfig: capacity must be > 0");
-        assert!(self.max_batch > 0, "AnnealerConfig: max_batch must be > 0");
+    /// Validates the annealer-simulator configuration.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_reads == 0 {
+            return Err("AnnealerConfig: need >= 1 read".to_string());
+        }
+        if !(self.anneal_us > 0.0 && self.anneal_us.is_finite()) {
+            return Err("AnnealerConfig: anneal_us must be > 0".to_string());
+        }
+        if self.sweeps_per_us == 0 {
+            return Err("AnnealerConfig: sweeps_per_us > 0".to_string());
+        }
+        if self.capacity == 0 {
+            return Err("AnnealerConfig: capacity must be > 0".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("AnnealerConfig: max_batch must be > 0".to_string());
+        }
+        Ok(())
     }
 
     fn sweeps_per_job(&self) -> u64 {
@@ -331,7 +367,7 @@ macro_rules! annealer_backend {
             /// # Panics
             /// Panics on invalid configuration.
             pub fn new(config: AnnealerConfig) -> Self {
-                config.validate();
+                expect_valid(config.validate());
                 $name {
                     config,
                     sampler: config.sampler($engine),
@@ -401,7 +437,7 @@ annealer_backend!(
 
 /// Deterministic network model between the cells and a centralized QPU:
 /// a base round-trip time plus per-job jitter drawn from the job's seed.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
     /// Base round-trip time (µs).
     pub rtt_base_us: f64,
@@ -435,7 +471,7 @@ impl NetworkModel {
 }
 
 /// Configuration of the [`MockQpuBackend`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MockQpuConfig {
     /// Reads per job.
     pub num_reads: usize,
@@ -457,6 +493,40 @@ pub struct MockQpuConfig {
     pub embed_derive_us_per_qubit: f64,
     /// Chain strength relative to the logical problem's largest coefficient.
     pub chain_strength: f64,
+}
+
+impl MockQpuConfig {
+    /// Validates the mock-QPU configuration.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_reads == 0 {
+            return Err("MockQpuConfig: need >= 1 read".to_string());
+        }
+        if !(self.anneal_us > 0.0 && self.anneal_us.is_finite()) {
+            return Err("MockQpuConfig: anneal_us > 0".to_string());
+        }
+        if self.sweeps_per_us == 0 {
+            return Err("MockQpuConfig: sweeps_per_us must be > 0".to_string());
+        }
+        if self.trotter_slices < 2 {
+            return Err("MockQpuConfig: need >= 2 Trotter slices".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("MockQpuConfig: max_batch >= 1".to_string());
+        }
+        if !(self.network.rtt_base_us >= 0.0 && self.network.jitter_us >= 0.0) {
+            return Err("MockQpuConfig: negative network cost".to_string());
+        }
+        if !(self.programming_us >= 0.0 && self.embed_derive_us_per_qubit >= 0.0) {
+            return Err("MockQpuConfig: negative overhead".to_string());
+        }
+        if !(self.chain_strength > 0.0 && self.chain_strength.is_finite()) {
+            return Err("MockQpuConfig: chain_strength must be > 0".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// The centralized quantum processor: a [`QuantumSampler`] front end driving
@@ -481,13 +551,7 @@ impl MockQpuBackend {
     /// # Panics
     /// Panics on invalid configuration.
     pub fn new(config: MockQpuConfig) -> Self {
-        assert!(config.num_reads > 0, "MockQpuBackend: need >= 1 read");
-        assert!(config.anneal_us > 0.0, "MockQpuBackend: anneal_us > 0");
-        assert!(config.max_batch > 0, "MockQpuBackend: max_batch >= 1");
-        assert!(
-            config.programming_us >= 0.0 && config.embed_derive_us_per_qubit >= 0.0,
-            "MockQpuBackend: negative overhead"
-        );
+        expect_valid(config.validate());
         let sampler = annealer_sampler(
             EngineKind::Pimc {
                 trotter_slices: config.trotter_slices,
@@ -598,7 +662,7 @@ impl SolverBackend for MockQpuBackend {
 /// A buildable description of one backend — what the grid fans out, so each
 /// grid point constructs its own (stateful) backends and stays deterministic
 /// at any thread count.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BackendSpec {
     /// Classical SA worker pool.
     SaPool(SaPoolConfig),
@@ -623,11 +687,23 @@ impl BackendSpec {
             BackendSpec::MockQpu(c) => Box::new(MockQpuBackend::new(c)),
         }
     }
+
+    /// Validates the wrapped backend configuration without building it.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            BackendSpec::SaPool(c) => c.validate(),
+            BackendSpec::Pimc(c) | BackendSpec::Svmc(c) => c.validate(),
+            BackendSpec::MockQpu(c) => c.validate(),
+        }
+    }
 }
 
 /// A named pool composition — one value of the fabric grid's backend-mix
 /// axis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackendMix {
     /// Stable machine-readable name (used in fabric reports).
     pub name: String,
@@ -640,7 +716,7 @@ pub struct BackendMix {
 // ---------------------------------------------------------------------------
 
 /// Configuration of one fabric simulation (one grid point).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Channel process shared by every cell (per-cell seeds differ).
     pub track: TrackConfig,
@@ -659,6 +735,56 @@ pub struct FabricConfig {
     pub backends: Vec<BackendSpec>,
     /// Simulation seed; cell tracks and job seeds derive from it.
     pub seed: u64,
+}
+
+impl FabricConfig {
+    /// Validates the simulation configuration (including its track and
+    /// every backend in the pool).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "FabricConfig";
+        if self.n_cells == 0 {
+            return Err(SpecError::new(ctx, "need at least one cell"));
+        }
+        if self.frames_per_cell == 0 {
+            return Err(SpecError::new(ctx, "need at least one frame per cell"));
+        }
+        if !(self.arrival_period_us > 0.0 && self.arrival_period_us.is_finite()) {
+            return Err(SpecError::new(ctx, "arrival period must be > 0"));
+        }
+        if !(self.deadline_us >= 0.0 && self.deadline_us.is_finite()) {
+            return Err(SpecError::new(
+                ctx,
+                "deadline must be >= 0 (0 = everything falls back)",
+            ));
+        }
+        if self.backends.is_empty() {
+            return Err(SpecError::new(ctx, "empty backend pool"));
+        }
+        self.track
+            .validate()
+            .map_err(|msg| SpecError::new(ctx, msg))?;
+        crate::stream::validate_cost(&self.cost).map_err(|msg| SpecError::new(ctx, msg))?;
+        for backend in &self.backends {
+            backend.validate().map_err(|msg| SpecError::new(ctx, msg))?;
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate
+    /// [`FabricConfig::validate`] errors instead.
+    ///
+    /// # Panics
+    /// Panics with the [`FabricConfig::validate`] message on any invalid
+    /// field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
 }
 
 /// Per-backend slice of a [`FabricReport`].
@@ -984,17 +1110,10 @@ impl FabricScheduler {
 ///
 /// # Panics
 /// Panics on zero cells/frames, a non-positive arrival period, a negative
-/// deadline, an empty backend pool, or invalid backend parameters.
+/// deadline, an empty backend pool, or invalid backend parameters (see
+/// [`FabricConfig::validate`] for the non-panicking check).
 pub fn run_fabric(config: &FabricConfig) -> FabricReport {
-    assert!(config.n_cells > 0, "run_fabric: need at least one cell");
-    assert!(
-        config.frames_per_cell > 0,
-        "run_fabric: need at least one frame per cell"
-    );
-    assert!(
-        config.arrival_period_us > 0.0,
-        "run_fabric: arrival period must be > 0"
-    );
+    config.validate_or_panic();
 
     let jobs = generate_jobs(config);
     let classical = Mmse::new(config.track.noise_variance);
@@ -1100,7 +1219,7 @@ pub fn run_fabric(config: &FabricConfig) -> FabricReport {
 // ---------------------------------------------------------------------------
 
 /// Configuration of a full (backend-mix × cells × load) fabric sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricGridConfig {
     /// Channel process shared by every cell.
     pub track: TrackConfig,
@@ -1123,6 +1242,153 @@ pub struct FabricGridConfig {
     /// Worker threads for the point fan-out (0 = all available cores).
     /// Results are bit-identical for any value.
     pub threads: usize,
+}
+
+impl FabricGridConfig {
+    /// Starts a builder with default deadline (700 µs) and cost model; the
+    /// load axis and mix axis must be set before `build()`.
+    pub fn builder(track: TrackConfig) -> FabricGridConfigBuilder {
+        FabricGridConfigBuilder {
+            config: FabricGridConfig {
+                track,
+                frames_per_cell: 64,
+                cell_counts: vec![1],
+                arrival_periods_us: Vec::new(),
+                mixes: Vec::new(),
+                deadline_us: 700.0,
+                cost: CostModel::default(),
+                seed: 0,
+                threads: 0,
+            },
+        }
+    }
+
+    /// Validates the grid configuration (axes plus every per-point
+    /// parameter).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "FabricGridConfig";
+        if self.mixes.is_empty() {
+            return Err(SpecError::new(ctx, "empty mix axis"));
+        }
+        if self.cell_counts.is_empty() {
+            return Err(SpecError::new(ctx, "empty cells axis"));
+        }
+        if self.arrival_periods_us.is_empty() {
+            return Err(SpecError::new(ctx, "empty load axis"));
+        }
+        if let Some(bad) = self
+            .arrival_periods_us
+            .iter()
+            .find(|p| !(p.is_finite() && **p > 0.0))
+        {
+            return Err(SpecError::new(ctx, format!("arrival period {bad} not > 0")));
+        }
+        if self.cell_counts.contains(&0) {
+            return Err(SpecError::new(ctx, "cell counts must be >= 1"));
+        }
+        for mix in &self.mixes {
+            // Every point of this mix shares the remaining parameters;
+            // validate once per mix through a representative point.
+            FabricConfig {
+                track: self.track,
+                n_cells: self.cell_counts[0],
+                frames_per_cell: self.frames_per_cell,
+                arrival_period_us: self.arrival_periods_us[0],
+                deadline_us: self.deadline_us,
+                cost: self.cost,
+                backends: mix.backends.clone(),
+                seed: self.seed,
+            }
+            .validate()?;
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate
+    /// [`FabricGridConfig::validate`] errors instead.
+    ///
+    /// # Panics
+    /// Panics with the [`FabricGridConfig::validate`] message on any
+    /// invalid field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`FabricGridConfig`] — the validated construction path the
+/// spec layer and examples use (`build()` runs
+/// [`FabricGridConfig::validate`]).
+#[derive(Debug, Clone)]
+pub struct FabricGridConfigBuilder {
+    config: FabricGridConfig,
+}
+
+impl FabricGridConfigBuilder {
+    /// Sets the frames streamed per cell (default 64).
+    pub fn frames_per_cell(mut self, frames: usize) -> Self {
+        self.config.frames_per_cell = frames;
+        self
+    }
+
+    /// Sets the cell-count axis (default `[1]`).
+    pub fn cell_counts(mut self, cell_counts: Vec<usize>) -> Self {
+        self.config.cell_counts = cell_counts;
+        self
+    }
+
+    /// Sets the load axis: per-cell arrival periods in µs, **descending**
+    /// so "later in the list" means "higher offered load". Required.
+    pub fn arrival_periods_us(mut self, periods: Vec<f64>) -> Self {
+        self.config.arrival_periods_us = periods;
+        self
+    }
+
+    /// Sets the backend-mix axis. Required.
+    pub fn mixes(mut self, mixes: Vec<BackendMix>) -> Self {
+        self.config.mixes = mixes;
+        self
+    }
+
+    /// Sets the per-frame latency budget in µs (default 700).
+    pub fn deadline_us(mut self, deadline_us: f64) -> Self {
+        self.config.deadline_us = deadline_us;
+        self
+    }
+
+    /// Sets the work-counter → service-time model (default
+    /// [`CostModel::default`]).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Sets the grid seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (default 0 = all cores; results are
+    /// bit-identical for any value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`FabricGridConfig::validate`] violation.
+    pub fn build(self) -> Result<FabricGridConfig, SpecError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// A full fabric-sweep report: the config echo plus one report per grid
@@ -1152,17 +1418,10 @@ pub struct FabricGridReport {
 /// contract.
 ///
 /// # Panics
-/// Panics on an empty mix/cells/load axis or invalid point parameters.
+/// Panics on an empty mix/cells/load axis or invalid point parameters (see
+/// [`FabricGridConfig::validate`] for the non-panicking check).
 pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
-    assert!(!config.mixes.is_empty(), "run_fabric_grid: empty mix axis");
-    assert!(
-        !config.cell_counts.is_empty(),
-        "run_fabric_grid: empty cells axis"
-    );
-    assert!(
-        !config.arrival_periods_us.is_empty(),
-        "run_fabric_grid: empty load axis"
-    );
+    config.validate_or_panic();
 
     let mut points = Vec::new();
     for mix in &config.mixes {
@@ -1305,19 +1564,56 @@ impl FabricGridReport {
         s.push_str("  ]\n}\n");
         s
     }
+}
 
-    /// Writes [`FabricGridReport::to_json`] to `path`, creating parent
-    /// directories.
-    ///
-    /// # Errors
-    /// Propagates I/O failures.
-    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
+impl crate::report::Report for FabricGridReport {
+    fn name(&self) -> &'static str {
+        "fabric"
+    }
+
+    fn schema_version(&self) -> u32 {
+        1
+    }
+
+    fn to_json(&self) -> String {
+        // Delegates to the inherent renderer (the committed-bytes contract
+        // lives there).
+        FabricGridReport::to_json(self)
+    }
+
+    fn table(&self) -> crate::report::Table {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "mix",
+            "cells",
+            "period_us",
+            "ber",
+            "miss_rate",
+            "fallback",
+            "p50_us",
+            "p99_us",
+            "served_us",
+            "util_max",
+            "mean_batch",
+        ]);
+        for p in &self.points {
+            let util_max = p.backends.iter().map(|b| b.utilization).fold(0.0, f64::max);
+            let mean_batch = p.backends.iter().map(|b| b.mean_batch).fold(0.0, f64::max);
+            table.push_row(vec![
+                p.mix.clone(),
+                p.n_cells.to_string(),
+                fnum(p.arrival_period_us, 0),
+                fnum(p.ber, 5),
+                fnum(p.deadline_miss_rate, 4),
+                fnum(p.fallback_rate, 4),
+                fnum(p.p50_latency_us, 1),
+                fnum(p.p99_latency_us, 1),
+                fnum(p.mean_served_latency_us, 1),
+                fnum(util_max, 3),
+                fnum(mean_batch, 2),
+            ]);
         }
-        std::fs::write(path, self.to_json())
+        table
     }
 }
 
@@ -1327,6 +1623,9 @@ mod tests {
     use crate::stream::{run_stream, DispatchPolicy, StreamConfig};
     use hqw_phy::channel::snr_db_to_noise_variance;
     use hqw_phy::modulation::Modulation;
+
+    /// A named field mutation for the validate() rejection-path tests.
+    type Mutation<T> = (&'static str, Box<dyn Fn(&mut T)>);
 
     fn track() -> TrackConfig {
         TrackConfig {
@@ -1655,5 +1954,119 @@ mod tests {
         let mut config = fabric(1, 100.0, 100.0, hetero_pool());
         config.frames_per_cell = 0;
         run_fabric(&config);
+    }
+
+    #[test]
+    fn point_validate_rejects_each_bad_field_with_a_message() {
+        let cases: [Mutation<FabricConfig>; 7] = [
+            ("need at least one cell", Box::new(|c| c.n_cells = 0)),
+            (
+                "need at least one frame per cell",
+                Box::new(|c| c.frames_per_cell = 0),
+            ),
+            (
+                "arrival period must be > 0",
+                Box::new(|c| c.arrival_period_us = -5.0),
+            ),
+            ("deadline must be >= 0", Box::new(|c| c.deadline_us = -1.0)),
+            ("empty backend pool", Box::new(|c| c.backends.clear())),
+            (
+                "track needs at least one user",
+                Box::new(|c| c.track.n_users = 0),
+            ),
+            (
+                "SaPoolConfig: need >= 1 worker",
+                Box::new(|c| {
+                    c.backends = vec![BackendSpec::SaPool(SaPoolConfig {
+                        workers: 0,
+                        max_batch: 1,
+                        sa: SaParams::default(),
+                    })]
+                }),
+            ),
+        ];
+        for (needle, mutate) in cases {
+            let mut config = fabric(1, 100.0, 100.0, hetero_pool());
+            mutate(&mut config);
+            let err = config.validate().expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+            assert_eq!(err.context(), "FabricConfig");
+        }
+        assert_eq!(fabric(1, 100.0, 100.0, hetero_pool()).validate(), Ok(()));
+    }
+
+    #[test]
+    fn backend_spec_validate_covers_every_variant() {
+        assert_eq!(quick_sa_pool().validate(), Ok(()));
+        assert_eq!(BackendSpec::Pimc(quick_annealer()).validate(), Ok(()));
+        assert_eq!(BackendSpec::Svmc(quick_annealer()).validate(), Ok(()));
+        assert_eq!(quick_qpu(4).validate(), Ok(()));
+
+        let mut annealer = quick_annealer();
+        annealer.capacity = 0;
+        let err = BackendSpec::Pimc(annealer).validate().unwrap_err();
+        assert!(err.contains("capacity must be > 0"), "{err}");
+
+        let BackendSpec::MockQpu(mut qpu) = quick_qpu(4) else {
+            unreachable!()
+        };
+        qpu.programming_us = -1.0;
+        let err = qpu.validate().unwrap_err();
+        assert!(err.contains("negative overhead"), "{err}");
+        qpu.programming_us = 120.0;
+        qpu.trotter_slices = 1;
+        let err = qpu.validate().unwrap_err();
+        assert!(err.contains("Trotter"), "{err}");
+    }
+
+    #[test]
+    fn grid_validate_rejects_each_empty_axis_with_a_message() {
+        let cases: [Mutation<FabricGridConfig>; 4] = [
+            ("empty mix axis", Box::new(|c| c.mixes.clear())),
+            ("empty cells axis", Box::new(|c| c.cell_counts.clear())),
+            (
+                "empty load axis",
+                Box::new(|c| c.arrival_periods_us.clear()),
+            ),
+            (
+                "cell counts must be >= 1",
+                Box::new(|c| c.cell_counts = vec![0]),
+            ),
+        ];
+        for (needle, mutate) in cases {
+            let mut config = quick_grid(1);
+            mutate(&mut config);
+            let err = config.validate().expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+            assert_eq!(err.context(), "FabricGridConfig");
+        }
+        assert_eq!(quick_grid(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn grid_builder_constructs_validated_configs() {
+        let config = FabricGridConfig::builder(track())
+            .frames_per_cell(10)
+            .cell_counts(vec![1, 2])
+            .arrival_periods_us(vec![300.0, 120.0])
+            .mixes(vec![BackendMix {
+                name: "sa-pool".into(),
+                backends: vec![quick_sa_pool()],
+            }])
+            .deadline_us(600.0)
+            .cost(CostModel::default())
+            .seed(7)
+            .threads(1)
+            .build()
+            .expect("valid builder chain");
+        assert_eq!(config.frames_per_cell, 10);
+        assert_eq!(config.mixes.len(), 1);
+        assert_eq!(config.seed, 7);
+
+        let err = FabricGridConfig::builder(track())
+            .arrival_periods_us(vec![300.0])
+            .build()
+            .expect_err("missing mixes must be rejected");
+        assert!(err.to_string().contains("empty mix axis"));
     }
 }

@@ -34,7 +34,12 @@
 //!   behind a network with cached embeddings) through the batching,
 //!   deadline-aware [`fabric::FabricScheduler`].
 //! * [`experiments`] — canned runners for every figure in the evaluation.
-//! * [`report`] — table/CSV rendering for the bench binaries.
+//! * [`spec`] — the unified experiment-spec layer: declarative, versioned
+//!   [`spec::ExperimentSpec`] descriptions of every experiment, an
+//!   offline-safe JSON codec for them, and the shared [`spec::SpecError`]
+//!   validation error.
+//! * [`report`] — the unified [`report::Report`] trait (JSON/CSV/table in
+//!   one place) plus table/CSV rendering for the bench binaries.
 
 #![warn(missing_docs)]
 
@@ -49,6 +54,7 @@ pub mod protocol;
 pub mod report;
 pub mod scenario;
 pub mod solver;
+pub mod spec;
 pub mod stages;
 pub mod stream;
 pub mod sweep;
@@ -58,8 +64,10 @@ pub use fabric::{
     FabricGridReport, FabricReport, FabricScheduler, NetworkModel, SolverBackend,
 };
 pub use protocol::Protocol;
+pub use report::Report;
 pub use scenario::{run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig};
 pub use solver::{HybridConfig, HybridResult, HybridSolver};
+pub use spec::{CannedKind, CannedSpec, ExperimentSpec, SpecError, SPEC_VERSION};
 pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};
 pub use stream::{
     run_stream, run_stream_grid, CostModel, DispatchPolicy, StreamConfig, StreamGridConfig,

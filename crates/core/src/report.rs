@@ -1,11 +1,77 @@
-//! Plain-text table and CSV rendering for experiment outputs.
+//! The unified report surface and its table/CSV rendering helpers.
 //!
-//! The figure-regeneration binaries print the same series the paper plots;
-//! these helpers keep that output consistent and machine-readable (CSV files
+//! [`Report`] is the one trait every grid-style experiment report
+//! implements — `BerReport`, `StreamGridReport` and `FabricGridReport` all
+//! render through it, so JSON emission, CSV emission and the stdout table
+//! live here instead of being copy-pasted across bench binaries. The
+//! figure-regeneration binaries print the same series the paper plots;
+//! [`Table`] keeps that output consistent and machine-readable (CSV files
 //! land in `results/` so downstream plotting never re-runs experiments).
 
-use std::io::Write;
 use std::path::Path;
+
+/// The unified experiment-report surface: one trait carrying every
+/// rendering the runner needs, implemented by each grid report.
+///
+/// The committed `BENCH_*.json` documents are [`Report::to_json`] output
+/// verbatim: implementations must keep `to_json` a pure function of the
+/// report contents (byte-identical across runs and thread counts — the CI
+/// determinism gate diffs them).
+pub trait Report {
+    /// Stable machine-readable report name (`"ber"`, `"stream"`,
+    /// `"fabric"` — the JSON document's `bench` tag).
+    fn name(&self) -> &'static str;
+
+    /// Version of the report's JSON schema (documented in
+    /// `crates/bench/README.md`). Bump on any incompatible change.
+    fn schema_version(&self) -> u32;
+
+    /// Renders the full JSON document.
+    fn to_json(&self) -> String;
+
+    /// Builds the human-readable results table (also the CSV row source).
+    fn table(&self) -> Table;
+
+    /// Renders the results table with aligned columns.
+    fn render_table(&self) -> String {
+        self.table().render()
+    }
+
+    /// Renders the results table as a CSV document.
+    fn to_csv(&self) -> String {
+        self.table().to_csv_string()
+    }
+
+    /// Writes [`Report::to_json`] to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        write_creating_parents(path, &self.to_json())
+    }
+
+    /// Writes [`Report::to_csv`] to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        write_creating_parents(path, &self.to_csv())
+    }
+}
+
+/// Writes `content` to `path`, creating parent directories first (shared by
+/// every report emitter so the path convention lives in one place).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_creating_parents(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
+}
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone)]
@@ -70,16 +136,9 @@ impl Table {
         out
     }
 
-    /// Writes the table as CSV (header + rows, comma-separated, quoted only
-    /// when needed).
-    ///
-    /// # Errors
-    /// Propagates I/O failures.
-    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut file = std::fs::File::create(path)?;
+    /// Renders the table as a CSV document (header + rows, comma-separated,
+    /// quoted only when needed).
+    pub fn to_csv_string(&self) -> String {
         let quote = |cell: &str| -> String {
             if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
                 format!("\"{}\"", cell.replace('"', "\"\""))
@@ -87,23 +146,21 @@ impl Table {
                 cell.to_string()
             }
         };
-        writeln!(
-            file,
-            "{}",
-            self.header
-                .iter()
-                .map(|c| quote(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        )?;
-        for row in &self.rows {
-            writeln!(
-                file,
-                "{}",
-                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-            )?;
+        let mut out = String::new();
+        for line in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&line.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
         }
-        Ok(())
+        out
+    }
+
+    /// Writes [`Table::to_csv_string`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        write_creating_parents(path, &self.to_csv_string())
     }
 }
 

@@ -19,6 +19,7 @@
 //! diffing a 1-thread against an N-thread run.
 
 use crate::solver::HybridSolver;
+use crate::spec::SpecError;
 use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::{CMatrix, CVector, Rng64};
 use hqw_phy::channel::{add_awgn, snr_db_to_noise_variance, ChannelModel};
@@ -130,7 +131,7 @@ impl ScenarioDetector {
 }
 
 /// Configuration of a BER-vs-SNR sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnrSweepConfig {
     /// Number of transmitting users.
     pub n_users: usize,
@@ -149,6 +150,120 @@ pub struct SnrSweepConfig {
     /// Worker threads for the grid fan-out (0 = all available cores).
     /// Results are bit-identical for any value.
     pub threads: usize,
+}
+
+impl SnrSweepConfig {
+    /// Starts a builder for an `n_users × n_users` sweep (override `n_rx`
+    /// on the builder for asymmetric arrays) over the paper's unit-gain
+    /// random-phase channel.
+    pub fn builder(n_users: usize, modulation: Modulation) -> SnrSweepConfigBuilder {
+        SnrSweepConfigBuilder {
+            config: SnrSweepConfig {
+                n_users,
+                n_rx: n_users,
+                modulation,
+                channel: ChannelModel::UnitGainRandomPhase,
+                snr_db: Vec::new(),
+                realizations: 1,
+                seed: 0,
+                threads: 0,
+            },
+        }
+    }
+
+    /// Validates the sweep configuration.
+    ///
+    /// An empty `snr_db` grid is **legal** (it yields series with no
+    /// points), matching [`run_ber_sweep`]'s degenerate-input contract.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint: zero users/antennas, zero
+    /// realizations, or non-finite SNR values.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "SnrSweepConfig";
+        if self.n_users == 0 {
+            return Err(SpecError::new(ctx, "need at least one user"));
+        }
+        if self.n_rx == 0 {
+            return Err(SpecError::new(ctx, "need at least one receive antenna"));
+        }
+        if self.realizations == 0 {
+            return Err(SpecError::new(ctx, "zero realizations per point"));
+        }
+        if let Some(bad) = self.snr_db.iter().find(|v| !v.is_finite()) {
+            return Err(SpecError::new(ctx, format!("non-finite SNR value {bad}")));
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate
+    /// [`SnrSweepConfig::validate`] errors instead.
+    ///
+    /// # Panics
+    /// Panics with the [`SnrSweepConfig::validate`] message on any invalid
+    /// field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`SnrSweepConfig`] — the validated construction path the
+/// spec layer and examples use (`build()` runs
+/// [`SnrSweepConfig::validate`]).
+#[derive(Debug, Clone)]
+pub struct SnrSweepConfigBuilder {
+    config: SnrSweepConfig,
+}
+
+impl SnrSweepConfigBuilder {
+    /// Overrides the receive-antenna count (defaults to `n_users`).
+    pub fn n_rx(mut self, n_rx: usize) -> Self {
+        self.config.n_rx = n_rx;
+        self
+    }
+
+    /// Sets the channel model (default: unit-gain random phase).
+    pub fn channel(mut self, channel: ChannelModel) -> Self {
+        self.config.channel = channel;
+        self
+    }
+
+    /// Sets the SNR grid in dB.
+    pub fn snr_db(mut self, snr_db: Vec<f64>) -> Self {
+        self.config.snr_db = snr_db;
+        self
+    }
+
+    /// Sets the channel realizations per SNR point (default 1).
+    pub fn realizations(mut self, realizations: usize) -> Self {
+        self.config.realizations = realizations;
+        self
+    }
+
+    /// Sets the scenario seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (default 0 = all cores; results are
+    /// bit-identical for any value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`SnrSweepConfig::validate`] violation.
+    pub fn build(self) -> Result<SnrSweepConfig, SpecError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// One point of one detector's BER-vs-SNR curve (averages over the point's
@@ -225,12 +340,11 @@ struct CellOutcome {
 /// series with no points (both render as valid JSON).
 ///
 /// # Panics
-/// Panics on zero realizations per point (the averages would be `0/0`).
+/// Panics on an invalid configuration — most notably zero realizations per
+/// point (the averages would be `0/0`). See [`SnrSweepConfig::validate`]
+/// for the non-panicking check.
 pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) -> BerReport {
-    assert!(
-        config.realizations > 0,
-        "run_ber_sweep: zero realizations per point"
-    );
+    config.validate_or_panic();
 
     // Per-cell seeds drawn up front, in grid order — the same derivation the
     // batch solver uses, so randomness never depends on thread placement.
@@ -395,18 +509,50 @@ impl BerReport {
         s.push_str("  ]\n}\n");
         s
     }
+}
 
-    /// Writes [`BerReport::to_json`] to `path`, creating parent directories.
-    ///
-    /// # Errors
-    /// Propagates I/O failures.
-    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+impl crate::report::Report for BerReport {
+    fn name(&self) -> &'static str {
+        "ber"
+    }
+
+    fn schema_version(&self) -> u32 {
+        1
+    }
+
+    fn to_json(&self) -> String {
+        // Delegates to the inherent renderer (the committed-bytes contract
+        // lives there).
+        BerReport::to_json(self)
+    }
+
+    fn table(&self) -> crate::report::Table {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "detector",
+            "snr_db",
+            "ber",
+            "ser",
+            "bler",
+            "goodput_bpcu",
+            "avg_nodes",
+            "avg_sweeps",
+        ]);
+        for series in &self.series {
+            for p in &series.points {
+                table.push_row(vec![
+                    series.detector.clone(),
+                    fnum(p.snr_db, 1),
+                    fnum(p.ber, 5),
+                    fnum(p.ser, 5),
+                    fnum(p.bler, 5),
+                    fnum(p.goodput_bpcu, 3),
+                    fnum(p.avg_nodes_visited, 1),
+                    fnum(p.avg_sweeps, 1),
+                ]);
             }
         }
-        std::fs::write(path, self.to_json())
+        table
     }
 }
 
@@ -421,6 +567,9 @@ mod tests {
     use hqw_phy::detect::{KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
     use hqw_phy::instance::InstanceConfig;
     use hqw_qubo::sa::SaParams;
+
+    /// A named field mutation for the validate() rejection-path tests.
+    type Mutation<T> = (&'static str, Box<dyn Fn(&mut T)>);
 
     fn quick_qubo_detector() -> QuboDetector {
         QuboDetector::with_params(
@@ -622,5 +771,51 @@ mod tests {
             ..quick_config(1)
         };
         run_ber_sweep(&config, &[ScenarioDetector::fixed(false, ZeroForcing)]);
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field_with_a_message() {
+        let cases: [Mutation<SnrSweepConfig>; 4] = [
+            ("at least one user", Box::new(|c| c.n_users = 0)),
+            ("at least one receive antenna", Box::new(|c| c.n_rx = 0)),
+            (
+                "zero realizations per point",
+                Box::new(|c| c.realizations = 0),
+            ),
+            ("non-finite SNR", Box::new(|c| c.snr_db = vec![f64::NAN])),
+        ];
+        for (needle, mutate) in cases {
+            let mut config = quick_config(0);
+            mutate(&mut config);
+            let err = config.validate().expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+            assert_eq!(err.context(), "SnrSweepConfig");
+        }
+        assert_eq!(quick_config(0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_constructs_validated_configs() {
+        let config = SnrSweepConfig::builder(3, Modulation::Qpsk)
+            .snr_db(vec![4.0, 16.0])
+            .realizations(5)
+            .seed(11)
+            .threads(2)
+            .channel(ChannelModel::RayleighIid)
+            .n_rx(4)
+            .build()
+            .expect("valid builder chain");
+        assert_eq!(config.n_users, 3);
+        assert_eq!(config.n_rx, 4);
+        assert_eq!(config.channel, ChannelModel::RayleighIid);
+        assert_eq!(config.realizations, 5);
+        assert_eq!(config.seed, 11);
+        assert_eq!(config.threads, 2);
+
+        let err = SnrSweepConfig::builder(3, Modulation::Qpsk)
+            .realizations(0)
+            .build()
+            .expect_err("zero realizations must be rejected");
+        assert!(err.to_string().contains("zero realizations"));
     }
 }

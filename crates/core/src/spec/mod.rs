@@ -1,0 +1,1098 @@
+//! The unified experiment-spec layer: one declarative description of every
+//! experiment the workspace can run.
+//!
+//! The paper's Challenge 3 argues for *composable* hybrid computation
+//! structures; on the evaluation side that means scenario composition must
+//! be **data**, not new binaries. This module is that data layer:
+//!
+//! * [`ExperimentSpec`] — a typed, versioned description of one experiment:
+//!   a BER-vs-SNR sweep ([`SnrSweepConfig`]), a streaming-grid sweep
+//!   ([`StreamGridConfig`]), a compute-fabric sweep ([`FabricGridConfig`]),
+//!   or one of the canned figure experiments ([`CannedKind`] + a
+//!   [`Scale`]).
+//! * [`ExperimentSpec::to_json`] / [`ExperimentSpec::parse`] — a
+//!   hand-rolled, offline-safe JSON serializer/parser (the build
+//!   environment has no crates-io access) over the [`json`] document
+//!   model. `parse(serialize(spec)) == spec` is property-tested in
+//!   `tests/spec_proptests.rs`.
+//! * [`SpecError`] — the shared validation error every config's
+//!   `validate()` returns, replacing the old ad-hoc assert/panic mix
+//!   (panicking `validate_or_panic` shims remain for the engine
+//!   entry points).
+//!
+//! The `hqw` runner binary (in `hqw-bench`) consumes this layer: registry
+//! presets are `ExperimentSpec` values, and `hqw run spec.json` parses a
+//! file into one. The spec document format is versioned through
+//! [`SPEC_VERSION`] and documented in `crates/bench/README.md`.
+
+pub mod json;
+
+use crate::experiments::Scale;
+use crate::fabric::{
+    AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig, NetworkModel,
+    SaPoolConfig,
+};
+use crate::scenario::SnrSweepConfig;
+use crate::stream::{CostModel, DispatchPolicy, StreamGridConfig};
+use hqw_phy::channel::{ChannelModel, TrackConfig};
+use hqw_phy::modulation::Modulation;
+use hqw_qubo::sa::SaParams;
+use json::Json;
+
+/// Version of the spec JSON document format this build reads and writes.
+///
+/// Bump on any incompatible schema change; [`ExperimentSpec::parse`]
+/// rejects documents with a different `spec_version`.
+pub const SPEC_VERSION: u64 = 1;
+
+/// A configuration value that failed validation, or a spec document that
+/// failed to parse.
+///
+/// Carries the context (which config or spec path) and a human-readable
+/// message; [`std::fmt::Display`] renders `"{context}: {message}"`, which
+/// is also the panic payload of the deprecated `validate_or_panic` shims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    context: String,
+    message: String,
+}
+
+impl SpecError {
+    /// Creates an error for `context` (a config type or spec field path).
+    pub fn new(context: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The config type or spec path that failed.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// What was wrong with it.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The canned (fixed-shape) figure experiments: each reproduces one
+/// figure/claim of the paper at a chosen [`Scale`]. The grid-style
+/// experiments (`ber`/`stream`/`fabric`) are *not* canned — their whole
+/// configuration is spec data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CannedKind {
+    /// Figure 3: QUBO-simplification preprocessing sweep.
+    Fig3,
+    /// Figure 4 / §3.1: soft-information constraints under ICE noise.
+    Fig4SoftInfo,
+    /// Figure 5: FA/RA/FR anneal-schedule shapes.
+    Fig5Schedules,
+    /// Figure 6: ΔE% distributions for FA / RA-random / RA-GS.
+    Fig6,
+    /// Figure 7: RA performance vs initial-state quality.
+    Fig7,
+    /// Figure 8: p★ and TTS vs `s_p` for FA / RA / FR.
+    Fig8,
+    /// Headline claim: RA+GS vs FA success probability.
+    Headline,
+    /// Ablation: Chimera minor-embedding overhead.
+    AblationEmbedding,
+    /// Ablation: simulation-engine and move-set choices.
+    AblationEngine,
+    /// Ablation: Greedy Search order/variant.
+    AblationGreedy,
+    /// Ablation: anneal-pause duration.
+    AblationPause,
+    /// §5 extension: application-specific initializers.
+    ExtInitializers,
+    /// §2 extension: iterated RA and sample persistence.
+    ExtIterative,
+    /// Figure 2: the pipelined computation structure.
+    PipelineStudy,
+}
+
+impl CannedKind {
+    /// Every canned experiment, in registry order.
+    pub const ALL: [CannedKind; 14] = [
+        CannedKind::Fig3,
+        CannedKind::Fig4SoftInfo,
+        CannedKind::Fig5Schedules,
+        CannedKind::Fig6,
+        CannedKind::Fig7,
+        CannedKind::Fig8,
+        CannedKind::Headline,
+        CannedKind::AblationEmbedding,
+        CannedKind::AblationEngine,
+        CannedKind::AblationGreedy,
+        CannedKind::AblationPause,
+        CannedKind::ExtInitializers,
+        CannedKind::ExtIterative,
+        CannedKind::PipelineStudy,
+    ];
+
+    /// Stable machine-readable name (the registry key and spec tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            CannedKind::Fig3 => "fig3",
+            CannedKind::Fig4SoftInfo => "fig4-softinfo",
+            CannedKind::Fig5Schedules => "fig5-schedules",
+            CannedKind::Fig6 => "fig6",
+            CannedKind::Fig7 => "fig7",
+            CannedKind::Fig8 => "fig8",
+            CannedKind::Headline => "headline",
+            CannedKind::AblationEmbedding => "ablation-embedding",
+            CannedKind::AblationEngine => "ablation-engine",
+            CannedKind::AblationGreedy => "ablation-greedy",
+            CannedKind::AblationPause => "ablation-pause",
+            CannedKind::ExtInitializers => "ext-initializers",
+            CannedKind::ExtIterative => "ext-iterative",
+            CannedKind::PipelineStudy => "pipeline-study",
+        }
+    }
+
+    /// Parses a [`CannedKind::name`] back (`None` for unknown names).
+    pub fn from_name(name: &str) -> Option<CannedKind> {
+        CannedKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A canned experiment instance: which figure, at what scale, which seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CannedSpec {
+    /// Which canned experiment.
+    pub experiment: CannedKind,
+    /// Scale knobs (instances, reads, harvest reads, grid thinning).
+    pub scale: Scale,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CannedSpec {
+    /// Validates the scale knobs.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "CannedSpec";
+        if self.scale.instances == 0 {
+            return Err(SpecError::new(ctx, "scale.instances must be > 0"));
+        }
+        if self.scale.reads == 0 {
+            return Err(SpecError::new(ctx, "scale.reads must be > 0"));
+        }
+        if self.scale.harvest_reads == 0 {
+            return Err(SpecError::new(ctx, "scale.harvest_reads must be > 0"));
+        }
+        if self.scale.grid_thin == 0 {
+            return Err(SpecError::new(ctx, "scale.grid_thin must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A complete, declarative description of one experiment — the unit the
+/// registry stores, the `hqw` runner executes and spec JSON files encode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentSpec {
+    /// BER-vs-SNR scenario sweep over the standard detector roster.
+    Ber(SnrSweepConfig),
+    /// Streaming (policy × ρ × load) grid sweep.
+    Stream(StreamGridConfig),
+    /// Compute-fabric (mix × cells × load) grid sweep.
+    Fabric(FabricGridConfig),
+    /// One of the canned figure experiments.
+    Canned(CannedSpec),
+}
+
+impl ExperimentSpec {
+    /// The experiment family tag (`"ber"`, `"stream"`, `"fabric"`, or the
+    /// canned experiment's name) — the `experiment` field of the JSON
+    /// document and the registry key.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ExperimentSpec::Ber(_) => "ber",
+            ExperimentSpec::Stream(_) => "stream",
+            ExperimentSpec::Fabric(_) => "fabric",
+            ExperimentSpec::Canned(c) => c.experiment.name(),
+        }
+    }
+
+    /// The spec's RNG seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            ExperimentSpec::Ber(c) => c.seed,
+            ExperimentSpec::Stream(c) => c.seed,
+            ExperimentSpec::Fabric(c) => c.seed,
+            ExperimentSpec::Canned(c) => c.seed,
+        }
+    }
+
+    /// Overrides the worker-thread count (a no-op for canned experiments,
+    /// which have no parallel grid). Threads are a pure throughput knob:
+    /// results are bit-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        match self {
+            ExperimentSpec::Ber(c) => c.threads = threads,
+            ExperimentSpec::Stream(c) => c.threads = threads,
+            ExperimentSpec::Fabric(c) => c.threads = threads,
+            ExperimentSpec::Canned(_) => {}
+        }
+    }
+
+    /// Overrides the RNG seed (the `hqw` runner applies an explicit
+    /// `--seed` to spec-file runs through this).
+    pub fn set_seed(&mut self, seed: u64) {
+        match self {
+            ExperimentSpec::Ber(c) => c.seed = seed,
+            ExperimentSpec::Stream(c) => c.seed = seed,
+            ExperimentSpec::Fabric(c) => c.seed = seed,
+            ExperimentSpec::Canned(c) => c.seed = seed,
+        }
+    }
+
+    /// Validates the wrapped configuration.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self {
+            ExperimentSpec::Ber(c) => c.validate(),
+            ExperimentSpec::Stream(c) => c.validate(),
+            ExperimentSpec::Fabric(c) => c.validate(),
+            ExperimentSpec::Canned(c) => c.validate(),
+        }
+    }
+
+    /// Serializes the spec as a versioned JSON document (2-space pretty
+    /// format, trailing newline). [`ExperimentSpec::parse`] reads it back
+    /// exactly: `parse(to_json(spec)) == spec`.
+    pub fn to_json(&self) -> String {
+        let config = match self {
+            ExperimentSpec::Ber(c) => ber_json(c),
+            ExperimentSpec::Stream(c) => stream_json(c),
+            ExperimentSpec::Fabric(c) => fabric_json(c),
+            ExperimentSpec::Canned(c) => canned_json(c),
+        };
+        obj(vec![
+            ("spec_version", Json::UInt(SPEC_VERSION)),
+            ("experiment", Json::Str(self.family().to_string())),
+            ("config", config),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses and validates a spec JSON document.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] on JSON syntax errors, unknown
+    /// `experiment`/field names, a wrong `spec_version`, missing or
+    /// mistyped fields, or a configuration that fails `validate()`.
+    pub fn parse(text: &str) -> Result<ExperimentSpec, SpecError> {
+        let doc = Json::parse(text).map_err(|e| SpecError::new("spec", e.to_string()))?;
+        let ctx = "spec";
+        check_keys(&doc, &["spec_version", "experiment", "config"], ctx)?;
+        let version = req_u64(&doc, "spec_version", ctx)?;
+        if version != SPEC_VERSION {
+            return Err(SpecError::new(
+                ctx,
+                format!("unsupported spec_version {version} (this build reads {SPEC_VERSION})"),
+            ));
+        }
+        let experiment = req_str(&doc, "experiment", ctx)?.to_string();
+        let config = req(&doc, "config", ctx)?;
+        let spec = match experiment.as_str() {
+            "ber" => ExperimentSpec::Ber(parse_ber(config)?),
+            "stream" => ExperimentSpec::Stream(parse_stream(config)?),
+            "fabric" => ExperimentSpec::Fabric(parse_fabric(config)?),
+            other => match CannedKind::from_name(other) {
+                Some(kind) => ExperimentSpec::Canned(parse_canned(kind, config)?),
+                None => {
+                    return Err(SpecError::new(ctx, format!("unknown experiment '{other}'")));
+                }
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (struct → Json)
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn uint(v: usize) -> Json {
+    Json::UInt(v as u64)
+}
+
+fn num(v: f64) -> Json {
+    Json::Float(v)
+}
+
+fn f64_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| num(v)).collect())
+}
+
+fn usize_arr(values: &[usize]) -> Json {
+    Json::Arr(values.iter().map(|&v| uint(v)).collect())
+}
+
+fn ber_json(c: &SnrSweepConfig) -> Json {
+    obj(vec![
+        ("n_users", uint(c.n_users)),
+        ("n_rx", uint(c.n_rx)),
+        ("modulation", Json::Str(c.modulation.name().to_string())),
+        ("channel", Json::Str(c.channel.name().to_string())),
+        ("snr_db", f64_arr(&c.snr_db)),
+        ("realizations", uint(c.realizations)),
+        ("seed", Json::UInt(c.seed)),
+        ("threads", uint(c.threads)),
+    ])
+}
+
+fn track_json(t: &TrackConfig) -> Json {
+    obj(vec![
+        ("n_users", uint(t.n_users)),
+        ("n_rx", uint(t.n_rx)),
+        ("modulation", Json::Str(t.modulation.name().to_string())),
+        ("rho", num(t.rho)),
+        ("noise_variance", num(t.noise_variance)),
+    ])
+}
+
+fn cost_json(c: &CostModel) -> Json {
+    obj(vec![
+        ("base_us", num(c.base_us)),
+        ("us_per_node", num(c.us_per_node)),
+        ("us_per_sweep", num(c.us_per_sweep)),
+    ])
+}
+
+fn sa_json(s: &SaParams) -> Json {
+    obj(vec![
+        ("beta_initial", num(s.beta_initial)),
+        ("beta_final", num(s.beta_final)),
+        ("sweeps", uint(s.sweeps)),
+        ("num_reads", uint(s.num_reads)),
+        ("threads", uint(s.threads)),
+    ])
+}
+
+fn stream_json(c: &StreamGridConfig) -> Json {
+    obj(vec![
+        ("track", track_json(&c.track)),
+        ("frames", uint(c.frames)),
+        ("arrival_periods_us", f64_arr(&c.arrival_periods_us)),
+        ("rhos", f64_arr(&c.rhos)),
+        (
+            "policies",
+            Json::Arr(
+                c.policies
+                    .iter()
+                    .map(|p| Json::Str(p.name().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("deadline_us", num(c.deadline_us)),
+        ("cost", cost_json(&c.cost)),
+        ("sa", sa_json(&c.sa)),
+        ("seed", Json::UInt(c.seed)),
+        ("threads", uint(c.threads)),
+    ])
+}
+
+fn annealer_fields(c: &AnnealerConfig) -> Vec<(&'static str, Json)> {
+    vec![
+        ("num_reads", uint(c.num_reads)),
+        ("anneal_us", num(c.anneal_us)),
+        ("sweeps_per_us", uint(c.sweeps_per_us)),
+        ("capacity", uint(c.capacity)),
+        ("max_batch", uint(c.max_batch)),
+    ]
+}
+
+fn backend_json(b: &BackendSpec) -> Json {
+    match b {
+        BackendSpec::SaPool(c) => obj(vec![
+            ("backend", Json::Str("sa-pool".to_string())),
+            ("workers", uint(c.workers)),
+            ("max_batch", uint(c.max_batch)),
+            ("sa", sa_json(&c.sa)),
+        ]),
+        BackendSpec::Pimc(c) => {
+            let mut fields = vec![("backend", Json::Str("pimc".to_string()))];
+            fields.extend(annealer_fields(c));
+            obj(fields)
+        }
+        BackendSpec::Svmc(c) => {
+            let mut fields = vec![("backend", Json::Str("svmc".to_string()))];
+            fields.extend(annealer_fields(c));
+            obj(fields)
+        }
+        BackendSpec::MockQpu(c) => obj(vec![
+            ("backend", Json::Str("mock-qpu".to_string())),
+            ("num_reads", uint(c.num_reads)),
+            ("anneal_us", num(c.anneal_us)),
+            ("sweeps_per_us", uint(c.sweeps_per_us)),
+            ("trotter_slices", uint(c.trotter_slices)),
+            ("max_batch", uint(c.max_batch)),
+            (
+                "network",
+                obj(vec![
+                    ("rtt_base_us", num(c.network.rtt_base_us)),
+                    ("jitter_us", num(c.network.jitter_us)),
+                ]),
+            ),
+            ("programming_us", num(c.programming_us)),
+            (
+                "embed_derive_us_per_qubit",
+                num(c.embed_derive_us_per_qubit),
+            ),
+            ("chain_strength", num(c.chain_strength)),
+        ]),
+    }
+}
+
+fn fabric_json(c: &FabricGridConfig) -> Json {
+    obj(vec![
+        ("track", track_json(&c.track)),
+        ("frames_per_cell", uint(c.frames_per_cell)),
+        ("cell_counts", usize_arr(&c.cell_counts)),
+        ("arrival_periods_us", f64_arr(&c.arrival_periods_us)),
+        (
+            "mixes",
+            Json::Arr(
+                c.mixes
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("name", Json::Str(m.name.clone())),
+                            (
+                                "backends",
+                                Json::Arr(m.backends.iter().map(backend_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("deadline_us", num(c.deadline_us)),
+        ("cost", cost_json(&c.cost)),
+        ("seed", Json::UInt(c.seed)),
+        ("threads", uint(c.threads)),
+    ])
+}
+
+fn canned_json(c: &CannedSpec) -> Json {
+    obj(vec![
+        (
+            "scale",
+            obj(vec![
+                ("instances", uint(c.scale.instances)),
+                ("reads", uint(c.scale.reads)),
+                ("harvest_reads", uint(c.scale.harvest_reads)),
+                ("grid_thin", uint(c.scale.grid_thin)),
+            ]),
+        ),
+        ("seed", Json::UInt(c.seed)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (Json → struct)
+// ---------------------------------------------------------------------------
+
+fn req<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
+    match o {
+        Json::Obj(_) => o
+            .get(key)
+            .ok_or_else(|| SpecError::new(ctx, format!("missing field \"{key}\""))),
+        _ => Err(SpecError::new(ctx, "expected an object")),
+    }
+}
+
+/// Rejects unknown object keys — the typo guard for hand-written specs.
+fn check_keys(o: &Json, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+    match o {
+        Json::Obj(fields) => {
+            for (key, _) in fields {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(SpecError::new(
+                        ctx,
+                        format!("unknown field \"{key}\" (expected one of: {})", {
+                            allowed.join(", ")
+                        }),
+                    ));
+                }
+            }
+            Ok(())
+        }
+        _ => Err(SpecError::new(ctx, "expected an object")),
+    }
+}
+
+fn req_u64(o: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
+    req(o, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be an unsigned integer")))
+}
+
+fn req_usize(o: &Json, key: &str, ctx: &str) -> Result<usize, SpecError> {
+    usize::try_from(req_u64(o, key, ctx)?)
+        .map_err(|_| SpecError::new(ctx, format!("field \"{key}\" overflows usize")))
+}
+
+fn req_f64(o: &Json, key: &str, ctx: &str) -> Result<f64, SpecError> {
+    req(o, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be a number")))
+}
+
+fn req_str<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a str, SpecError> {
+    req(o, key, ctx)?
+        .as_str()
+        .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be a string")))
+}
+
+fn req_f64_arr(o: &Json, key: &str, ctx: &str) -> Result<Vec<f64>, SpecError> {
+    req(o, key, ctx)?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_f64().ok_or_else(|| {
+                SpecError::new(ctx, format!("field \"{key}\" must contain only numbers"))
+            })
+        })
+        .collect()
+}
+
+fn req_usize_arr(o: &Json, key: &str, ctx: &str) -> Result<Vec<usize>, SpecError> {
+    req(o, key, ctx)?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|u| usize::try_from(u).ok())
+                .ok_or_else(|| {
+                    SpecError::new(
+                        ctx,
+                        format!("field \"{key}\" must contain only unsigned integers"),
+                    )
+                })
+        })
+        .collect()
+}
+
+fn parse_modulation(name: &str, ctx: &str) -> Result<Modulation, SpecError> {
+    Modulation::from_name(name)
+        .ok_or_else(|| SpecError::new(ctx, format!("unknown modulation '{name}'")))
+}
+
+fn parse_ber(config: &Json) -> Result<SnrSweepConfig, SpecError> {
+    let ctx = "spec.config (ber)";
+    check_keys(
+        config,
+        &[
+            "n_users",
+            "n_rx",
+            "modulation",
+            "channel",
+            "snr_db",
+            "realizations",
+            "seed",
+            "threads",
+        ],
+        ctx,
+    )?;
+    let channel_name = req_str(config, "channel", ctx)?;
+    Ok(SnrSweepConfig {
+        n_users: req_usize(config, "n_users", ctx)?,
+        n_rx: req_usize(config, "n_rx", ctx)?,
+        modulation: parse_modulation(req_str(config, "modulation", ctx)?, ctx)?,
+        channel: ChannelModel::from_name(channel_name)
+            .ok_or_else(|| SpecError::new(ctx, format!("unknown channel '{channel_name}'")))?,
+        snr_db: req_f64_arr(config, "snr_db", ctx)?,
+        realizations: req_usize(config, "realizations", ctx)?,
+        seed: req_u64(config, "seed", ctx)?,
+        threads: req_usize(config, "threads", ctx)?,
+    })
+}
+
+fn parse_track(o: &Json, ctx: &str) -> Result<TrackConfig, SpecError> {
+    let track = req(o, "track", ctx)?;
+    let ctx = &format!("{ctx}.track");
+    check_keys(
+        track,
+        &["n_users", "n_rx", "modulation", "rho", "noise_variance"],
+        ctx,
+    )?;
+    Ok(TrackConfig {
+        n_users: req_usize(track, "n_users", ctx)?,
+        n_rx: req_usize(track, "n_rx", ctx)?,
+        modulation: parse_modulation(req_str(track, "modulation", ctx)?, ctx)?,
+        rho: req_f64(track, "rho", ctx)?,
+        noise_variance: req_f64(track, "noise_variance", ctx)?,
+    })
+}
+
+fn parse_cost(o: &Json, ctx: &str) -> Result<CostModel, SpecError> {
+    let cost = req(o, "cost", ctx)?;
+    let ctx = &format!("{ctx}.cost");
+    check_keys(cost, &["base_us", "us_per_node", "us_per_sweep"], ctx)?;
+    Ok(CostModel {
+        base_us: req_f64(cost, "base_us", ctx)?,
+        us_per_node: req_f64(cost, "us_per_node", ctx)?,
+        us_per_sweep: req_f64(cost, "us_per_sweep", ctx)?,
+    })
+}
+
+fn parse_sa(o: &Json, ctx: &str) -> Result<SaParams, SpecError> {
+    let sa = req(o, "sa", ctx)?;
+    let ctx = &format!("{ctx}.sa");
+    check_keys(
+        sa,
+        &[
+            "beta_initial",
+            "beta_final",
+            "sweeps",
+            "num_reads",
+            "threads",
+        ],
+        ctx,
+    )?;
+    Ok(SaParams {
+        beta_initial: req_f64(sa, "beta_initial", ctx)?,
+        beta_final: req_f64(sa, "beta_final", ctx)?,
+        sweeps: req_usize(sa, "sweeps", ctx)?,
+        num_reads: req_usize(sa, "num_reads", ctx)?,
+        threads: req_usize(sa, "threads", ctx)?,
+    })
+}
+
+fn parse_stream(config: &Json) -> Result<StreamGridConfig, SpecError> {
+    let ctx = "spec.config (stream)";
+    check_keys(
+        config,
+        &[
+            "track",
+            "frames",
+            "arrival_periods_us",
+            "rhos",
+            "policies",
+            "deadline_us",
+            "cost",
+            "sa",
+            "seed",
+            "threads",
+        ],
+        ctx,
+    )?;
+    let policies = req(config, "policies", ctx)?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(ctx, "field \"policies\" must be an array"))?
+        .iter()
+        .map(|v| {
+            let name = v
+                .as_str()
+                .ok_or_else(|| SpecError::new(ctx, "policies must be strings"))?;
+            DispatchPolicy::from_name(name)
+                .ok_or_else(|| SpecError::new(ctx, format!("unknown policy '{name}'")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StreamGridConfig {
+        track: parse_track(config, ctx)?,
+        frames: req_usize(config, "frames", ctx)?,
+        arrival_periods_us: req_f64_arr(config, "arrival_periods_us", ctx)?,
+        rhos: req_f64_arr(config, "rhos", ctx)?,
+        policies,
+        deadline_us: req_f64(config, "deadline_us", ctx)?,
+        cost: parse_cost(config, ctx)?,
+        sa: parse_sa(config, ctx)?,
+        seed: req_u64(config, "seed", ctx)?,
+        threads: req_usize(config, "threads", ctx)?,
+    })
+}
+
+fn parse_annealer(o: &Json, ctx: &str) -> Result<AnnealerConfig, SpecError> {
+    Ok(AnnealerConfig {
+        num_reads: req_usize(o, "num_reads", ctx)?,
+        anneal_us: req_f64(o, "anneal_us", ctx)?,
+        sweeps_per_us: req_usize(o, "sweeps_per_us", ctx)?,
+        capacity: req_usize(o, "capacity", ctx)?,
+        max_batch: req_usize(o, "max_batch", ctx)?,
+    })
+}
+
+fn parse_backend(o: &Json, ctx: &str) -> Result<BackendSpec, SpecError> {
+    let kind = req_str(o, "backend", ctx)?;
+    const ANNEALER_KEYS: &[&str] = &[
+        "backend",
+        "num_reads",
+        "anneal_us",
+        "sweeps_per_us",
+        "capacity",
+        "max_batch",
+    ];
+    match kind {
+        "sa-pool" => {
+            check_keys(o, &["backend", "workers", "max_batch", "sa"], ctx)?;
+            Ok(BackendSpec::SaPool(SaPoolConfig {
+                workers: req_usize(o, "workers", ctx)?,
+                max_batch: req_usize(o, "max_batch", ctx)?,
+                sa: parse_sa(o, ctx)?,
+            }))
+        }
+        "pimc" => {
+            check_keys(o, ANNEALER_KEYS, ctx)?;
+            Ok(BackendSpec::Pimc(parse_annealer(o, ctx)?))
+        }
+        "svmc" => {
+            check_keys(o, ANNEALER_KEYS, ctx)?;
+            Ok(BackendSpec::Svmc(parse_annealer(o, ctx)?))
+        }
+        "mock-qpu" => {
+            check_keys(
+                o,
+                &[
+                    "backend",
+                    "num_reads",
+                    "anneal_us",
+                    "sweeps_per_us",
+                    "trotter_slices",
+                    "max_batch",
+                    "network",
+                    "programming_us",
+                    "embed_derive_us_per_qubit",
+                    "chain_strength",
+                ],
+                ctx,
+            )?;
+            let network = req(o, "network", ctx)?;
+            let net_ctx = &format!("{ctx}.network");
+            check_keys(network, &["rtt_base_us", "jitter_us"], net_ctx)?;
+            Ok(BackendSpec::MockQpu(MockQpuConfig {
+                num_reads: req_usize(o, "num_reads", ctx)?,
+                anneal_us: req_f64(o, "anneal_us", ctx)?,
+                sweeps_per_us: req_usize(o, "sweeps_per_us", ctx)?,
+                trotter_slices: req_usize(o, "trotter_slices", ctx)?,
+                max_batch: req_usize(o, "max_batch", ctx)?,
+                network: NetworkModel {
+                    rtt_base_us: req_f64(network, "rtt_base_us", net_ctx)?,
+                    jitter_us: req_f64(network, "jitter_us", net_ctx)?,
+                },
+                programming_us: req_f64(o, "programming_us", ctx)?,
+                embed_derive_us_per_qubit: req_f64(o, "embed_derive_us_per_qubit", ctx)?,
+                chain_strength: req_f64(o, "chain_strength", ctx)?,
+            }))
+        }
+        other => Err(SpecError::new(ctx, format!("unknown backend '{other}'"))),
+    }
+}
+
+fn parse_fabric(config: &Json) -> Result<FabricGridConfig, SpecError> {
+    let ctx = "spec.config (fabric)";
+    check_keys(
+        config,
+        &[
+            "track",
+            "frames_per_cell",
+            "cell_counts",
+            "arrival_periods_us",
+            "mixes",
+            "deadline_us",
+            "cost",
+            "seed",
+            "threads",
+        ],
+        ctx,
+    )?;
+    let mixes = req(config, "mixes", ctx)?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(ctx, "field \"mixes\" must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mix_ctx = &format!("{ctx}.mixes[{i}]");
+            check_keys(m, &["name", "backends"], mix_ctx)?;
+            let backends = req(m, "backends", mix_ctx)?
+                .as_arr()
+                .ok_or_else(|| SpecError::new(mix_ctx, "field \"backends\" must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(j, b)| parse_backend(b, &format!("{mix_ctx}.backends[{j}]")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BackendMix {
+                name: req_str(m, "name", mix_ctx)?.to_string(),
+                backends,
+            })
+        })
+        .collect::<Result<Vec<_>, SpecError>>()?;
+    Ok(FabricGridConfig {
+        track: parse_track(config, ctx)?,
+        frames_per_cell: req_usize(config, "frames_per_cell", ctx)?,
+        cell_counts: req_usize_arr(config, "cell_counts", ctx)?,
+        arrival_periods_us: req_f64_arr(config, "arrival_periods_us", ctx)?,
+        mixes,
+        deadline_us: req_f64(config, "deadline_us", ctx)?,
+        cost: parse_cost(config, ctx)?,
+        seed: req_u64(config, "seed", ctx)?,
+        threads: req_usize(config, "threads", ctx)?,
+    })
+}
+
+fn parse_canned(kind: CannedKind, config: &Json) -> Result<CannedSpec, SpecError> {
+    let ctx = &format!("spec.config ({})", kind.name());
+    check_keys(config, &["scale", "seed"], ctx)?;
+    let scale = req(config, "scale", ctx)?;
+    let scale_ctx = &format!("{ctx}.scale");
+    check_keys(
+        scale,
+        &["instances", "reads", "harvest_reads", "grid_thin"],
+        scale_ctx,
+    )?;
+    Ok(CannedSpec {
+        experiment: kind,
+        scale: Scale {
+            instances: req_usize(scale, "instances", scale_ctx)?,
+            reads: req_usize(scale, "reads", scale_ctx)?,
+            harvest_reads: req_usize(scale, "harvest_reads", scale_ctx)?,
+            grid_thin: req_usize(scale, "grid_thin", scale_ctx)?,
+        },
+        seed: req_u64(config, "seed", ctx)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ber_spec() -> ExperimentSpec {
+        ExperimentSpec::Ber(SnrSweepConfig {
+            n_users: 3,
+            n_rx: 3,
+            modulation: Modulation::Qpsk,
+            channel: ChannelModel::UnitGainRandomPhase,
+            snr_db: vec![0.0, 8.0, 16.5],
+            realizations: 4,
+            seed: u64::MAX - 12345,
+            threads: 0,
+        })
+    }
+
+    fn stream_spec() -> ExperimentSpec {
+        ExperimentSpec::Stream(StreamGridConfig {
+            track: TrackConfig {
+                n_users: 3,
+                n_rx: 3,
+                modulation: Modulation::Qpsk,
+                rho: 0.0,
+                noise_variance: 0.119,
+            },
+            frames: 64,
+            arrival_periods_us: vec![400.0, 160.0],
+            rhos: vec![0.0, 0.95],
+            policies: DispatchPolicy::ALL.to_vec(),
+            deadline_us: 300.0,
+            cost: CostModel::default(),
+            sa: SaParams {
+                sweeps: 96,
+                num_reads: 1,
+                threads: 1,
+                ..SaParams::default()
+            },
+            seed: 2026,
+            threads: 0,
+        })
+    }
+
+    fn fabric_spec() -> ExperimentSpec {
+        ExperimentSpec::Fabric(FabricGridConfig {
+            track: TrackConfig {
+                n_users: 2,
+                n_rx: 2,
+                modulation: Modulation::Qpsk,
+                rho: 0.9,
+                noise_variance: 0.079,
+            },
+            frames_per_cell: 24,
+            cell_counts: vec![2, 4],
+            arrival_periods_us: vec![400.0, 200.0],
+            mixes: vec![
+                BackendMix {
+                    name: "sa-pool".into(),
+                    backends: vec![BackendSpec::SaPool(SaPoolConfig {
+                        workers: 2,
+                        max_batch: 4,
+                        sa: SaParams {
+                            sweeps: 48,
+                            num_reads: 2,
+                            threads: 1,
+                            ..SaParams::default()
+                        },
+                    })],
+                },
+                BackendMix {
+                    name: "hetero".into(),
+                    backends: vec![
+                        BackendSpec::Pimc(AnnealerConfig {
+                            num_reads: 2,
+                            anneal_us: 2.0,
+                            sweeps_per_us: 8,
+                            capacity: 1,
+                            max_batch: 4,
+                        }),
+                        BackendSpec::Svmc(AnnealerConfig {
+                            num_reads: 2,
+                            anneal_us: 2.0,
+                            sweeps_per_us: 8,
+                            capacity: 1,
+                            max_batch: 4,
+                        }),
+                        BackendSpec::MockQpu(MockQpuConfig {
+                            num_reads: 4,
+                            anneal_us: 2.0,
+                            sweeps_per_us: 8,
+                            trotter_slices: 8,
+                            max_batch: 4,
+                            network: NetworkModel {
+                                rtt_base_us: 30.0,
+                                jitter_us: 10.0,
+                            },
+                            programming_us: 120.0,
+                            embed_derive_us_per_qubit: 2.0,
+                            chain_strength: 2.0,
+                        }),
+                    ],
+                },
+            ],
+            deadline_us: 700.0,
+            cost: CostModel::default(),
+            seed: 2026,
+            threads: 0,
+        })
+    }
+
+    fn canned_spec() -> ExperimentSpec {
+        ExperimentSpec::Canned(CannedSpec {
+            experiment: CannedKind::Fig3,
+            scale: Scale::quick(),
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn every_family_round_trips_exactly() {
+        for spec in [ber_spec(), stream_spec(), fabric_spec(), canned_spec()] {
+            let text = spec.to_json();
+            let parsed = ExperimentSpec::parse(&text).expect(&text);
+            assert_eq!(parsed, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn family_names_and_seeds_are_exposed() {
+        assert_eq!(ber_spec().family(), "ber");
+        assert_eq!(stream_spec().family(), "stream");
+        assert_eq!(fabric_spec().family(), "fabric");
+        assert_eq!(canned_spec().family(), "fig3");
+        assert_eq!(canned_spec().seed(), 7);
+        let mut spec = ber_spec();
+        spec.set_threads(3);
+        match spec {
+            ExperimentSpec::Ber(c) => assert_eq!(c.threads, 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn canned_kind_names_round_trip() {
+        for kind in CannedKind::ALL {
+            assert_eq!(CannedKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CannedKind::from_name("fig9"), None);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_experiment_and_version() {
+        let err =
+            ExperimentSpec::parse(r#"{"spec_version": 1, "experiment": "nope", "config": {}}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("unknown experiment 'nope'"));
+
+        let err =
+            ExperimentSpec::parse(r#"{"spec_version": 99, "experiment": "ber", "config": {}}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("unsupported spec_version 99"));
+    }
+
+    #[test]
+    fn parse_rejects_syntax_missing_fields_and_typos() {
+        let err = ExperimentSpec::parse("{not json").unwrap_err();
+        assert!(err.to_string().contains("JSON error"));
+
+        let err = ExperimentSpec::parse(r#"{"experiment": "ber", "config": {}}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field \"spec_version\""));
+
+        // A typo'd config key is caught by name.
+        let mut doc = ber_spec().to_json();
+        doc = doc.replace("\"realizations\"", "\"realisations\"");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown field \"realisations\""));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_configs_via_validate() {
+        let mut doc = ber_spec().to_json();
+        doc = doc.replace("\"realizations\": 4", "\"realizations\": 0");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("zero realizations"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_enum_values() {
+        let mut doc = ber_spec().to_json();
+        doc = doc.replace("\"QPSK\"", "\"QAM-4096\"");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown modulation 'QAM-4096'"));
+
+        let mut doc = stream_spec().to_json();
+        doc = doc.replace("\"always-hybrid\"", "\"sometimes-hybrid\"");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("unknown policy 'sometimes-hybrid'"));
+
+        let mut doc = fabric_spec().to_json();
+        doc = doc.replace("\"backend\": \"pimc\"", "\"backend\": \"qpu2000\"");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown backend 'qpu2000'"));
+    }
+
+    #[test]
+    fn spec_error_accessors_and_display_agree() {
+        let err = SpecError::new("StreamConfig", "need at least one frame");
+        assert_eq!(err.context(), "StreamConfig");
+        assert_eq!(err.message(), "need at least one frame");
+        assert_eq!(err.to_string(), "StreamConfig: need at least one frame");
+    }
+}

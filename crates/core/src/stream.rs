@@ -34,6 +34,7 @@
 
 use crate::pipeline::item_seed;
 use crate::scenario::json_num;
+use crate::spec::SpecError;
 use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::stats::percentile_sorted;
 use hqw_math::Rng64;
@@ -73,6 +74,12 @@ impl DispatchPolicy {
             DispatchPolicy::DeadlineAware => "deadline-aware",
         }
     }
+
+    /// Parses a [`DispatchPolicy::name`] back (`None` for unknown names) —
+    /// the experiment-spec layer's inverse of `name`.
+    pub fn from_name(name: &str) -> Option<DispatchPolicy> {
+        DispatchPolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// Deterministic per-operation cost model: maps a detector's algorithmic
@@ -83,7 +90,7 @@ impl DispatchPolicy {
 /// initializer latency models, so the virtual clock never reads a wall
 /// clock and stream reports stay bit-identical across machines and thread
 /// counts.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Fixed per-frame overhead (filtering, reduction, readout) in µs.
     pub base_us: f64,
@@ -119,7 +126,7 @@ impl CostModel {
 }
 
 /// Configuration of one streaming cell.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// The Gauss–Markov channel process frames are drawn from.
     pub track: TrackConfig,
@@ -139,6 +146,67 @@ pub struct StreamConfig {
     pub sa: SaParams,
     /// Cell seed; the track and every per-frame solver stream derive from it.
     pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Validates the cell configuration (including its track and SA
+    /// parameters).
+    ///
+    /// A deadline of exactly 0 is **legal**: every frame then misses it,
+    /// and the deadline-aware policy downgrades everything to the classical
+    /// arm.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "StreamConfig";
+        if self.frames == 0 {
+            return Err(SpecError::new(ctx, "need at least one frame"));
+        }
+        if !(self.arrival_period_us > 0.0 && self.arrival_period_us.is_finite()) {
+            return Err(SpecError::new(ctx, "arrival period must be > 0"));
+        }
+        if !(self.deadline_us >= 0.0 && self.deadline_us.is_finite()) {
+            return Err(SpecError::new(
+                ctx,
+                "deadline must be >= 0 (a zero budget downgrades every deadline-aware frame)",
+            ));
+        }
+        self.track
+            .validate()
+            .map_err(|msg| SpecError::new(ctx, msg))?;
+        self.sa.validate().map_err(|msg| SpecError::new(ctx, msg))?;
+        validate_cost(&self.cost).map_err(|msg| SpecError::new(ctx, msg))?;
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate
+    /// [`StreamConfig::validate`] errors instead.
+    ///
+    /// # Panics
+    /// Panics with the [`StreamConfig::validate`] message on any invalid
+    /// field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Shared cost-model sanity check (no context prefix — callers add their
+/// own): all rates finite and non-negative.
+pub(crate) fn validate_cost(cost: &CostModel) -> Result<(), String> {
+    for (name, v) in [
+        ("base_us", cost.base_us),
+        ("us_per_node", cost.us_per_node),
+        ("us_per_sweep", cost.us_per_sweep),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("cost.{name} must be finite and >= 0, got {v}"));
+        }
+    }
+    Ok(())
 }
 
 /// Aggregate report of one streaming cell.
@@ -198,20 +266,12 @@ pub struct StreamReport {
 ///
 /// # Panics
 /// Panics on zero frames, a non-positive arrival period, a negative
-/// deadline, or invalid SA/track parameters. A deadline of exactly 0 is
-/// accepted: every frame then misses it, and the deadline-aware policy
-/// downgrades everything to the classical arm.
+/// deadline, or invalid SA/track parameters (see
+/// [`StreamConfig::validate`] for the non-panicking check). A deadline of
+/// exactly 0 is accepted: every frame then misses it, and the
+/// deadline-aware policy downgrades everything to the classical arm.
 pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamReport {
-    assert!(config.frames > 0, "run_stream: need at least one frame");
-    assert!(
-        config.arrival_period_us > 0.0,
-        "run_stream: arrival period must be > 0"
-    );
-    assert!(
-        config.deadline_us >= 0.0,
-        "run_stream: deadline must be >= 0 (a zero budget downgrades every deadline-aware frame)"
-    );
-    config.sa.validate();
+    config.validate_or_panic();
 
     let mut track = ChannelTrack::new(config.track, config.seed);
     let single_read = SaParams {
@@ -354,7 +414,7 @@ pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamRepo
 }
 
 /// Configuration of a full (load × ρ × policy) stream sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamGridConfig {
     /// Base track; each cell overrides `rho` from [`StreamGridConfig::rhos`].
     pub track: TrackConfig,
@@ -379,6 +439,162 @@ pub struct StreamGridConfig {
     /// Worker threads for the cell fan-out (0 = all available cores).
     /// Results are bit-identical for any value.
     pub threads: usize,
+}
+
+impl StreamGridConfig {
+    /// Starts a builder with the standard policy roster
+    /// ([`DispatchPolicy::ALL`]), default cost model and SA schedule; the
+    /// load axis must be set before `build()`.
+    pub fn builder(track: TrackConfig) -> StreamGridConfigBuilder {
+        StreamGridConfigBuilder {
+            config: StreamGridConfig {
+                track,
+                frames: 64,
+                arrival_periods_us: Vec::new(),
+                rhos: vec![0.0],
+                policies: DispatchPolicy::ALL.to_vec(),
+                deadline_us: 300.0,
+                cost: CostModel::default(),
+                sa: SaParams::default(),
+                seed: 0,
+                threads: 0,
+            },
+        }
+    }
+
+    /// Validates the grid configuration (axes plus every per-cell
+    /// parameter).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ctx = "StreamGridConfig";
+        if self.arrival_periods_us.is_empty() {
+            return Err(SpecError::new(ctx, "empty load axis"));
+        }
+        if self.rhos.is_empty() {
+            return Err(SpecError::new(ctx, "empty rho axis"));
+        }
+        if self.policies.is_empty() {
+            return Err(SpecError::new(ctx, "empty policy axis"));
+        }
+        if let Some(bad) = self.rhos.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+            return Err(SpecError::new(ctx, format!("rho {bad} outside [0, 1]")));
+        }
+        // Every cell shares the remaining parameters; validate them once
+        // through a representative cell.
+        StreamConfig {
+            track: TrackConfig {
+                rho: self.rhos[0],
+                ..self.track
+            },
+            frames: self.frames,
+            arrival_period_us: self.arrival_periods_us[0],
+            deadline_us: self.deadline_us,
+            policy: self.policies[0],
+            cost: self.cost,
+            sa: self.sa,
+            seed: self.seed,
+        }
+        .validate()?;
+        if let Some(bad) = self
+            .arrival_periods_us
+            .iter()
+            .find(|p| !(p.is_finite() && **p > 0.0))
+        {
+            return Err(SpecError::new(ctx, format!("arrival period {bad} not > 0")));
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate
+    /// [`StreamGridConfig::validate`] errors instead.
+    ///
+    /// # Panics
+    /// Panics with the [`StreamGridConfig::validate`] message on any
+    /// invalid field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`StreamGridConfig`] — the validated construction path the
+/// spec layer and examples use (`build()` runs
+/// [`StreamGridConfig::validate`]).
+#[derive(Debug, Clone)]
+pub struct StreamGridConfigBuilder {
+    config: StreamGridConfig,
+}
+
+impl StreamGridConfigBuilder {
+    /// Sets the frames streamed per cell (default 64).
+    pub fn frames(mut self, frames: usize) -> Self {
+        self.config.frames = frames;
+        self
+    }
+
+    /// Sets the load axis: arrival periods in µs, **descending** so "later
+    /// in the list" means "higher offered load". Required.
+    pub fn arrival_periods_us(mut self, periods: Vec<f64>) -> Self {
+        self.config.arrival_periods_us = periods;
+        self
+    }
+
+    /// Sets the channel-coherence axis (default `[0.0]`).
+    pub fn rhos(mut self, rhos: Vec<f64>) -> Self {
+        self.config.rhos = rhos;
+        self
+    }
+
+    /// Sets the policy axis (default: every [`DispatchPolicy`]).
+    pub fn policies(mut self, policies: Vec<DispatchPolicy>) -> Self {
+        self.config.policies = policies;
+        self
+    }
+
+    /// Sets the per-frame latency budget in µs (default 300).
+    pub fn deadline_us(mut self, deadline_us: f64) -> Self {
+        self.config.deadline_us = deadline_us;
+        self
+    }
+
+    /// Sets the work-counter → service-time model (default
+    /// [`CostModel::default`]).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Sets the hybrid-arm SA schedule (default [`SaParams::default`]).
+    pub fn sa(mut self, sa: SaParams) -> Self {
+        self.config.sa = sa;
+        self
+    }
+
+    /// Sets the grid seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (default 0 = all cores; results are
+    /// bit-identical for any value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`StreamGridConfig::validate`] violation.
+    pub fn build(self) -> Result<StreamGridConfig, SpecError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// A full stream-sweep report: the config echo plus one report per cell, in
@@ -409,17 +625,10 @@ pub struct StreamGridReport {
 /// contract.
 ///
 /// # Panics
-/// Panics on an empty load/ρ/policy axis or invalid cell parameters.
+/// Panics on an empty load/ρ/policy axis or invalid cell parameters (see
+/// [`StreamGridConfig::validate`] for the non-panicking check).
 pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> StreamGridReport {
-    assert!(
-        !config.arrival_periods_us.is_empty(),
-        "run_stream_grid: empty load axis"
-    );
-    assert!(!config.rhos.is_empty(), "run_stream_grid: empty rho axis");
-    assert!(
-        !config.policies.is_empty(),
-        "run_stream_grid: empty policy axis"
-    );
+    config.validate_or_panic();
 
     let mut cells = Vec::new();
     for &policy in &config.policies {
@@ -519,19 +728,54 @@ impl StreamGridReport {
         s.push_str("  ]\n}\n");
         s
     }
+}
 
-    /// Writes [`StreamGridReport::to_json`] to `path`, creating parent
-    /// directories.
-    ///
-    /// # Errors
-    /// Propagates I/O failures.
-    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
+impl crate::report::Report for StreamGridReport {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn schema_version(&self) -> u32 {
+        1
+    }
+
+    fn to_json(&self) -> String {
+        // Delegates to the inherent renderer (the committed-bytes contract
+        // lives there).
+        StreamGridReport::to_json(self)
+    }
+
+    fn table(&self) -> crate::report::Table {
+        use crate::report::{fnum, Table};
+        let mut table = Table::new(&[
+            "policy",
+            "rho",
+            "period_us",
+            "ber",
+            "miss_rate",
+            "p50_us",
+            "p99_us",
+            "fr_per_ms",
+            "hybrid",
+            "cold_sweeps",
+            "warm_sweeps",
+        ]);
+        for c in &self.cells {
+            table.push_row(vec![
+                c.policy.name().to_string(),
+                fnum(c.rho, 2),
+                fnum(c.arrival_period_us, 0),
+                fnum(c.ber, 5),
+                fnum(c.deadline_miss_rate, 4),
+                fnum(c.p50_latency_us, 1),
+                fnum(c.p99_latency_us, 1),
+                fnum(c.throughput_per_ms, 3),
+                format!("{}/{}", c.hybrid_frames, c.frames),
+                fnum(c.cold_sweeps_to_solution, 2),
+                fnum(c.warm_sweeps_to_solution, 2),
+            ]);
         }
-        std::fs::write(path, self.to_json())
+        table
     }
 }
 
@@ -541,6 +785,9 @@ mod tests {
     use hqw_phy::channel::snr_db_to_noise_variance;
     use hqw_phy::detect::Mmse;
     use hqw_phy::modulation::Modulation;
+
+    /// A named field mutation for the validate() rejection-path tests.
+    type Mutation<T> = (&'static str, Box<dyn Fn(&mut T)>);
 
     fn track(rho: f64) -> TrackConfig {
         TrackConfig {
@@ -768,5 +1015,90 @@ mod tests {
         let mut config = quick_grid(1);
         config.arrival_periods_us.clear();
         run_stream_grid(&config, &mmse());
+    }
+
+    #[test]
+    fn cell_validate_rejects_each_bad_field_with_a_message() {
+        let cases: [Mutation<StreamConfig>; 6] = [
+            ("need at least one frame", Box::new(|c| c.frames = 0)),
+            (
+                "arrival period must be > 0",
+                Box::new(|c| c.arrival_period_us = 0.0),
+            ),
+            ("deadline must be >= 0", Box::new(|c| c.deadline_us = -1.0)),
+            ("rho must be in [0, 1]", Box::new(|c| c.track.rho = 1.5)),
+            (
+                "SaParams: sweeps must be > 0",
+                Box::new(|c| c.sa.sweeps = 0),
+            ),
+            (
+                "cost.base_us must be finite",
+                Box::new(|c| c.cost.base_us = f64::NAN),
+            ),
+        ];
+        for (needle, mutate) in cases {
+            let mut config = cell(DispatchPolicy::AlwaysHybrid, 0.5, 100.0);
+            mutate(&mut config);
+            let err = config.validate().expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+            assert_eq!(err.context(), "StreamConfig");
+        }
+        assert_eq!(
+            cell(DispatchPolicy::AlwaysHybrid, 0.5, 100.0).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn grid_validate_rejects_each_empty_axis_with_a_message() {
+        let cases: [Mutation<StreamGridConfig>; 4] = [
+            (
+                "empty load axis",
+                Box::new(|c| c.arrival_periods_us.clear()),
+            ),
+            ("empty rho axis", Box::new(|c| c.rhos.clear())),
+            ("empty policy axis", Box::new(|c| c.policies.clear())),
+            ("outside [0, 1]", Box::new(|c| c.rhos = vec![-0.5])),
+        ];
+        for (needle, mutate) in cases {
+            let mut config = quick_grid(1);
+            mutate(&mut config);
+            let err = config.validate().expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+            assert_eq!(err.context(), "StreamGridConfig");
+        }
+        assert_eq!(quick_grid(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn grid_builder_constructs_validated_configs() {
+        let config = StreamGridConfig::builder(track(0.0))
+            .frames(32)
+            .arrival_periods_us(vec![300.0, 90.0])
+            .rhos(vec![0.0, 0.9])
+            .policies(vec![DispatchPolicy::AlwaysHybrid])
+            .deadline_us(250.0)
+            .cost(CostModel::default())
+            .sa(quick_sa())
+            .seed(3)
+            .threads(1)
+            .build()
+            .expect("valid builder chain");
+        assert_eq!(config.frames, 32);
+        assert_eq!(config.policies, vec![DispatchPolicy::AlwaysHybrid]);
+        assert_eq!(config.seed, 3);
+
+        let err = StreamGridConfig::builder(track(0.0))
+            .build()
+            .expect_err("missing load axis must be rejected");
+        assert!(err.to_string().contains("empty load axis"));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in DispatchPolicy::ALL {
+            assert_eq!(DispatchPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(DispatchPolicy::from_name("sometimes"), None);
     }
 }

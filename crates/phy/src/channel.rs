@@ -38,6 +38,19 @@ impl ChannelModel {
         }
     }
 
+    /// Every channel model, in declaration order.
+    pub const ALL: [ChannelModel; 3] = [
+        ChannelModel::UnitGainRandomPhase,
+        ChannelModel::RayleighIid,
+        ChannelModel::Identity,
+    ];
+
+    /// Parses a [`ChannelModel::name`] back (`None` for unknown names) —
+    /// the experiment-spec layer's inverse of `name`.
+    pub fn from_name(name: &str) -> Option<ChannelModel> {
+        ChannelModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// Draws an `n_rx × n_tx` channel matrix.
     ///
     /// # Panics
@@ -88,7 +101,7 @@ pub fn add_awgn(y: &mut CVector, noise_variance: f64, rng: &mut Rng64) {
 /// every marginal `h_t` is entrywise `CN(0, 1)`, so `ρ` interpolates between
 /// fresh [`ChannelModel::RayleighIid`] draws every frame (`ρ = 0`) and a
 /// frozen channel (`ρ = 1`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrackConfig {
     /// Number of transmitting users.
     pub n_users: usize,
@@ -103,6 +116,31 @@ pub struct TrackConfig {
 }
 
 impl TrackConfig {
+    /// Validates the track parameters.
+    ///
+    /// # Errors
+    /// Returns a message (no context prefix — callers add their own) for
+    /// the first violated constraint: zero antennas/users, `ρ ∉ [0, 1]`, or
+    /// a non-finite/negative noise variance.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_users == 0 {
+            return Err("track needs at least one user".to_string());
+        }
+        if self.n_rx == 0 {
+            return Err("track needs at least one receive antenna".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.rho) {
+            return Err(format!("rho must be in [0, 1], got {}", self.rho));
+        }
+        if !self.noise_variance.is_finite() || self.noise_variance < 0.0 {
+            return Err(format!(
+                "noise variance must be finite and >= 0, got {}",
+                self.noise_variance
+            ));
+        }
+        Ok(())
+    }
+
     /// The i.i.d. equivalent of this track: the [`InstanceConfig`] whose
     /// [`DetectionInstance::generate_batch`] output a `ρ = 0` track matches
     /// draw-for-draw on a shared seed (property-tested in `tests/`).

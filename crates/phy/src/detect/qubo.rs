@@ -75,7 +75,7 @@ impl QuboDetector {
     /// # Panics
     /// Panics on invalid parameters.
     pub fn with_params(params: SaParams, seed: u64) -> Self {
-        params.validate();
+        params.validate_or_panic();
         QuboDetector { params, seed }
     }
 }

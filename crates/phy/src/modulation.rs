@@ -54,6 +54,12 @@ impl Modulation {
         }
     }
 
+    /// Parses a [`Modulation::name`] back (`None` for unknown names) — the
+    /// experiment-spec layer's inverse of `name`.
+    pub fn from_name(name: &str) -> Option<Modulation> {
+        Modulation::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// Bits per complex symbol (= QUBO variables per user, as in the paper's
     /// sizing: a 36-variable problem is 36 BPSK / 18 QPSK / 9 16-QAM / 6
     /// 64-QAM users).

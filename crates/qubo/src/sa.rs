@@ -21,7 +21,7 @@ use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::Rng64;
 
 /// Simulated-annealing parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaParams {
     /// Initial inverse temperature `β₀` (hot).
     pub beta_initial: f64,
@@ -51,20 +51,37 @@ impl Default for SaParams {
 impl SaParams {
     /// Validates parameter ranges.
     ///
+    /// # Errors
+    /// Returns a message for the first violated constraint: non-positive or
+    /// non-finite betas, `beta_final < beta_initial`, zero sweeps, or zero
+    /// reads.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.beta_initial > 0.0 && self.beta_initial.is_finite()) {
+            return Err("SaParams: beta_initial must be > 0".to_string());
+        }
+        if !(self.beta_final >= self.beta_initial && self.beta_final.is_finite()) {
+            return Err("SaParams: beta_final must be ≥ beta_initial".to_string());
+        }
+        if self.sweeps == 0 {
+            return Err("SaParams: sweeps must be > 0".to_string());
+        }
+        if self.num_reads == 0 {
+            return Err("SaParams: num_reads must be > 0".to_string());
+        }
+        Ok(())
+    }
+
+    /// Shim for callers that still want the original panicking behaviour.
+    /// Deprecated in spirit: new code should propagate [`SaParams::validate`]
+    /// errors instead (the kernel entry points keep this for their
+    /// assert-style contracts).
+    ///
     /// # Panics
-    /// Panics on non-positive betas, `beta_final < beta_initial`, zero
-    /// sweeps, or zero reads.
-    pub fn validate(&self) {
-        assert!(
-            self.beta_initial > 0.0,
-            "SaParams: beta_initial must be > 0"
-        );
-        assert!(
-            self.beta_final >= self.beta_initial,
-            "SaParams: beta_final must be ≥ beta_initial"
-        );
-        assert!(self.sweeps > 0, "SaParams: sweeps must be > 0");
-        assert!(self.num_reads > 0, "SaParams: num_reads must be > 0");
+    /// Panics with the [`SaParams::validate`] message on any invalid field.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -153,7 +170,7 @@ fn sa_read_impl(
     rng: &mut Rng64,
     mut trace: Option<&mut Vec<f64>>,
 ) -> LocalFieldState {
-    params.validate();
+    params.validate_or_panic();
     let n = csr.num_vars();
     assert_eq!(start.len(), n, "sa_read_csr: start length mismatch");
     let mut state = LocalFieldState::new(csr, start.to_vec());
@@ -232,7 +249,7 @@ pub fn sample_qubo_with_start(
     warm_start: Option<&[u8]>,
     rng: &mut Rng64,
 ) -> SampleSet {
-    params.validate();
+    params.validate_or_panic();
     let (ising, offset) = qubo.to_ising();
     let csr = CsrIsing::from_ising(&ising);
     let n = qubo.num_vars();
@@ -285,7 +302,7 @@ pub fn sample_qubo_with_start(
 /// # Panics
 /// Panics on invalid parameters.
 pub fn sample_qubo_batch(qubos: &[&Qubo], params: &SaParams, rng: &mut Rng64) -> Vec<SampleSet> {
-    params.validate();
+    params.validate_or_panic();
     // Problem-major seed draw: the exact stream positions a sequential
     // `sample_qubo` loop would consume.
     let read_seeds: Vec<(usize, u64)> = (0..qubos.len())
@@ -309,7 +326,7 @@ pub fn sample_qubo_batch_seeded(
     params: &SaParams,
     seeds: &[u64],
 ) -> Vec<SampleSet> {
-    params.validate();
+    params.validate_or_panic();
     assert_eq!(
         qubos.len(),
         seeds.len(),
@@ -385,6 +402,42 @@ mod tests {
     use super::*;
     use crate::exact::exhaustive_minimum;
     use crate::generator::{planted_qubo, random_qubo};
+
+    /// A named field mutation for the validate() rejection-path tests.
+    type Mutation<T> = (&'static str, Box<dyn Fn(&mut T)>);
+
+    #[test]
+    fn validate_rejects_each_bad_field_with_a_message() {
+        let cases: [Mutation<SaParams>; 4] = [
+            (
+                "beta_initial must be > 0",
+                Box::new(|p| p.beta_initial = 0.0),
+            ),
+            (
+                "beta_final must be ≥ beta_initial",
+                Box::new(|p| p.beta_final = 0.01),
+            ),
+            ("sweeps must be > 0", Box::new(|p| p.sweeps = 0)),
+            ("num_reads must be > 0", Box::new(|p| p.num_reads = 0)),
+        ];
+        for (needle, mutate) in cases {
+            let mut params = SaParams::default();
+            mutate(&mut params);
+            let err = params.validate().expect_err(needle);
+            assert!(err.contains(needle), "{err} missing {needle}");
+        }
+        assert_eq!(SaParams::default().validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweeps must be > 0")]
+    fn validate_or_panic_shim_keeps_the_original_behaviour() {
+        SaParams {
+            sweeps: 0,
+            ..SaParams::default()
+        }
+        .validate_or_panic();
+    }
 
     #[test]
     fn sa_finds_optimum_on_small_problems() {
@@ -667,7 +720,7 @@ mod tests {
             beta_final: 1.0,
             ..SaParams::default()
         };
-        params.validate();
+        params.validate_or_panic();
     }
 
     #[test]

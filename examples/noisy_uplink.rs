@@ -1,23 +1,101 @@
-//! Noisy-uplink scenario: classical detectors vs the hybrid under AWGN.
+//! Noisy-uplink scenario: classical detectors vs the QUBO path under AWGN,
+//! driven through the unified experiment API.
 //!
-//! The paper's evaluation is noiseless (§4.2); this example exercises the
-//! extension machinery — AWGN injection, MMSE/K-best/sphere detectors, LLR
-//! soft information — on a 4-user 16-QAM uplink across an SNR sweep, with
-//! exhaustively-certified ML ground truth per instance.
+//! The paper's evaluation is noiseless (§4.2); this example sweeps a noisy
+//! 4-user 16-QAM uplink across SNR using the validated builder path
+//! (`SnrSweepConfig::builder()…build()`), a custom detector roster, the
+//! scenario engine, and the unified `Report` surface — then prints the
+//! declarative `ExperimentSpec` JSON that `hqw run` would accept to
+//! reproduce the sweep's grid shape, plus a soft-output (LLR) demo.
 //!
 //! ```sh
 //! cargo run --release --example noisy_uplink
 //! ```
 
 use hqw::phy::channel::snr_db_to_noise_variance;
-use hqw::phy::detect::{Detector, KBest, Mmse, SphereDecoder, ZeroForcing};
-use hqw::phy::metrics::bit_error_rate;
+use hqw::phy::detect::{KBest, Mmse, SphereDecoder, ZeroForcing};
 use hqw::prelude::*;
-use hqw::qubo::exact::exhaustive_minimum;
+use hqw::qubo::sa::SaParams;
+use std::sync::Arc;
 
 fn main() {
+    // 1. Declare the experiment: 4-user 16-QAM, four SNR points, paired
+    //    channel realizations. `build()` validates — no panics downstream.
     let users = 4;
-    let instances_per_snr = 8;
+    let config = SnrSweepConfig::builder(users, Modulation::Qam16)
+        .snr_db(vec![8.0, 12.0, 16.0, 20.0])
+        .realizations(8)
+        .seed(1313)
+        .threads(0) // all cores; results are bit-identical for any value
+        .build()
+        .expect("a valid sweep configuration");
+
+    // 2. A roster mixing the classical families with the QUBO/SA path.
+    //    MMSE is noise-matched: it is rebuilt from each point's variance.
+    let detectors = vec![
+        ScenarioDetector::fixed(false, ZeroForcing),
+        ScenarioDetector::noise_matched("MMSE", false, |nv| Arc::new(Mmse::new(nv))),
+        ScenarioDetector::fixed(false, KBest::new(8)),
+        ScenarioDetector::fixed(false, SphereDecoder::exact()),
+        ScenarioDetector::fixed(
+            true,
+            QuboDetector::with_params(
+                SaParams {
+                    sweeps: 96,
+                    num_reads: 16,
+                    threads: 1,
+                    ..SaParams::default()
+                },
+                1313,
+            ),
+        ),
+    ];
+
+    // 3. Run and render through the unified Report surface.
+    let report = run_ber_sweep(&config, &detectors);
+    println!(
+        "BER vs SNR, {users}-user 16-QAM uplink ({} channel uses per point)",
+        config.realizations
+    );
+    println!();
+    println!("{}", report.render_table());
+
+    // The sphere decoder is exact ML: nothing may beat it at any SNR.
+    let ml = report
+        .series
+        .iter()
+        .find(|s| s.detector == "SD")
+        .expect("exact sphere decoder in the roster");
+    for series in &report.series {
+        for (p, ml_p) in series.points.iter().zip(&ml.points) {
+            assert!(
+                p.ber + 1e-12 >= ml_p.ber,
+                "{} beat exact ML at {} dB",
+                series.detector,
+                p.snr_db
+            );
+        }
+    }
+    println!(
+        "Expected shape: ZF worst, MMSE better, K-best near the exact sphere decoder; the \
+         QUBO-SA arm tracks ML when the anneal finds the QUBO optimum — and exact-ML sphere \
+         decoding lower-bounds every arm's BER (asserted above)."
+    );
+    println!();
+
+    // 4. The same sweep as data: this document (run with the standard
+    //    roster) is what `hqw run <file>.json` executes.
+    println!("Declarative spec for `hqw run`:");
+    println!("{}", ExperimentSpec::Ber(config).to_json());
+
+    // 5. Soft output from the quantum path: the annealer's sample set is a
+    //    (rough) Boltzmann ensemble, so occurrence-weighted bit marginals
+    //    give per-bit reliabilities a channel decoder can consume.
+    let noise_var = snr_db_to_noise_variance(14.0, users);
+    let mut inst_config = InstanceConfig::paper(users, Modulation::Qam16);
+    inst_config.noise_variance = noise_var;
+    let mut rng = Rng64::new(4242);
+    let inst = DetectionInstance::generate(&inst_config, &mut rng);
     let sampler = QuantumSampler::new(
         DWaveProfile::calibrated(),
         SamplerConfig {
@@ -25,69 +103,7 @@ fn main() {
             ..Default::default()
         },
     );
-
-    println!("BER vs SNR, {users}-user 16-QAM uplink ({instances_per_snr} channel uses per point)");
-    println!();
-    println!("  SNR(dB)     ZF     MMSE   K-best8   SD(ML)   hybrid   ML=TX?");
-    println!("  -------------------------------------------------------------");
-
-    for &snr_db in &[8.0, 12.0, 16.0, 20.0] {
-        let noise_var = snr_db_to_noise_variance(snr_db, users);
-        let mut config = InstanceConfig::paper(users, Modulation::Qam16);
-        config.noise_variance = noise_var;
-
-        let mut rng = Rng64::new(snr_db as u64 * 131 + 7);
-        let mut ber = [0.0f64; 5]; // zf, mmse, kbest, sd, hybrid
-        let mut ml_is_tx = 0usize;
-        for k in 0..instances_per_snr {
-            let inst = DetectionInstance::generate(&config, &mut rng);
-
-            // Classical detectors (scored on wireless Gray bits).
-            let zf = ZeroForcing.detect(&inst.system, &inst.h, &inst.y);
-            let mmse = Mmse::new(noise_var).detect(&inst.system, &inst.h, &inst.y);
-            let kb = KBest::new(8).detect(&inst.system, &inst.h, &inst.y);
-            let sd = SphereDecoder::exact().detect(&inst.system, &inst.h, &inst.y);
-            ber[0] += bit_error_rate(&inst.tx_gray_bits, &zf.gray_bits);
-            ber[1] += bit_error_rate(&inst.tx_gray_bits, &mmse.gray_bits);
-            ber[2] += bit_error_rate(&inst.tx_gray_bits, &kb.gray_bits);
-            ber[3] += bit_error_rate(&inst.tx_gray_bits, &sd.gray_bits);
-
-            // Hybrid GS+RA on the QUBO; certify whether the ML optimum is
-            // still the transmitted vector at this SNR.
-            let (ml_bits, _) = exhaustive_minimum(&inst.reduction.qubo);
-            if ml_bits == inst.tx_natural_bits {
-                ml_is_tx += 1;
-            }
-            let solver = HybridSolver::paper_prototype(sampler.clone(), 0.69);
-            let result = solver.solve(&inst, 1000 + k as u64);
-            ber[4] += inst.score_ber(&result.best_bits);
-        }
-        for b in &mut ber {
-            *b /= instances_per_snr as f64;
-        }
-        println!(
-            "  {snr_db:>5.1}   {:>6.3} {:>7.3} {:>8.3} {:>8.3} {:>8.3}   {}/{}",
-            ber[0], ber[1], ber[2], ber[3], ber[4], ml_is_tx, instances_per_snr
-        );
-    }
-    println!();
-    println!(
-        "Expected shape: ZF worst, MMSE better, K-best near the exact sphere decoder; the \
-         hybrid tracks the ML detectors when the anneal finds the QUBO optimum. The last column \
-         counts instances where the ML optimum is the transmitted vector — at low SNR even exact \
-         ML makes errors, which bounds every detector."
-    );
-
-    // Soft output from the quantum detector: the annealer's sample set is a
-    // (rough) Boltzmann ensemble, so occurrence-weighted bit marginals give
-    // per-bit reliabilities a channel decoder can consume.
-    println!();
-    let noise_var = snr_db_to_noise_variance(14.0, users);
-    let mut config = InstanceConfig::paper(users, Modulation::Qam16);
-    config.noise_variance = noise_var;
-    let mut rng = Rng64::new(4242);
-    let inst = DetectionInstance::generate(&config, &mut rng);
-    let solver = HybridSolver::paper_prototype(sampler.clone(), 0.69);
+    let solver = HybridSolver::paper_prototype(sampler, 0.69);
     let result = solver.solve(&inst, 99);
     let llrs = hqw::phy::llr::sample_llrs(&result.samples, inst.num_vars());
     let hard_ber = inst.score_ber(&result.best_bits);

@@ -62,10 +62,12 @@ pub mod prelude {
     pub use hqw_anneal::DWaveProfile;
     pub use hqw_core::metrics::{delta_e_percent, success_probability, time_to_solution};
     pub use hqw_core::protocol::Protocol;
+    pub use hqw_core::report::Report;
     pub use hqw_core::scenario::{
         run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig,
     };
     pub use hqw_core::solver::{HybridConfig, HybridResult, HybridSolver};
+    pub use hqw_core::spec::{ExperimentSpec, SpecError};
     pub use hqw_core::stages::{ClassicalInitializer, GreedyInitializer};
     pub use hqw_math::Rng64;
     pub use hqw_phy::detect::{DetectionResult, Detector, DetectorMeta, QuboDetector};
