@@ -4,9 +4,21 @@
 Checked invariants (exit status 1 on any violation, with a diagnostic):
 
 BENCH_kernels.json
-  * the incremental-CSR sweep kernel keeps a >= 3x speedup over the baseline
-    adjacency-list kernel on the dense 256-spin problem;
+  * the incremental-CSR (Exact) sweep kernel keeps a >= 3x speedup over the
+    baseline adjacency-list kernel on the dense 256-spin problem, and the
+    bit-packed/f32 Fast kernel keeps >= 10x there;
+  * at 512 spins (sparse) both rebuilt kernels keep >= 1.5x;
+  * the Fast PIMC and SVMC engine reads keep >= 1.1x over their Exact
+    counterparts;
+  * the all-cores 16-read batch is strictly faster than the serial batch
+    when the measuring machine actually has multiple cores (the `machine`
+    stanza says so); on a single-core box the comparison is pure scheduler
+    noise, so only a generous no-pathological-overhead floor (>= 0.85x)
+    is enforced;
   * every measurement is positive.
+  With --kernels-baseline OLD.json (e.g. the committed file before a
+  re-measurement), prints an old-vs-new delta table for every measurement
+  name the two files share — informational, not a gate.
 
 BENCH_stream.json
   * every cell's rates are in [0, 1], latencies ordered (p99 >= p50 > 0),
@@ -73,7 +85,18 @@ def check(ok, message):
         failures.append(message)
 
 
-def check_kernels(path):
+# (derived key, floor, description) gates for BENCH_kernels.json.
+KERNEL_RATIO_FLOORS = [
+    ("sa_sweep_speedup_256", 3.0, "dense-256 Exact sweep kernel"),
+    ("sa_sweep_speedup_fast_256", 10.0, "dense-256 Fast sweep kernel"),
+    ("sa_sweep_speedup_512", 1.5, "sparse-512 Exact sweep kernel"),
+    ("sa_sweep_speedup_fast_512", 1.5, "sparse-512 Fast sweep kernel"),
+    ("pimc16_fast_speedup_64", 1.1, "PIMC-16 Fast engine read"),
+    ("svmc_fast_speedup_64", 1.1, "SVMC Fast engine read"),
+]
+
+
+def check_kernels(path, baseline_path=None):
     with open(path) as f:
         bench = json.load(f)
     check(bench.get("bench") == "kernels", f"{path}: wrong bench tag")
@@ -81,15 +104,71 @@ def check_kernels(path):
     check(bool(results), f"{path}: no kernel measurements")
     for r in results:
         check(r["ns_per_iter"] > 0, f"{path}: non-positive time for {r['name']}")
-    speedup = bench.get("derived", {}).get("sa_sweep_speedup_256")
-    check(speedup is not None, f"{path}: missing derived.sa_sweep_speedup_256")
-    if speedup is not None:
-        check(
-            speedup >= 3.0,
-            f"{path}: dense-256 sweep-kernel speedup regressed to "
-            f"{speedup}x (floor: 3x)",
-        )
-    print(f"{path}: {len(results)} measurements, dense-256 speedup {speedup}x")
+    derived = bench.get("derived", {})
+    for key, floor, what in KERNEL_RATIO_FLOORS:
+        ratio = derived.get(key)
+        check(ratio is not None, f"{path}: missing derived.{key}")
+        if ratio is not None:
+            check(
+                ratio >= floor,
+                f"{path}: {what} speedup regressed to {ratio}x "
+                f"(floor: {floor}x)",
+            )
+
+    # The serial-vs-all-cores comparison only means something on a machine
+    # with more than one core; the emitter records what it ran on.
+    machine = bench.get("machine", {})
+    check(bool(machine), f"{path}: missing machine stanza")
+    cores = machine.get("available_parallelism", 0)
+    par = derived.get("parallel_16reads_speedup_256")
+    check(par is not None, f"{path}: missing derived.parallel_16reads_speedup_256")
+    if par is not None:
+        if cores > 1:
+            check(
+                par > 1.0,
+                f"{path}: all-cores 16-read batch not strictly faster than "
+                f"serial ({par}x on {cores} cores)",
+            )
+        else:
+            check(
+                par >= 0.85,
+                f"{path}: single-core fan-out overhead out of the noise "
+                f"band ({par}x; floor 0.85x)",
+            )
+
+    if baseline_path is not None:
+        _print_kernel_deltas(baseline_path, path, results)
+
+    print(
+        f"{path}: {len(results)} measurements OK "
+        f"(dense-256 exact {derived.get('sa_sweep_speedup_256')}x, "
+        f"fast {derived.get('sa_sweep_speedup_fast_256')}x, "
+        f"{cores}-core box)"
+    )
+
+
+def _print_kernel_deltas(baseline_path, path, results):
+    """Old-vs-new per-measurement table (informational, never a gate)."""
+    with open(baseline_path) as f:
+        old_bench = json.load(f)
+    old = {r["name"]: r["ns_per_iter"] for r in old_bench.get("results", [])}
+    shared = [r for r in results if r["name"] in old]
+    if not shared:
+        print(f"{path}: no measurement names shared with {baseline_path}")
+        return
+    if all(old[r["name"]] == r["ns_per_iter"] for r in shared):
+        print(f"{path}: identical to committed baseline {baseline_path}")
+        return
+    print(f"{path}: deltas vs {baseline_path} (negative = faster now):")
+    name_w = max(len(r["name"]) for r in shared)
+    print(f"  {'name':<{name_w}} {'old ns':>12} {'new ns':>12} {'delta':>8}")
+    for r in shared:
+        o, n = old[r["name"]], r["ns_per_iter"]
+        delta = 100.0 * (n - o) / o
+        print(f"  {r['name']:<{name_w}} {o:>12.0f} {n:>12.0f} {delta:>+7.1f}%")
+    for r in results:
+        if r["name"] not in old:
+            print(f"  {r['name']:<{name_w}} {'-':>12} {r['ns_per_iter']:>12.0f}      new")
 
 
 def check_ber(path):
@@ -299,6 +378,11 @@ def check_fabric(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", default="BENCH_kernels.json")
+    parser.add_argument(
+        "--kernels-baseline",
+        default=None,
+        help="older BENCH_kernels.json; prints an old-vs-new delta table",
+    )
     parser.add_argument("--stream", default="BENCH_stream.json")
     parser.add_argument("--fabric", default="BENCH_fabric.json")
     parser.add_argument("--ber", default="BENCH_ber.json")
@@ -309,7 +393,7 @@ def main():
     )
     args = parser.parse_args()
 
-    check_kernels(args.kernels)
+    check_kernels(args.kernels, baseline_path=args.kernels_baseline)
     check_ber(args.ber)
     check_stream(args.stream)
     check_fabric(args.fabric)

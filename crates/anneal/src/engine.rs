@@ -19,7 +19,7 @@
 use crate::dwave::DWaveProfile;
 use crate::schedule::AnnealSchedule;
 use hqw_math::Rng64;
-use hqw_qubo::Ising;
+use hqw_qubo::{Ising, SweepKernel};
 
 /// Transverse-field-gated kinetics ("freeze-out").
 ///
@@ -73,6 +73,12 @@ pub struct AnnealParams {
     /// Transverse-field-gated kinetics; `None` disables the gate (pure
     /// Metropolis dynamics, SA-like late-anneal behaviour).
     pub freeze_out: Option<FreezeOut>,
+    /// Sweep kernel: the bit-identical [`SweepKernel::Exact`] default, or
+    /// the vectorized [`SweepKernel::Fast`] mode (bit-packed replicas,
+    /// f32 fields, draw-skipping rejects — statistically equivalent, not
+    /// bit-identical). Engines fall back to `Exact` where `Fast` does not
+    /// apply (e.g. more than 64 Trotter slices).
+    pub kernel: SweepKernel,
 }
 
 impl Default for AnnealParams {
@@ -81,6 +87,7 @@ impl Default for AnnealParams {
             sweeps_per_us: 32,
             beta_override: None,
             freeze_out: Some(FreezeOut::default()),
+            kernel: SweepKernel::Exact,
         }
     }
 }

@@ -385,6 +385,7 @@ mod tests {
                 sweeps_per_us: 24,
                 beta_override: None,
                 freeze_out: Some(FreezeOut::default()),
+                ..Default::default()
             },
             ..Default::default()
         }
@@ -552,6 +553,7 @@ mod embedded_tests {
                     sweeps_per_us: 16,
                     beta_override: None,
                     freeze_out: Some(FreezeOut::default()),
+                    ..Default::default()
                 },
                 ..Default::default()
             },

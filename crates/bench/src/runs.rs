@@ -23,7 +23,7 @@ use hqw_core::stream::{run_stream_grid, CostModel, DispatchPolicy, StreamGridCon
 use hqw_phy::channel::{snr_db_to_noise_variance, ChannelModel, TrackConfig};
 use hqw_phy::detect::{Fcsd, KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
 use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
+use hqw_qubo::sa::{SaParams, SweepKernel};
 use std::sync::Arc;
 
 /// Operating SNR of the streaming/fabric uplinks (dB).
@@ -123,6 +123,7 @@ pub fn fabric_mixes() -> Vec<BackendMix> {
         sweeps_per_us: 8,
         capacity: 1,
         max_batch: 4,
+        kernel: SweepKernel::Exact,
     };
     let qpu = |max_batch: usize| {
         BackendSpec::MockQpu(MockQpuConfig {

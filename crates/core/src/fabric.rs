@@ -48,7 +48,7 @@ use hqw_phy::channel::{ChannelTrack, TrackConfig};
 use hqw_phy::detect::{Detector, DetectorMeta, Mmse};
 use hqw_phy::instance::DetectionInstance;
 use hqw_phy::metrics::bit_error_rate;
-use hqw_qubo::sa::{sample_qubo_batch_seeded, SaParams};
+use hqw_qubo::sa::{sample_qubo_batch_seeded, SaParams, SweepKernel};
 use std::collections::VecDeque;
 
 /// One detection frame offered to the fabric.
@@ -271,6 +271,8 @@ pub struct AnnealerConfig {
     pub capacity: usize,
     /// Most jobs coalesced per call.
     pub max_batch: usize,
+    /// Monte-Carlo sweep kernel (bit-identical `Exact` or vectorized `Fast`).
+    pub kernel: SweepKernel,
 }
 
 /// Total MC sweeps one annealer job costs:
@@ -281,7 +283,12 @@ fn mc_sweeps_per_job(num_reads: usize, anneal_us: f64, sweeps_per_us: usize) -> 
 }
 
 /// The one sampler construction every annealer-simulator backend shares.
-fn annealer_sampler(engine: EngineKind, num_reads: usize, sweeps_per_us: usize) -> QuantumSampler {
+fn annealer_sampler(
+    engine: EngineKind,
+    num_reads: usize,
+    sweeps_per_us: usize,
+    kernel: SweepKernel,
+) -> QuantumSampler {
     QuantumSampler::new(
         DWaveProfile::calibrated(),
         SamplerConfig {
@@ -291,6 +298,7 @@ fn annealer_sampler(engine: EngineKind, num_reads: usize, sweeps_per_us: usize) 
                 sweeps_per_us,
                 beta_override: None,
                 freeze_out: Some(FreezeOut::default()),
+                kernel,
             },
             threads: 1, // the fabric grid is the parallel level
             ..SamplerConfig::default()
@@ -327,7 +335,7 @@ impl AnnealerConfig {
     }
 
     fn sampler(&self, engine: EngineKind) -> QuantumSampler {
-        annealer_sampler(engine, self.num_reads, self.sweeps_per_us)
+        annealer_sampler(engine, self.num_reads, self.sweeps_per_us, self.kernel)
     }
 }
 
@@ -558,6 +566,10 @@ impl MockQpuBackend {
             },
             config.num_reads,
             config.sweeps_per_us,
+            // The mock QPU models a remote physical device: it has no
+            // simulator-kernel knob, and the bit-identical kernel keeps its
+            // committed fabric baselines stable.
+            SweepKernel::Exact,
         );
         MockQpuBackend {
             config,
@@ -1657,6 +1669,7 @@ mod tests {
             sweeps_per_us: 4,
             capacity: 1,
             max_batch: 4,
+            kernel: SweepKernel::Exact,
         }
     }
 

@@ -36,7 +36,7 @@ use crate::scenario::SnrSweepConfig;
 use crate::stream::{CostModel, DispatchPolicy, StreamGridConfig};
 use hqw_phy::channel::{ChannelModel, TrackConfig};
 use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
+use hqw_qubo::sa::{SaParams, SweepKernel};
 use json::Json;
 
 /// Version of the spec JSON document format this build reads and writes.
@@ -393,6 +393,7 @@ fn sa_json(s: &SaParams) -> Json {
         ("sweeps", uint(s.sweeps)),
         ("num_reads", uint(s.num_reads)),
         ("threads", uint(s.threads)),
+        ("kernel", Json::Str(s.kernel.name().to_string())),
     ])
 }
 
@@ -426,6 +427,7 @@ fn annealer_fields(c: &AnnealerConfig) -> Vec<(&'static str, Json)> {
         ("sweeps_per_us", uint(c.sweeps_per_us)),
         ("capacity", uint(c.capacity)),
         ("max_batch", uint(c.max_batch)),
+        ("kernel", Json::Str(c.kernel.name().to_string())),
     ]
 }
 
@@ -677,6 +679,7 @@ fn parse_sa(o: &Json, ctx: &str) -> Result<SaParams, SpecError> {
             "sweeps",
             "num_reads",
             "threads",
+            "kernel",
         ],
         ctx,
     )?;
@@ -686,7 +689,22 @@ fn parse_sa(o: &Json, ctx: &str) -> Result<SaParams, SpecError> {
         sweeps: req_usize(sa, "sweeps", ctx)?,
         num_reads: req_usize(sa, "num_reads", ctx)?,
         threads: req_usize(sa, "threads", ctx)?,
+        kernel: parse_kernel(sa, ctx)?,
     })
+}
+
+/// `"kernel"` is optional (pre-kernel specs default to the bit-identical
+/// `Exact` mode), but when present it must be a known kernel name.
+fn parse_kernel(o: &Json, ctx: &str) -> Result<SweepKernel, SpecError> {
+    match o.get("kernel") {
+        None => Ok(SweepKernel::Exact),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| SpecError::new(ctx, "field \"kernel\" must be a string"))?;
+            SweepKernel::parse(name).map_err(|e| SpecError::new(ctx, e))
+        }
+    }
 }
 
 fn parse_stream(config: &Json) -> Result<StreamGridConfig, SpecError> {
@@ -740,6 +758,7 @@ fn parse_annealer(o: &Json, ctx: &str) -> Result<AnnealerConfig, SpecError> {
         sweeps_per_us: req_usize(o, "sweeps_per_us", ctx)?,
         capacity: req_usize(o, "capacity", ctx)?,
         max_batch: req_usize(o, "max_batch", ctx)?,
+        kernel: parse_kernel(o, ctx)?,
     })
 }
 
@@ -752,6 +771,7 @@ fn parse_backend(o: &Json, ctx: &str) -> Result<BackendSpec, SpecError> {
         "sweeps_per_us",
         "capacity",
         "max_batch",
+        "kernel",
     ];
     match kind {
         "sa-pool" => {
@@ -960,6 +980,7 @@ mod tests {
                             sweeps_per_us: 8,
                             capacity: 1,
                             max_batch: 4,
+                            kernel: SweepKernel::Exact,
                         }),
                         BackendSpec::Svmc(AnnealerConfig {
                             num_reads: 2,
@@ -967,6 +988,7 @@ mod tests {
                             sweeps_per_us: 8,
                             capacity: 1,
                             max_batch: 4,
+                            kernel: SweepKernel::Exact,
                         }),
                         BackendSpec::MockQpu(MockQpuConfig {
                             num_reads: 4,

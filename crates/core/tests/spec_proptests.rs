@@ -14,7 +14,7 @@ use hqw_core::stream::{CostModel, DispatchPolicy, StreamGridConfig};
 use hqw_math::Rng64;
 use hqw_phy::channel::{ChannelModel, TrackConfig};
 use hqw_phy::modulation::Modulation;
-use hqw_qubo::sa::SaParams;
+use hqw_qubo::sa::{SaParams, SweepKernel};
 use proptest::prelude::*;
 
 /// A "nice" positive float: numbers of the magnitude specs actually carry,
@@ -46,6 +46,11 @@ fn arbitrary_sa(rng: &mut Rng64) -> SaParams {
         sweeps: 1 + rng.next_index(200),
         num_reads: 1 + rng.next_index(32),
         threads: rng.next_index(4),
+        kernel: if rng.next_bool() {
+            SweepKernel::Fast
+        } else {
+            SweepKernel::Exact
+        },
     }
 }
 
@@ -71,6 +76,7 @@ fn arbitrary_backend(rng: &mut Rng64) -> BackendSpec {
                 sweeps_per_us: 1 + rng.next_index(16),
                 capacity: 1 + rng.next_index(4),
                 max_batch: 1 + rng.next_index(8),
+                kernel: SweepKernel::Exact,
             };
             if k == 1 {
                 BackendSpec::Pimc(config)

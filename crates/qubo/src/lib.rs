@@ -48,8 +48,9 @@ pub mod sa;
 pub mod solution;
 pub mod tabu;
 
-pub use csr::{CsrIsing, LocalFieldState};
+pub use csr::{BitSpins, Coloring, CsrIsing, LocalFieldState};
 pub use greedy::{greedy_search, GreedyOrder, GreedyVariant};
 pub use ising::Ising;
 pub use model::Qubo;
+pub use sa::SweepKernel;
 pub use solution::{bits_to_spins, spins_to_bits, Sample, SampleSet};
