@@ -39,9 +39,26 @@ BENCH_ber.json
 
 hqw_manifest.json (--manifest, checked when the file is given)
   * the `hqw list --json` registry manifest is well-formed: a spec_version,
-    unique experiment names with non-empty descriptions, all three headline
-    grid experiments (ber/stream/fabric) present, and at least 17
-    registered experiments (the three grids + every canned figure).
+    unique experiment names with non-empty descriptions, all four headline
+    grid experiments (ber/stream/fabric/fabric-rt) present, and at least 18
+    registered experiments (the four grids + every canned figure).
+
+BENCH_fabric_rt.json
+  * every realtime point's rates are in [0, 1], wall-clock latency
+    percentiles ordered (p99.9 >= p99 >= p50 > 0), sustained throughput
+    and scheduler decision cost positive (decision cost under 1 ms/job —
+    the control plane must stay off the data path's critical path);
+  * replay_divergences == 0 on every point: the service's routing
+    decisions replayed bit-exactly through the virtual-time sim.  This is
+    the realtime CI contract (re-checked independently by `hqw replay` in
+    the realtime-replay job).
+
+--history (standalone mode)
+  * walks the committed BENCH_*.json files across git history and prints a
+    perf-trajectory table (one row per commit that touched a BENCH file);
+  * gates that the *newest* committed BENCH_kernels.json still holds the
+    dense-256 Fast sweep-kernel speedup floor (>= 10x) — history may wander,
+    the present may not.
 
 BENCH_fabric.json
   * every point's rates are in [0, 1], latencies ordered (p99 >= p50 > 0),
@@ -70,11 +87,13 @@ BENCH_fabric.json
   * at least one point actually formed a multi-job batch.
 
 Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
-                         [--ber PATH] [--manifest PATH]
+                         [--fabric-rt PATH] [--ber PATH] [--manifest PATH]
+       ci/check_bench.py --history
 """
 
 import argparse
 import json
+import subprocess
 import sys
 
 failures = []
@@ -204,10 +223,10 @@ def check_manifest(path):
         f"{path}: missing integer spec_version",
     )
     experiments = manifest.get("experiments", [])
-    check(len(experiments) >= 17, f"{path}: registry shrank to {len(experiments)}")
+    check(len(experiments) >= 18, f"{path}: registry shrank to {len(experiments)}")
     names = [e.get("name") for e in experiments]
     check(len(set(names)) == len(names), f"{path}: duplicate experiment names")
-    for headline in ("ber", "stream", "fabric"):
+    for headline in ("ber", "stream", "fabric", "fabric-rt"):
         check(headline in names, f"{path}: headline experiment '{headline}' missing")
     for e in experiments:
         check(
@@ -375,6 +394,128 @@ def check_fabric(path):
     print(f"{path}: {len(points)} points OK ({pairs} batched-vs-unbatched pairs)")
 
 
+def check_fabric_rt(path):
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "fabric-rt", f"{path}: wrong bench tag")
+    points = bench.get("points", [])
+    check(bool(points), f"{path}: no realtime points")
+
+    frames_per_cell = bench["scenario"]["frames_per_cell"]
+    for p in points:
+        tag = f"{path}: [{p['mix']} cells={p['n_cells']} period={p['arrival_period_us']}]"
+        check(p["jobs"] == frames_per_cell * p["n_cells"], f"{tag} wrong job count")
+        for rate in ("ber", "fallback_rate"):
+            check(0.0 <= p[rate] <= 1.0, f"{tag} {rate} {p[rate]} out of range")
+        check(p["frames_per_sec"] > 0.0, f"{tag} non-positive throughput")
+        check(
+            p["p999_ms"] >= p["p99_ms"] >= p["p50_ms"] > 0.0,
+            f"{tag} wall-clock latency percentiles disordered",
+        )
+        # The charge-only control plane must stay cheap: a scheduling
+        # decision is virtual bookkeeping, never a solve.
+        check(
+            0.0 < p["decision_ns_per_job"] < 1e6,
+            f"{tag} scheduler decision cost {p['decision_ns_per_job']} ns/job "
+            f"out of the sane band (0, 1 ms)",
+        )
+        check(
+            p["replay_divergences"] == 0,
+            f"{tag} {p['replay_divergences']} routing decision(s) diverged "
+            f"from the virtual-time sim",
+        )
+    peak = max(p["frames_per_sec"] for p in points)
+    print(f"{path}: {len(points)} realtime points OK (peak {peak:.0f} frames/s)")
+
+
+# The committed BENCH files the --history walk tracks, with the metrics
+# each contributes to the trajectory table (file, column, extractor).
+HISTORY_COLUMNS = [
+    ("BENCH_kernels.json", "exact256", lambda b: b["derived"]["sa_sweep_speedup_256"]),
+    ("BENCH_kernels.json", "fast256", lambda b: b["derived"]["sa_sweep_speedup_fast_256"]),
+    ("BENCH_kernels.json", "pimc16", lambda b: b["derived"]["pimc16_fast_speedup_64"]),
+    ("BENCH_fabric.json", "fab_pts", lambda b: len(b["points"])),
+    ("BENCH_fabric_rt.json", "rt_pts", lambda b: len(b["points"])),
+    ("BENCH_fabric_rt.json", "rt_fps", lambda b: max(p["frames_per_sec"] for p in b["points"])),
+    ("BENCH_fabric_rt.json", "rt_dec_ns", lambda b: max(p["decision_ns_per_job"] for p in b["points"])),
+]
+
+# Floor the newest commit in the walk must hold (the committed state, as
+# opposed to the fresh re-measurement the regular gate checks).
+HISTORY_FAST256_FLOOR = 10.0
+
+
+def _git(*argv):
+    return subprocess.run(
+        ["git", *argv], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def _show_json(sha, path):
+    try:
+        out = subprocess.run(
+            ["git", "show", f"{sha}:{path}"], check=True, capture_output=True, text=True
+        ).stdout
+        return json.loads(out)
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return None
+
+
+def check_history():
+    """Prints the perf trajectory of every committed BENCH_*.json and gates
+    the newest commit's dense-256 Fast speedup."""
+    tracked = sorted({file for file, _, _ in HISTORY_COLUMNS})
+    log = _git("log", "--format=%H|%h|%cs", "--", *tracked)
+    commits = [line.split("|") for line in log.splitlines() if line]
+    if not commits:
+        check(False, "--history: no commits touch any BENCH_*.json")
+        return
+    commits.reverse()  # oldest first
+
+    columns = [name for _, name, _ in HISTORY_COLUMNS]
+    header = f"{'commit':<10} {'date':<11}" + "".join(f" {c:>10}" for c in columns)
+    print("perf trajectory (committed BENCH_*.json across git history):")
+    print(header)
+    print("-" * len(header))
+    newest_fast256 = None
+    for sha, short, date in commits:
+        docs = {file: _show_json(sha, file) for file in tracked}
+        row = [f"{short:<10} {date:<11}"]
+        for file, _, extract in HISTORY_COLUMNS:
+            doc = docs[file]
+            try:
+                value = extract(doc) if doc is not None else None
+            except (KeyError, TypeError, ValueError):
+                value = None
+            if value is None:
+                row.append(f" {'-':>10}")
+            elif isinstance(value, int):
+                row.append(f" {value:>10}")
+            else:
+                row.append(f" {value:>10.1f}")
+        print("".join(row))
+        kernels = docs.get("BENCH_kernels.json")
+        if kernels is not None:
+            fast = kernels.get("derived", {}).get("sa_sweep_speedup_fast_256")
+            if fast is not None:
+                newest_fast256 = fast
+
+    check(
+        newest_fast256 is not None,
+        "--history: no commit carries derived.sa_sweep_speedup_fast_256",
+    )
+    if newest_fast256 is not None:
+        check(
+            newest_fast256 >= HISTORY_FAST256_FLOOR,
+            f"--history: newest committed dense-256 Fast speedup "
+            f"{newest_fast256}x under the {HISTORY_FAST256_FLOOR}x floor",
+        )
+        print(
+            f"\nnewest committed dense-256 Fast speedup: {newest_fast256}x "
+            f"(floor: {HISTORY_FAST256_FLOOR}x)"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kernels", default="BENCH_kernels.json")
@@ -385,20 +526,31 @@ def main():
     )
     parser.add_argument("--stream", default="BENCH_stream.json")
     parser.add_argument("--fabric", default="BENCH_fabric.json")
+    parser.add_argument("--fabric-rt", default="BENCH_fabric_rt.json")
     parser.add_argument("--ber", default="BENCH_ber.json")
     parser.add_argument(
         "--manifest",
         default=None,
         help="hqw list --json output; registry shape is checked when given",
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="standalone mode: print the committed BENCH_*.json perf "
+        "trajectory across git history and gate the newest commit",
+    )
     args = parser.parse_args()
 
-    check_kernels(args.kernels, baseline_path=args.kernels_baseline)
-    check_ber(args.ber)
-    check_stream(args.stream)
-    check_fabric(args.fabric)
-    if args.manifest is not None:
-        check_manifest(args.manifest)
+    if args.history:
+        check_history()
+    else:
+        check_kernels(args.kernels, baseline_path=args.kernels_baseline)
+        check_ber(args.ber)
+        check_stream(args.stream)
+        check_fabric(args.fabric)
+        check_fabric_rt(args.fabric_rt)
+        if args.manifest is not None:
+            check_manifest(args.manifest)
 
     if failures:
         print(f"\nBENCH GATE FAILED ({len(failures)} violation(s)):", file=sys.stderr)

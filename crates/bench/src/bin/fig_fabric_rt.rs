@@ -1,0 +1,8 @@
+//! `fig-fabric-rt` — the wall-clock realtime fabric service: concurrent
+//! frame producers, sharded MPMC delivery queues, per-backend worker
+//! pools, and routing decisions that replay bit-exactly through the
+//! virtual-time fabric sim. Thin shim over `hqw run fabric-rt`.
+
+fn main() {
+    hqw_bench::registry::run_registered("fabric-rt");
+}

@@ -12,12 +12,15 @@
 //! `ExperimentSpec` document (schema in `crates/bench/README.md`) and runs
 //! it. For spec-file runs, explicit `--seed`/`--threads` override the
 //! file's values and `--quick`/`--full` are rejected (the file carries its
-//! own shape). Malformed commands, unknown experiment names and invalid
-//! spec files are reported on stderr with the usage line and exit status
-//! 2 — never a panic.
+//! own shape). `hqw replay trace.json` re-feeds a recorded realtime
+//! routing trace through the virtual-time sim and exits 1 on any decision
+//! divergence — the `realtime-replay` CI contract. Malformed commands,
+//! unknown experiment names and invalid spec/trace files are reported on
+//! stderr with the usage line and exit status 2 — never a panic.
 
 use hqw_bench::cli::{HqwCommand, HQW_USAGE};
 use hqw_bench::registry;
+use hqw_core::fabric_rt::replay_trace_doc;
 
 fn main() {
     let command = match HqwCommand::parse(std::env::args().skip(1)) {
@@ -57,6 +60,45 @@ fn main() {
                 options.scale_name = "spec";
             }
             registry::run_spec(&spec, &options);
+        }
+        HqwCommand::Replay { trace } => {
+            let text = match std::fs::read_to_string(&trace) {
+                Ok(text) => text,
+                Err(e) => fail(&format!("cannot read trace file '{trace}': {e}")),
+            };
+            let report = match replay_trace_doc(&text) {
+                Ok(report) => report,
+                Err(e) => fail(&format!("invalid trace file '{trace}': {e}")),
+            };
+            println!(
+                "replaying {} point(s) through the virtual-time sim:",
+                report.points.len()
+            );
+            for point in &report.points {
+                let verdict = if point.divergences.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!(
+                        "DIVERGED at job(s) {:?}{}",
+                        &point.divergences[..point.divergences.len().min(8)],
+                        if point.divergences.len() > 8 {
+                            ", …"
+                        } else {
+                            ""
+                        }
+                    )
+                };
+                println!(
+                    "  {} cells={} period={}us jobs={}: {}",
+                    point.mix, point.n_cells, point.arrival_period_us, point.jobs, verdict
+                );
+            }
+            let total = report.total_divergences();
+            if total > 0 {
+                eprintln!("error: {total} routing decision(s) diverged from the sim");
+                std::process::exit(1);
+            }
+            println!("zero divergence: realtime routing matches the virtual-time sim");
         }
     }
 }

@@ -157,7 +157,8 @@ impl Options {
 /// `--quick`/`--full` are rejected (a spec file carries its own shape; the
 /// scale presets only parameterize registry names).
 pub const HQW_USAGE: &str = "usage: hqw list [--json]\n       \
-     hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]";
+     hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]\n       \
+     hqw replay <trace.json>";
 
 /// Which standard flags appeared *explicitly* on a `hqw run` command line —
 /// the spec-file resolution path uses this to override exactly what the
@@ -189,6 +190,13 @@ pub enum HqwCommand {
         options: Options,
         /// Which flags the user gave explicitly.
         given: GivenFlags,
+    },
+    /// `hqw replay <trace.json>` — re-feed a recorded realtime routing
+    /// trace through the virtual-time sim and diff the decisions. Exit 0
+    /// on zero divergence, 1 on any divergence, 2 on a malformed document.
+    Replay {
+        /// Path to the `fabric_rt_trace.json` document to replay.
+        trace: String,
     },
 }
 
@@ -234,6 +242,18 @@ impl HqwCommand {
                     options,
                     given,
                 })
+            }
+            Some("replay") => {
+                let trace = args.next().ok_or("replay needs a trace file")?;
+                if trace.starts_with('-') {
+                    return Err(format!("replay needs a trace file, got flag '{trace}'"));
+                }
+                if let Some(extra) = args.next() {
+                    return Err(format!(
+                        "replay takes exactly one trace file, got '{extra}'"
+                    ));
+                }
+                Ok(HqwCommand::Replay { trace })
             }
             Some(other) => Err(format!("unknown command '{other}'")),
         }
@@ -385,6 +405,19 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn hqw_replay_parses_one_trace_file() {
+        match hqw_ok(&["replay", "results/fabric_rt_trace.json"]) {
+            HqwCommand::Replay { trace } => {
+                assert_eq!(trace, "results/fabric_rt_trace.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(hqw_err(&["replay"]), "replay needs a trace file");
+        assert!(hqw_err(&["replay", "--quick"]).contains("got flag '--quick'"));
+        assert!(hqw_err(&["replay", "a.json", "b.json"]).contains("exactly one trace file"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub struct RegistryEntry {
 
 /// Every registered experiment, in listing order: the three grid
 /// experiments first, then the canned figures in [`CannedKind::ALL`] order.
-pub const ALL: [RegistryEntry; 17] = [
+pub const ALL: [RegistryEntry; 18] = [
     RegistryEntry {
         name: "ber",
         description: "end-to-end BER/SER-vs-SNR across every detector family",
@@ -35,6 +35,10 @@ pub const ALL: [RegistryEntry; 17] = [
     RegistryEntry {
         name: "fabric",
         description: "multi-cell streaming detection over a shared multi-backend solver pool",
+    },
+    RegistryEntry {
+        name: "fabric-rt",
+        description: "wall-clock realtime fabric service with sim-replayable routing",
     },
     RegistryEntry {
         name: "fig3",
@@ -123,6 +127,7 @@ pub fn spec(name: &str, opts: &Options) -> Option<ExperimentSpec> {
             opts.seed,
             opts.threads,
         )),
+        "fabric-rt" => ExperimentSpec::Fabric(runs::fabric_rt_config(opts.scale_name, opts.seed)),
         other => {
             find(other)?;
             ExperimentSpec::Canned(CannedSpec {
@@ -147,7 +152,13 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &Options) {
     match spec {
         ExperimentSpec::Ber(config) => runs::run_ber(config, &opts),
         ExperimentSpec::Stream(config) => runs::run_stream(config, &opts),
-        ExperimentSpec::Fabric(config) => runs::run_fabric(config, &opts),
+        ExperimentSpec::Fabric(config) => {
+            if spec.is_realtime() {
+                runs::run_fabric_rt(config, &opts);
+            } else {
+                runs::run_fabric(config, &opts);
+            }
+        }
         ExperimentSpec::Canned(canned) => run_canned(canned, &opts),
     }
 }
@@ -215,7 +226,7 @@ pub fn resolve_target(
     opts: &Options,
     given: GivenFlags,
 ) -> Result<ExperimentSpec, String> {
-    if target.ends_with(".json") {
+    let resolved = if target.ends_with(".json") {
         if given.scale {
             return Err(format!(
                 "--quick/--full cannot apply to the spec file '{target}': \
@@ -226,18 +237,29 @@ pub fn resolve_target(
             .map_err(|e| format!("cannot read spec file '{target}': {e}"))?;
         let mut parsed = ExperimentSpec::parse(&text)
             .map_err(|e| format!("invalid spec file '{target}': {e}"))?;
-        if given.threads {
+        if given.threads && !parsed.is_realtime() {
             parsed.set_threads(opts.threads);
         }
         if given.seed {
             parsed.set_seed(opts.seed);
         }
-        Ok(parsed)
+        parsed
     } else {
         spec(target, opts).ok_or_else(|| {
             format!("unknown experiment '{target}' (run `hqw list` for the registry)")
-        })
+        })?
+    };
+    // A realtime spec's thread topology is its `realtime` settings
+    // (producers/queue shards); the grid-level `--threads` knob has nothing
+    // to attach to, and silently ignoring it would misreport what ran.
+    if given.threads && resolved.is_realtime() {
+        return Err(format!(
+            "--threads cannot apply to the realtime experiment '{target}': \
+             worker topology comes from the spec's \"realtime\" settings \
+             (producers/queue_shards)"
+        ));
     }
+    Ok(resolved)
 }
 
 /// The machine-readable registry manifest `hqw list --json` prints: the
@@ -294,7 +316,7 @@ mod tests {
         let canned: Vec<&str> = all()
             .iter()
             .map(|e| e.name)
-            .filter(|n| !matches!(*n, "ber" | "stream" | "fabric"))
+            .filter(|n| !matches!(*n, "ber" | "stream" | "fabric" | "fabric-rt"))
             .collect();
         let kinds: Vec<&str> = CannedKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(canned, kinds);
@@ -319,6 +341,35 @@ mod tests {
         seed: false,
         scale: false,
     };
+
+    #[test]
+    fn threads_flag_on_a_realtime_spec_is_rejected() {
+        // By registry name…
+        let cli = opts(&["--quick", "--threads", "4"]);
+        let given = GivenFlags {
+            threads: true,
+            ..NO_FLAGS
+        };
+        let err = resolve_target("fabric-rt", &cli, given).unwrap_err();
+        assert!(err.contains("--threads cannot apply"), "{err}");
+        assert!(err.contains("realtime"), "{err}");
+
+        // …and by spec file: the file's threads field is left untouched,
+        // the flag is rejected rather than silently dropped.
+        let dir = std::env::temp_dir().join(format!("hqw_rt_threads_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.json");
+        let spec_in = spec("fabric-rt", &opts(&["--quick"])).unwrap();
+        assert!(spec_in.is_realtime());
+        std::fs::write(&path, spec_in.to_json()).unwrap();
+        let path_str = path.to_str().unwrap();
+        let err = resolve_target(path_str, &cli, given).unwrap_err();
+        assert!(err.contains("--threads cannot apply"), "{err}");
+        // Without the flag the same file resolves fine.
+        let resolved = resolve_target(path_str, &opts(&[]), NO_FLAGS).unwrap();
+        assert_eq!(resolved, spec_in);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn unknown_names_resolve_to_errors_not_panics() {

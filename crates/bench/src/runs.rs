@@ -12,9 +12,10 @@ use crate::cli::Options;
 use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
 use hqw_anneal::DWaveProfile;
 use hqw_core::fabric::{
-    run_fabric_grid, AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig,
-    NetworkModel, SaPoolConfig,
+    run_fabric_grid, AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig,
+    FabricMode, MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
 };
+use hqw_core::fabric_rt::{run_fabric_rt_grid, trace_doc};
 use hqw_core::protocol::Protocol;
 use hqw_core::scenario::{run_ber_sweep, HybridDetector, ScenarioDetector, SnrSweepConfig};
 use hqw_core::solver::{HybridConfig, HybridSolver};
@@ -190,10 +191,47 @@ pub fn fabric_config(scale_name: &str, seed: u64, threads: usize) -> FabricGridC
         cell_counts,
         arrival_periods_us,
         mixes: fabric_mixes(),
+        arrival: ArrivalProcess::Periodic,
+        mode: FabricMode::Virtual,
         deadline_us: 700.0,
         cost: CostModel::default(),
         seed,
         threads,
+    }
+}
+
+/// The `fabric-rt` preset at a given scale: the wall-clock realtime twin of
+/// the `fabric` sweep, trimmed to one representative mix per scale (each
+/// point occupies real worker threads for its full makespan) and driven by
+/// a bursty arrival process so queue contention is actually exercised.
+pub fn fabric_rt_config(scale_name: &str, seed: u64) -> FabricGridConfig {
+    let (frames_per_cell, cell_counts, arrival_periods_us) = match scale_name {
+        "quick" => (24, vec![2, 4], vec![400.0, 160.0]),
+        "full" => (128, vec![2, 4, 8, 16], vec![400.0, 250.0, 160.0, 100.0]),
+        _ => (48, vec![2, 4, 8], vec![400.0, 200.0, 120.0]),
+    };
+    let n_users = 2;
+    FabricGridConfig {
+        track: TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: Modulation::Qpsk,
+            rho: 0.9,
+            noise_variance: snr_db_to_noise_variance(SNR_DB, n_users),
+        },
+        frames_per_cell,
+        cell_counts,
+        arrival_periods_us,
+        mixes: vec![fabric_mixes().remove(1)], // hetero: all four backend kinds
+        arrival: ArrivalProcess::Bursty { burst: 4 },
+        mode: FabricMode::Realtime(RealtimeConfig {
+            producers: 2,
+            queue_shards: 2,
+        }),
+        deadline_us: 700.0,
+        cost: CostModel::default(),
+        seed,
+        threads: 0, // ignored in realtime mode: worker counts come from the spec
     }
 }
 
@@ -300,4 +338,42 @@ pub fn run_fabric(config: &FabricGridConfig, opts: &Options) {
     println!();
     let report = run_fabric_grid(config);
     opts.emit_report(&report, "fig_fabric.csv", "BENCH_fabric.json");
+}
+
+/// Runs the wall-clock realtime fabric service and emits table + CSV +
+/// JSON, plus the replay-trace document (`fabric_rt_trace.json` under
+/// `--out`) that the `hqw replay` subcommand and the `realtime-replay` CI
+/// job feed back through the virtual-time sim.
+pub fn run_fabric_rt(config: &FabricGridConfig, opts: &Options) {
+    opts.banner(
+        "Realtime fabric",
+        "wall-clock fabric service: concurrent producers, sharded queues, worker pools",
+    );
+    let FabricMode::Realtime(rt) = config.mode else {
+        unreachable!("registry routes only realtime specs here");
+    };
+    println!(
+        "{} users QPSK at {SNR_DB} dB per cell, {} frames/cell, deadline {} us, \
+         {} arrivals, {} producers x {} queue shards, {} mixes x {} cell-counts x {} loads",
+        config.track.n_users,
+        config.frames_per_cell,
+        config.deadline_us,
+        config.arrival.name(),
+        rt.producers,
+        rt.queue_shards,
+        config.mixes.len(),
+        config.cell_counts.len(),
+        config.arrival_periods_us.len(),
+    );
+    println!();
+    let report = run_fabric_rt_grid(config);
+    opts.emit_report(&report, "fig_fabric_rt.csv", "BENCH_fabric_rt.json");
+    let trace_path = opts.csv_path("fabric_rt_trace.json");
+    std::fs::write(&trace_path, trace_doc(config, &report)).expect("write replay trace");
+    println!("replay trace written to {}", trace_path.display());
+    let divergences: usize = report.points.iter().map(|p| p.replay_divergences).sum();
+    assert_eq!(
+        divergences, 0,
+        "realtime routing diverged from the virtual-time sim"
+    );
 }

@@ -38,8 +38,8 @@ use crate::spec::SpecError;
 use crate::stream::CostModel;
 use hqw_anneal::engine::FreezeOut;
 use hqw_anneal::{
-    AnnealParams, AnnealSchedule, ChainStrength, Chimera, DWaveProfile, EmbeddingCache, EngineKind,
-    QuantumSampler, SamplerConfig,
+    AnnealParams, AnnealSchedule, ChainStrength, Chimera, CliqueEmbedding, DWaveProfile,
+    EmbeddingCache, EngineKind, QuantumSampler, SamplerConfig,
 };
 use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::stats::percentile_sorted;
@@ -115,6 +115,17 @@ pub trait SolverBackend {
 
     /// Solves a batch of same-shape jobs in one call.
     fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome;
+
+    /// Charges a batch **without solving it**: returns exactly the
+    /// `service_us` that [`SolverBackend::solve_batch`] would charge for the
+    /// same batch, evolving any amortization state (e.g. the mock QPU's
+    /// embedding cache) identically. The realtime service's control plane
+    /// runs the virtual clock through this, so routing decisions stay a pure
+    /// function of the arrival sequence while the actual solves happen on
+    /// worker threads. An instance must serve either the charging or the
+    /// solving role, never both — interleaving them double-counts
+    /// cache-dependent overheads.
+    fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64;
 
     /// `(hits, misses)` of the backend's embedding cache, when it has one.
     fn embedding_cache_stats(&self) -> Option<(u64, u64)> {
@@ -244,12 +255,16 @@ impl SolverBackend for SaPoolBackend {
             .collect();
         BatchOutcome {
             decisions,
-            service_us: rounds_us(
-                jobs.len(),
-                self.config.workers,
-                self.predict_job_us(cost, jobs[0].inst.num_vars()),
-            ),
+            service_us: self.charge_batch_us(cost, jobs),
         }
+    }
+
+    fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64 {
+        rounds_us(
+            jobs.len(),
+            self.config.workers,
+            self.predict_job_us(cost, jobs[0].inst.num_vars()),
+        )
     }
 }
 
@@ -413,12 +428,16 @@ macro_rules! annealer_backend {
                     .collect();
                 BatchOutcome {
                     decisions,
-                    service_us: rounds_us(
-                        jobs.len(),
-                        self.config.capacity,
-                        self.predict_job_us(cost, jobs[0].inst.num_vars()),
-                    ),
+                    service_us: self.charge_batch_us(cost, jobs),
                 }
+            }
+
+            fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64 {
+                rounds_us(
+                    jobs.len(),
+                    self.config.capacity,
+                    self.predict_job_us(cost, jobs[0].inst.num_vars()),
+                )
             }
         }
     };
@@ -592,6 +611,30 @@ impl MockQpuBackend {
             self.config.sweeps_per_us,
         )
     }
+
+    /// The one cache access per batch call, shared by `solve_batch` and
+    /// `charge_batch_us` so the cache (and the derivation charge it gates)
+    /// evolves identically on the solving and the charging path.
+    fn lookup_embedding(&mut self, n_logical: usize) -> (std::rc::Rc<CliqueEmbedding>, f64) {
+        let misses_before = self.cache.misses();
+        let embedding = self.cache.get(Self::chimera_for(n_logical), n_logical);
+        // Chain derivation is charged only when the cache actually derived.
+        let derive_us = if self.cache.misses() > misses_before {
+            embedding.qubits_used() as f64 * self.config.embed_derive_us_per_qubit
+        } else {
+            0.0
+        };
+        (embedding, derive_us)
+    }
+
+    /// The charged service of one batch call: per-call overhead (network
+    /// round trip, programming, derivation) plus sequential device rounds.
+    fn batch_service_us(&self, cost: &CostModel, jobs: &[&FabricJob], derive_us: f64) -> f64 {
+        let n = jobs[0].inst.num_vars();
+        let overhead =
+            self.config.network.batch_rtt_us(jobs) + self.config.programming_us + derive_us;
+        overhead + rounds_us(jobs.len(), 1, self.predict_job_us(cost, n))
+    }
 }
 
 impl SolverBackend for MockQpuBackend {
@@ -620,14 +663,7 @@ impl SolverBackend for MockQpuBackend {
 
     fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
         let n = jobs[0].inst.num_vars();
-        let misses_before = self.cache.misses();
-        let embedding = self.cache.get(Self::chimera_for(n), n);
-        // Chain derivation is charged only when the cache actually derived.
-        let derive_us = if self.cache.misses() > misses_before {
-            embedding.qubits_used() as f64 * self.config.embed_derive_us_per_qubit
-        } else {
-            0.0
-        };
+        let (embedding, derive_us) = self.lookup_embedding(n);
 
         let sweeps = self.sweeps_per_job();
         let strength = ChainStrength::RelativeToMax(self.config.chain_strength);
@@ -654,12 +690,15 @@ impl SolverBackend for MockQpuBackend {
             })
             .collect();
 
-        let overhead =
-            self.config.network.batch_rtt_us(jobs) + self.config.programming_us + derive_us;
         BatchOutcome {
             decisions,
-            service_us: overhead + rounds_us(jobs.len(), 1, self.predict_job_us(cost, n)),
+            service_us: self.batch_service_us(cost, jobs, derive_us),
         }
+    }
+
+    fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64 {
+        let (_embedding, derive_us) = self.lookup_embedding(jobs[0].inst.num_vars());
+        self.batch_service_us(cost, jobs, derive_us)
     }
 
     fn embedding_cache_stats(&self) -> Option<(u64, u64)> {
@@ -724,6 +763,178 @@ pub struct BackendMix {
 }
 
 // ---------------------------------------------------------------------------
+// Arrival processes (the load generator)
+// ---------------------------------------------------------------------------
+
+/// The per-cell frame arrival process — the fabric's load generator.
+///
+/// Every variant has mean inter-arrival `arrival_period_us` (offered load is
+/// comparable across processes) and staggers cell start times by
+/// `period / n_cells` exactly like the original periodic process. Arrival
+/// times are a pure function of `(seed, cell, frame)`: virtual and realtime
+/// runs of the same config see byte-identical arrival sequences, which is
+/// what makes the realtime service's sim-replay gate possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals (the original fabric process).
+    Periodic,
+    /// `burst` frames arrive back-to-back (same timestamp), then a gap of
+    /// `burst` periods: bursty traffic at unchanged mean rate.
+    Bursty {
+        /// Frames per burst (>= 1).
+        burst: usize,
+    },
+    /// Sinusoidally modulated inter-arrival gaps — a compressed diurnal
+    /// load cycle: `gap_f = period * (1 + amplitude * sin(2π f / cycle))`.
+    Diurnal {
+        /// Peak-to-mean modulation depth, in `[0, 1)`.
+        amplitude: f64,
+        /// Frames per modulation cycle (>= 2).
+        cycle_frames: usize,
+    },
+    /// Pareto inter-arrival gaps with tail index `alpha` (> 1 so the mean
+    /// exists), scaled to mean `period`: heavy-tailed traffic whose rare
+    /// long gaps separate deep queue-buildup episodes.
+    HeavyTailed {
+        /// Pareto tail index (> 1; smaller = heavier tail).
+        alpha: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Stable machine-readable name (the spec `process` tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Periodic => "periodic",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::HeavyTailed { .. } => "heavy-tailed",
+        }
+    }
+
+    /// Validates the process parameters.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ArrivalProcess::Periodic => Ok(()),
+            ArrivalProcess::Bursty { burst } => {
+                if burst == 0 {
+                    return Err("ArrivalProcess: burst must be >= 1".to_string());
+                }
+                Ok(())
+            }
+            ArrivalProcess::Diurnal {
+                amplitude,
+                cycle_frames,
+            } => {
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err("ArrivalProcess: diurnal amplitude must be in [0, 1)".to_string());
+                }
+                if cycle_frames < 2 {
+                    return Err("ArrivalProcess: diurnal cycle needs >= 2 frames".to_string());
+                }
+                Ok(())
+            }
+            ArrivalProcess::HeavyTailed { alpha } => {
+                if !(alpha > 1.0 && alpha.is_finite()) {
+                    return Err(
+                        "ArrivalProcess: heavy-tailed alpha must be > 1 (finite mean)".to_string(),
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Arrival times (µs) of `frames` frames for cell `cell` of `n_cells`
+    /// sharing mean period `period_us`, deterministic in `(seed, cell)`.
+    /// `Periodic` reproduces the original fabric arithmetic bit for bit.
+    fn cell_arrivals(
+        &self,
+        frames: usize,
+        cell: usize,
+        n_cells: usize,
+        period_us: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let phase = cell as f64 * (period_us / n_cells as f64);
+        match *self {
+            ArrivalProcess::Periodic => (0..frames).map(|f| f as f64 * period_us + phase).collect(),
+            ArrivalProcess::Bursty { burst } => (0..frames)
+                .map(|f| ((f / burst) * burst) as f64 * period_us + phase)
+                .collect(),
+            ArrivalProcess::Diurnal {
+                amplitude,
+                cycle_frames,
+            } => {
+                let mut t = phase;
+                let mut out = Vec::with_capacity(frames);
+                for f in 0..frames {
+                    out.push(t);
+                    let angle = std::f64::consts::TAU * f as f64 / cycle_frames as f64;
+                    t += period_us * (1.0 + amplitude * angle.sin());
+                }
+                out
+            }
+            ArrivalProcess::HeavyTailed { alpha } => {
+                let mut rng = Rng64::new(item_seed(seed ^ 0xA441_5EED, cell));
+                // Pareto(x_min, alpha) has mean x_min * alpha / (alpha - 1);
+                // solve for mean = period.
+                let x_min = period_us * (alpha - 1.0) / alpha;
+                let mut t = phase;
+                let mut out = Vec::with_capacity(frames);
+                for _ in 0..frames {
+                    out.push(t);
+                    let u = 1.0 - rng.next_f64(); // (0, 1]: keeps the gap finite
+                    t += x_min * u.powf(-1.0 / alpha);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Execution mode of a fabric grid: the deterministic virtual-time
+/// simulation, or the wall-clock realtime service whose routing decisions
+/// the sim replays and checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FabricMode {
+    /// Virtual-clock discrete-event simulation (the oracle).
+    Virtual,
+    /// Wall-clock multi-threaded service (`hqw-core::fabric_rt`).
+    Realtime(RealtimeConfig),
+}
+
+/// Thread topology of the realtime fabric service. Worker counts come from
+/// the spec — the backend pool's own capacities size the solver pools — so
+/// the CLI `--threads` override is rejected for realtime specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealtimeConfig {
+    /// Concurrent frame-producer threads (cells are sharded across them).
+    pub producers: usize,
+    /// Sharded MPMC delivery queues between producers and the sequencer.
+    pub queue_shards: usize,
+}
+
+impl RealtimeConfig {
+    /// Validates the thread topology.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.producers == 0 {
+            return Err("RealtimeConfig: need >= 1 producer".to_string());
+        }
+        if self.queue_shards == 0 {
+            return Err("RealtimeConfig: need >= 1 queue shard".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The scheduler
 // ---------------------------------------------------------------------------
 
@@ -739,6 +950,9 @@ pub struct FabricConfig {
     /// Per-cell frame inter-arrival period (µs); cells are phase-staggered
     /// by `period / n_cells` so offered load scales with the cell count.
     pub arrival_period_us: f64,
+    /// Arrival process shaping the per-cell inter-arrival gaps around
+    /// `arrival_period_us` (the mean is preserved across processes).
+    pub arrival: ArrivalProcess,
     /// Per-frame end-to-end latency budget (µs).
     pub deadline_us: f64,
     /// Work-counter → service-time model.
@@ -766,6 +980,9 @@ impl FabricConfig {
         if !(self.arrival_period_us > 0.0 && self.arrival_period_us.is_finite()) {
             return Err(SpecError::new(ctx, "arrival period must be > 0"));
         }
+        self.arrival
+            .validate()
+            .map_err(|msg| SpecError::new(ctx, msg))?;
         if !(self.deadline_us >= 0.0 && self.deadline_us.is_finite()) {
             return Err(SpecError::new(
                 ctx,
@@ -878,7 +1095,9 @@ struct BackendState {
     backend: Box<dyn SolverBackend>,
     queue: VecDeque<usize>,
     /// Jobs of the in-flight batch with their decisions (empty when idle).
-    in_flight: Vec<(usize, JobDecision)>,
+    /// Decisions are `None` in charge-only mode, where the actual solves
+    /// happen on the realtime service's worker threads.
+    in_flight: Vec<(usize, Option<JobDecision>)>,
     free_at: f64,
     busy_us: f64,
     batches: u64,
@@ -906,7 +1125,17 @@ impl BackendState {
 
     /// Starts the next batch from the queue at `start` (queue must be
     /// non-empty): pops the longest same-shape prefix up to `max_batch`.
-    fn start_batch(&mut self, start: f64, cost: &CostModel, jobs: &[FabricJob]) {
+    /// With `solve` the batch is solved inline (the virtual-time sim); in
+    /// charge-only mode the backend is charged the identical `service_us`
+    /// but returns no decisions, and the formed batch's job ids are the
+    /// caller's to dispatch. Returns the batch in queue order.
+    fn start_batch(
+        &mut self,
+        start: f64,
+        cost: &CostModel,
+        jobs: &[FabricJob],
+        solve: bool,
+    ) -> Vec<usize> {
         debug_assert!(self.in_flight.is_empty());
         let head_vars = jobs[*self.queue.front().expect("start_batch: empty queue")].num_vars();
         let mut batch_ids = Vec::new();
@@ -920,21 +1149,33 @@ impl BackendState {
             }
         }
         let batch_jobs: Vec<&FabricJob> = batch_ids.iter().map(|&id| &jobs[id]).collect();
-        let outcome = self.backend.solve_batch(cost, &batch_jobs);
-        assert_eq!(
-            outcome.decisions.len(),
-            batch_jobs.len(),
-            "backend {} returned a mismatched batch",
-            self.backend.name()
-        );
-        self.free_at = start + outcome.service_us;
-        self.busy_us += outcome.service_us;
+        let (service_us, decisions) = if solve {
+            let outcome = self.backend.solve_batch(cost, &batch_jobs);
+            assert_eq!(
+                outcome.decisions.len(),
+                batch_jobs.len(),
+                "backend {} returned a mismatched batch",
+                self.backend.name()
+            );
+            (
+                outcome.service_us,
+                outcome.decisions.into_iter().map(Some).collect(),
+            )
+        } else {
+            (
+                self.backend.charge_batch_us(cost, &batch_jobs),
+                vec![None; batch_jobs.len()],
+            )
+        };
+        self.free_at = start + service_us;
+        self.busy_us += service_us;
         self.batches += 1;
         if self.batch_histogram.len() < batch_ids.len() {
             self.batch_histogram.resize(batch_ids.len(), 0);
         }
         self.batch_histogram[batch_ids.len() - 1] += 1;
-        self.in_flight = batch_ids.into_iter().zip(outcome.decisions).collect();
+        self.in_flight = batch_ids.iter().copied().zip(decisions).collect();
+        batch_ids
     }
 }
 
@@ -945,18 +1186,26 @@ impl FabricJob {
 }
 
 /// Generates every job of the simulation, sorted by arrival time (ties
-/// break by cell, then frame — a total, deterministic order).
-fn generate_jobs(config: &FabricConfig) -> Vec<FabricJob> {
+/// break by cell, then frame — a total, deterministic order). Shared with
+/// the realtime service (`crate::fabric_rt`), whose producers stream the
+/// same jobs so the sim can replay its routing decisions.
+pub(crate) fn generate_jobs(config: &FabricConfig) -> Vec<FabricJob> {
     let tracks = ChannelTrack::cells(config.track, config.n_cells, config.seed ^ 0xCE11_5EED);
     let mut jobs = Vec::with_capacity(config.n_cells * config.frames_per_cell);
-    let phase = config.arrival_period_us / config.n_cells as f64;
     for (cell, mut track) in tracks.into_iter().enumerate() {
-        for frame in 0..config.frames_per_cell {
+        let arrivals = config.arrival.cell_arrivals(
+            config.frames_per_cell,
+            cell,
+            config.n_cells,
+            config.arrival_period_us,
+            config.seed,
+        );
+        for (frame, &arrival_us) in arrivals.iter().enumerate() {
             let inst = track.next().expect("ChannelTrack is infinite");
             jobs.push(FabricJob {
                 cell,
                 frame,
-                arrival_us: frame as f64 * config.arrival_period_us + cell as f64 * phase,
+                arrival_us,
                 seed: item_seed(item_seed(config.seed ^ 0xFAB_0B5, cell), frame),
                 inst,
             });
@@ -988,7 +1237,33 @@ pub struct FabricScheduler {
     deadline_us: f64,
     backends: Vec<BackendState>,
     fallbacks: usize,
+    /// Whether batches are solved inline (virtual sim) or only charged
+    /// (realtime control plane; solves happen on worker threads).
+    solve: bool,
+    /// Per-job routing decision, indexed by job id: `Some(backend)` or
+    /// `None` for the classical fallback. This is the replay trace.
+    trace: Vec<Option<usize>>,
+    /// Batches formed in charge-only mode, in formation order, for the
+    /// realtime service to dispatch to its worker pools.
+    formed: Vec<FormedBatch>,
 }
+
+/// A batch formed by the charge-only scheduler, ready for dispatch to a
+/// realtime worker pool.
+#[derive(Debug, Clone)]
+pub(crate) struct FormedBatch {
+    /// Index of the backend pool the batch is routed to.
+    pub backend: usize,
+    /// Job ids of the batch, in queue order.
+    pub jobs: Vec<usize>,
+}
+
+/// The routing decisions of one fabric run, indexed by job id:
+/// `Some(backend_index)` for fabric-served jobs, `None` for jobs the
+/// admission control downgraded to the classical fallback. The realtime
+/// service records this and the virtual-time sim replays it; CI fails on
+/// any divergence.
+pub type RouteTrace = Vec<Option<usize>>;
 
 impl std::fmt::Debug for FabricScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -996,6 +1271,7 @@ impl std::fmt::Debug for FabricScheduler {
             .field("deadline_us", &self.deadline_us)
             .field("backends", &self.backends.len())
             .field("fallbacks", &self.fallbacks)
+            .field("solve", &self.solve)
             .finish()
     }
 }
@@ -1007,6 +1283,23 @@ impl FabricScheduler {
     /// Panics on an empty pool, a negative deadline, or invalid backend
     /// parameters.
     pub fn new(specs: &[BackendSpec], cost: CostModel, deadline_us: f64) -> Self {
+        Self::with_mode(specs, cost, deadline_us, true)
+    }
+
+    /// Builds a **charge-only** scheduler: admission and batch formation run
+    /// exactly as in the virtual sim, but backends are charged via
+    /// [`SolverBackend::charge_batch_us`] instead of solving, and formed
+    /// batches accumulate for the caller to dispatch (the realtime
+    /// service's control plane).
+    pub(crate) fn new_charge_only(
+        specs: &[BackendSpec],
+        cost: CostModel,
+        deadline_us: f64,
+    ) -> Self {
+        Self::with_mode(specs, cost, deadline_us, false)
+    }
+
+    fn with_mode(specs: &[BackendSpec], cost: CostModel, deadline_us: f64, solve: bool) -> Self {
         assert!(!specs.is_empty(), "FabricScheduler: empty backend pool");
         assert!(
             deadline_us >= 0.0,
@@ -1029,7 +1322,20 @@ impl FabricScheduler {
                 })
                 .collect(),
             fallbacks: 0,
+            solve,
+            trace: Vec::new(),
+            formed: Vec::new(),
         }
+    }
+
+    /// The recorded routing decisions so far, indexed by admission order.
+    pub(crate) fn trace(&self) -> &[Option<usize>] {
+        &self.trace
+    }
+
+    /// Drains the batches formed since the last call (charge-only mode).
+    pub(crate) fn take_formed(&mut self) -> Vec<FormedBatch> {
+        std::mem::take(&mut self.formed)
     }
 
     /// The earliest in-flight batch completion, as `(time, backend index)`
@@ -1059,29 +1365,66 @@ impl FabricScheduler {
     ) {
         let state = &mut self.backends[b_idx];
         for (job_id, decision) in std::mem::take(&mut state.in_flight) {
-            let job = &jobs[job_id];
-            finished[job_id] = Some(JobFinish {
-                latency_us: t_c - job.arrival_us,
-                ber: bit_error_rate(&job.inst.tx_gray_bits, &decision.gray_bits),
-                fallback: false,
-            });
+            if let Some(decision) = decision {
+                let job = &jobs[job_id];
+                finished[job_id] = Some(JobFinish {
+                    latency_us: t_c - job.arrival_us,
+                    ber: bit_error_rate(&job.inst.tx_gray_bits, &decision.gray_bits),
+                    fallback: false,
+                });
+            }
             state.jobs_done += 1;
         }
         if !state.queue.is_empty() {
-            state.start_batch(t_c, &self.cost, jobs);
+            let batch = state.start_batch(t_c, &self.cost, jobs, self.solve);
+            if !self.solve {
+                self.formed.push(FormedBatch {
+                    backend: b_idx,
+                    jobs: batch,
+                });
+            }
+        }
+    }
+
+    /// Charge-mode driver: advances the virtual clock to `t`, completing
+    /// every in-flight batch due at or before it (completions fire before
+    /// the arrival sharing their timestamp, exactly as in [`run_fabric`]).
+    pub(crate) fn advance_to(&mut self, t: f64, jobs: &[FabricJob]) {
+        while let Some((t_c, b_idx)) = self.next_completion() {
+            if t_c > t {
+                break;
+            }
+            self.complete(b_idx, t_c, jobs, &mut []);
+        }
+    }
+
+    /// Charge-mode admission of job `job_id` at `t_a`. Call
+    /// [`Self::advance_to`] first so capacity freed by earlier completions
+    /// is visible to the decision.
+    pub(crate) fn admit_charged(&mut self, job_id: usize, t_a: f64, jobs: &[FabricJob]) {
+        debug_assert!(!self.solve, "admit_charged on a solving scheduler");
+        self.admit(job_id, t_a, jobs, None, &mut []);
+    }
+
+    /// Charge-mode drain after the last admission: completes every
+    /// remaining in-flight batch so residual queued jobs form batches.
+    pub(crate) fn drain(&mut self, jobs: &[FabricJob]) {
+        while let Some((t_c, b_idx)) = self.next_completion() {
+            self.complete(b_idx, t_c, jobs, &mut []);
         }
     }
 
     /// Admits job `job_id` arriving at `t_a`: routes it to the backend with
     /// the lowest predicted completion when that fits the deadline, or runs
     /// the local classical fallback immediately (recording its result into
-    /// `finished`).
+    /// `finished`; charge-only mode skips the fallback solve, so `classical`
+    /// is `None` there).
     fn admit(
         &mut self,
         job_id: usize,
         t_a: f64,
         jobs: &[FabricJob],
-        classical: &dyn Detector,
+        classical: Option<&dyn Detector>,
         finished: &mut [Option<JobFinish>],
     ) {
         let job = &jobs[job_id];
@@ -1098,21 +1441,32 @@ impl FabricScheduler {
             })
             .expect("backend pool is non-empty");
         if best.0 - t_a <= self.deadline_us {
+            self.trace.push(Some(best.1));
             let state = &mut self.backends[best.1];
             state.queue.push_back(job_id);
             if state.in_flight.is_empty() {
-                state.start_batch(t_a, &self.cost, jobs);
+                let batch = state.start_batch(t_a, &self.cost, jobs, self.solve);
+                if !self.solve {
+                    self.formed.push(FormedBatch {
+                        backend: best.1,
+                        jobs: batch,
+                    });
+                }
             }
         } else {
             // Admission control rejects: local classical fallback,
             // uncontended at the cell.
+            self.trace.push(None);
             self.fallbacks += 1;
-            let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
-            finished[job_id] = Some(JobFinish {
-                latency_us: self.cost.service_us(&result.meta),
-                ber: bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits),
-                fallback: true,
-            });
+            if self.solve {
+                let classical = classical.expect("solving scheduler needs a classical fallback");
+                let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
+                finished[job_id] = Some(JobFinish {
+                    latency_us: self.cost.service_us(&result.meta),
+                    ber: bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits),
+                    fallback: true,
+                });
+            }
         }
     }
 }
@@ -1125,6 +1479,16 @@ impl FabricScheduler {
 /// deadline, an empty backend pool, or invalid backend parameters (see
 /// [`FabricConfig::validate`] for the non-panicking check).
 pub fn run_fabric(config: &FabricConfig) -> FabricReport {
+    run_fabric_traced(config).0
+}
+
+/// [`run_fabric`] plus the recorded [`RouteTrace`] — the oracle side of the
+/// realtime service's replay contract: the trace a realtime run records
+/// must equal the trace this simulation produces for the same config.
+///
+/// # Panics
+/// As [`run_fabric`].
+pub fn run_fabric_traced(config: &FabricConfig) -> (FabricReport, RouteTrace) {
     config.validate_or_panic();
 
     let jobs = generate_jobs(config);
@@ -1145,13 +1509,14 @@ pub fn run_fabric(config: &FabricConfig) -> FabricReport {
                 scheduler.complete(b_idx, t_c, &jobs, &mut finished);
             }
             (_, Some(t_a)) => {
-                scheduler.admit(next_arrival, t_a, &jobs, &classical, &mut finished);
+                scheduler.admit(next_arrival, t_a, &jobs, Some(&classical), &mut finished);
                 next_arrival += 1;
             }
             (Some(_), None) => unreachable!("guarded arm covers completions with no arrivals"),
         }
     }
 
+    let trace = std::mem::take(&mut scheduler.trace);
     let backends = scheduler.backends;
     let fallbacks = scheduler.fallbacks;
     let per_job: Vec<JobFinish> = finished
@@ -1177,7 +1542,7 @@ pub fn run_fabric(config: &FabricConfig) -> FabricReport {
         .collect();
     let served_misses = served.iter().filter(|&&l| l > config.deadline_us).count();
 
-    FabricReport {
+    let report = FabricReport {
         mix: String::new(), // filled by the grid runner
         n_cells: config.n_cells,
         arrival_period_us: config.arrival_period_us,
@@ -1223,7 +1588,8 @@ pub fn run_fabric(config: &FabricConfig) -> FabricReport {
                 }
             })
             .collect(),
-    }
+    };
+    (report, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -1244,6 +1610,12 @@ pub struct FabricGridConfig {
     pub arrival_periods_us: Vec<f64>,
     /// Backend mixes to sweep.
     pub mixes: Vec<BackendMix>,
+    /// Arrival process shaping per-cell inter-arrival gaps (default
+    /// periodic, the original fabric load).
+    pub arrival: ArrivalProcess,
+    /// Execution mode: the virtual-time sim or the wall-clock realtime
+    /// service (`hqw-core::fabric_rt`). The routing decisions must agree.
+    pub mode: FabricMode,
     /// Latency budget shared by every point (µs).
     pub deadline_us: f64,
     /// Work-counter → service-time model.
@@ -1267,6 +1639,8 @@ impl FabricGridConfig {
                 cell_counts: vec![1],
                 arrival_periods_us: Vec::new(),
                 mixes: Vec::new(),
+                arrival: ArrivalProcess::Periodic,
+                mode: FabricMode::Virtual,
                 deadline_us: 700.0,
                 cost: CostModel::default(),
                 seed: 0,
@@ -1301,6 +1675,9 @@ impl FabricGridConfig {
         if self.cell_counts.contains(&0) {
             return Err(SpecError::new(ctx, "cell counts must be >= 1"));
         }
+        if let FabricMode::Realtime(rt) = &self.mode {
+            rt.validate().map_err(|msg| SpecError::new(ctx, msg))?;
+        }
         for mix in &self.mixes {
             // Every point of this mix shares the remaining parameters;
             // validate once per mix through a representative point.
@@ -1309,6 +1686,7 @@ impl FabricGridConfig {
                 n_cells: self.cell_counts[0],
                 frames_per_cell: self.frames_per_cell,
                 arrival_period_us: self.arrival_periods_us[0],
+                arrival: self.arrival,
                 deadline_us: self.deadline_us,
                 cost: self.cost,
                 backends: mix.backends.clone(),
@@ -1364,6 +1742,18 @@ impl FabricGridConfigBuilder {
     /// Sets the backend-mix axis. Required.
     pub fn mixes(mut self, mixes: Vec<BackendMix>) -> Self {
         self.config.mixes = mixes;
+        self
+    }
+
+    /// Sets the arrival process (default [`ArrivalProcess::Periodic`]).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.config.arrival = arrival;
+        self
+    }
+
+    /// Sets the execution mode (default [`FabricMode::Virtual`]).
+    pub fn mode(mut self, mode: FabricMode) -> Self {
+        self.config.mode = mode;
         self
     }
 
@@ -1425,16 +1815,10 @@ pub struct FabricGridReport {
     pub points: Vec<FabricReport>,
 }
 
-/// Runs the full (mix × cells × load) grid, fanning points out across
-/// `config.threads` workers. See the module docs for the determinism
-/// contract.
-///
-/// # Panics
-/// Panics on an empty mix/cells/load axis or invalid point parameters (see
-/// [`FabricGridConfig::validate`] for the non-panicking check).
-pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
-    config.validate_or_panic();
-
+/// Expands the grid into its `(mix name, point config)` list, in
+/// (mix, cells, load) order. Shared with the realtime service so both
+/// modes run byte-identical point configurations.
+pub(crate) fn grid_points(config: &FabricGridConfig) -> Vec<(String, FabricConfig)> {
     let mut points = Vec::new();
     for mix in &config.mixes {
         for (cells_idx, &n_cells) in config.cell_counts.iter().enumerate() {
@@ -1446,6 +1830,7 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
                         n_cells,
                         frames_per_cell: config.frames_per_cell,
                         arrival_period_us,
+                        arrival: config.arrival,
                         deadline_us: config.deadline_us,
                         cost: config.cost,
                         backends: mix.backends.clone(),
@@ -1457,7 +1842,21 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
             }
         }
     }
+    points
+}
 
+/// Runs the full (mix × cells × load) grid, fanning points out across
+/// `config.threads` workers. See the module docs for the determinism
+/// contract. Always runs the virtual-time sim regardless of `config.mode`
+/// — this is what makes it the replay oracle for realtime configs.
+///
+/// # Panics
+/// Panics on an empty mix/cells/load axis or invalid point parameters (see
+/// [`FabricGridConfig::validate`] for the non-panicking check).
+pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
+    config.validate_or_panic();
+
+    let points = grid_points(config);
     let reports = parallel_map_indexed(&points, config.threads, |_, (mix_name, point)| {
         let mut report = run_fabric(point);
         report.mix = mix_name.clone();
@@ -1710,6 +2109,7 @@ mod tests {
             n_cells,
             frames_per_cell: 16,
             arrival_period_us: period,
+            arrival: ArrivalProcess::Periodic,
             deadline_us: deadline,
             cost: CostModel::default(),
             backends,
@@ -1871,6 +2271,7 @@ mod tests {
             n_cells: 1,
             frames_per_cell: 32,
             arrival_period_us: period,
+            arrival: ArrivalProcess::Periodic,
             deadline_us: deadline,
             cost: CostModel::default(),
             backends: vec![BackendSpec::SaPool(SaPoolConfig {
@@ -1926,6 +2327,8 @@ mod tests {
                     backends: hetero_pool(),
                 },
             ],
+            arrival: ArrivalProcess::Periodic,
+            mode: FabricMode::Virtual,
             deadline_us: 600.0,
             cost: CostModel::default(),
             seed: 7,

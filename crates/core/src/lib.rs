@@ -33,6 +33,10 @@
 //!   heterogeneous pool of solver backends (SA pool, PIMC, SVMC, mock QPU
 //!   behind a network with cached embeddings) through the batching,
 //!   deadline-aware [`fabric::FabricScheduler`].
+//! * [`fabric_rt`] — the fabric's wall-clock realtime twin: concurrent
+//!   frame producers, sharded MPMC delivery queues, per-backend worker
+//!   pools, and a charge-only control plane whose routing decisions replay
+//!   bit-exactly through the [`fabric`] virtual-time sim.
 //! * [`experiments`] — canned runners for every figure in the evaluation.
 //! * [`spec`] — the unified experiment-spec layer: declarative, versioned
 //!   [`spec::ExperimentSpec`] descriptions of every experiment, an
@@ -46,6 +50,7 @@
 pub mod event_sim;
 pub mod experiments;
 pub mod fabric;
+pub mod fabric_rt;
 pub mod harvest;
 pub mod iterative;
 pub mod metrics;
@@ -60,8 +65,13 @@ pub mod stream;
 pub mod sweep;
 
 pub use fabric::{
-    run_fabric, run_fabric_grid, BackendMix, BackendSpec, FabricConfig, FabricGridConfig,
-    FabricGridReport, FabricReport, FabricScheduler, NetworkModel, SolverBackend,
+    run_fabric, run_fabric_grid, run_fabric_traced, ArrivalProcess, BackendMix, BackendSpec,
+    FabricConfig, FabricGridConfig, FabricGridReport, FabricMode, FabricReport, FabricScheduler,
+    NetworkModel, RealtimeConfig, RouteTrace, SolverBackend,
+};
+pub use fabric_rt::{
+    diff_traces, replay_trace_doc, run_fabric_rt_grid, FabricRtGridReport, FabricRtReport,
+    ReplayReport,
 };
 pub use protocol::Protocol;
 pub use report::Report;

@@ -29,8 +29,8 @@ pub mod json;
 
 use crate::experiments::Scale;
 use crate::fabric::{
-    AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig, NetworkModel,
-    SaPoolConfig,
+    AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig, FabricMode,
+    MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
 };
 use crate::scenario::SnrSweepConfig;
 use crate::stream::{CostModel, DispatchPolicy, StreamGridConfig};
@@ -215,16 +215,32 @@ pub enum ExperimentSpec {
 }
 
 impl ExperimentSpec {
-    /// The experiment family tag (`"ber"`, `"stream"`, `"fabric"`, or the
-    /// canned experiment's name) — the `experiment` field of the JSON
-    /// document and the registry key.
+    /// The experiment family tag (`"ber"`, `"stream"`, `"fabric"`,
+    /// `"fabric-rt"` for a realtime-mode fabric, or the canned experiment's
+    /// name) — the `experiment` field of the JSON document and the registry
+    /// key.
     pub fn family(&self) -> &'static str {
         match self {
             ExperimentSpec::Ber(_) => "ber",
             ExperimentSpec::Stream(_) => "stream",
-            ExperimentSpec::Fabric(_) => "fabric",
+            ExperimentSpec::Fabric(c) => match c.mode {
+                FabricMode::Virtual => "fabric",
+                FabricMode::Realtime(_) => "fabric-rt",
+            },
             ExperimentSpec::Canned(c) => c.experiment.name(),
         }
+    }
+
+    /// Whether this is a realtime-mode spec (worker counts come from the
+    /// spec itself, so the CLI `--threads` override is rejected).
+    pub fn is_realtime(&self) -> bool {
+        matches!(
+            self,
+            ExperimentSpec::Fabric(FabricGridConfig {
+                mode: FabricMode::Realtime(_),
+                ..
+            })
+        )
     }
 
     /// The spec's RNG seed.
@@ -313,7 +329,8 @@ impl ExperimentSpec {
         let spec = match experiment.as_str() {
             "ber" => ExperimentSpec::Ber(parse_ber(config)?),
             "stream" => ExperimentSpec::Stream(parse_stream(config)?),
-            "fabric" => ExperimentSpec::Fabric(parse_fabric(config)?),
+            "fabric" => ExperimentSpec::Fabric(parse_fabric(config, false)?),
+            "fabric-rt" => ExperimentSpec::Fabric(parse_fabric(config, true)?),
             other => match CannedKind::from_name(other) {
                 Some(kind) => ExperimentSpec::Canned(parse_canned(kind, config)?),
                 None => {
@@ -473,8 +490,25 @@ fn backend_json(b: &BackendSpec) -> Json {
     }
 }
 
+fn arrival_json(a: &ArrivalProcess) -> Json {
+    let mut fields = vec![("process", Json::Str(a.name().to_string()))];
+    match *a {
+        ArrivalProcess::Periodic => {}
+        ArrivalProcess::Bursty { burst } => fields.push(("burst", uint(burst))),
+        ArrivalProcess::Diurnal {
+            amplitude,
+            cycle_frames,
+        } => {
+            fields.push(("amplitude", num(amplitude)));
+            fields.push(("cycle_frames", uint(cycle_frames)));
+        }
+        ArrivalProcess::HeavyTailed { alpha } => fields.push(("alpha", num(alpha))),
+    }
+    obj(fields)
+}
+
 fn fabric_json(c: &FabricGridConfig) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("track", track_json(&c.track)),
         ("frames_per_cell", uint(c.frames_per_cell)),
         ("cell_counts", usize_arr(&c.cell_counts)),
@@ -496,11 +530,30 @@ fn fabric_json(c: &FabricGridConfig) -> Json {
                     .collect(),
             ),
         ),
+    ];
+    // Periodic is the implicit default: pre-arrival fabric specs stay
+    // parseable and serialize unchanged.
+    if c.arrival != ArrivalProcess::Periodic {
+        fields.push(("arrival", arrival_json(&c.arrival)));
+    }
+    // The mode itself lives in the `experiment` tag ("fabric" vs
+    // "fabric-rt"); only the realtime thread topology is config.
+    if let FabricMode::Realtime(rt) = &c.mode {
+        fields.push((
+            "realtime",
+            obj(vec![
+                ("producers", uint(rt.producers)),
+                ("queue_shards", uint(rt.queue_shards)),
+            ]),
+        ));
+    }
+    fields.extend(vec![
         ("deadline_us", num(c.deadline_us)),
         ("cost", cost_json(&c.cost)),
         ("seed", Json::UInt(c.seed)),
         ("threads", uint(c.threads)),
-    ])
+    ]);
+    obj(fields)
 }
 
 fn canned_json(c: &CannedSpec) -> Json {
@@ -829,8 +882,52 @@ fn parse_backend(o: &Json, ctx: &str) -> Result<BackendSpec, SpecError> {
     }
 }
 
-fn parse_fabric(config: &Json) -> Result<FabricGridConfig, SpecError> {
-    let ctx = "spec.config (fabric)";
+/// `"arrival"` is optional (pre-arrival fabric specs default to the
+/// original periodic process); when present, `process` selects the variant
+/// and the variant's own parameters are required.
+fn parse_arrival(config: &Json, ctx: &str) -> Result<ArrivalProcess, SpecError> {
+    let Some(a) = config.get("arrival") else {
+        return Ok(ArrivalProcess::Periodic);
+    };
+    let a_ctx = &format!("{ctx}.arrival");
+    let process = req_str(a, "process", a_ctx)?;
+    match process {
+        "periodic" => {
+            check_keys(a, &["process"], a_ctx)?;
+            Ok(ArrivalProcess::Periodic)
+        }
+        "bursty" => {
+            check_keys(a, &["process", "burst"], a_ctx)?;
+            Ok(ArrivalProcess::Bursty {
+                burst: req_usize(a, "burst", a_ctx)?,
+            })
+        }
+        "diurnal" => {
+            check_keys(a, &["process", "amplitude", "cycle_frames"], a_ctx)?;
+            Ok(ArrivalProcess::Diurnal {
+                amplitude: req_f64(a, "amplitude", a_ctx)?,
+                cycle_frames: req_usize(a, "cycle_frames", a_ctx)?,
+            })
+        }
+        "heavy-tailed" => {
+            check_keys(a, &["process", "alpha"], a_ctx)?;
+            Ok(ArrivalProcess::HeavyTailed {
+                alpha: req_f64(a, "alpha", a_ctx)?,
+            })
+        }
+        other => Err(SpecError::new(
+            a_ctx,
+            format!("unknown arrival process '{other}'"),
+        )),
+    }
+}
+
+fn parse_fabric(config: &Json, realtime: bool) -> Result<FabricGridConfig, SpecError> {
+    let ctx = if realtime {
+        "spec.config (fabric-rt)"
+    } else {
+        "spec.config (fabric)"
+    };
     check_keys(
         config,
         &[
@@ -839,6 +936,8 @@ fn parse_fabric(config: &Json) -> Result<FabricGridConfig, SpecError> {
             "cell_counts",
             "arrival_periods_us",
             "mixes",
+            "arrival",
+            "realtime",
             "deadline_us",
             "cost",
             "seed",
@@ -846,6 +945,29 @@ fn parse_fabric(config: &Json) -> Result<FabricGridConfig, SpecError> {
         ],
         ctx,
     )?;
+    let mode = match (realtime, config.get("realtime")) {
+        (false, None) => FabricMode::Virtual,
+        (false, Some(_)) => {
+            return Err(SpecError::new(
+                ctx,
+                "\"realtime\" settings on a virtual fabric spec \
+                 (use experiment \"fabric-rt\")",
+            ));
+        }
+        // Realtime with the default thread topology.
+        (true, None) => FabricMode::Realtime(RealtimeConfig {
+            producers: 2,
+            queue_shards: 2,
+        }),
+        (true, Some(rt)) => {
+            let rt_ctx = &format!("{ctx}.realtime");
+            check_keys(rt, &["producers", "queue_shards"], rt_ctx)?;
+            FabricMode::Realtime(RealtimeConfig {
+                producers: req_usize(rt, "producers", rt_ctx)?,
+                queue_shards: req_usize(rt, "queue_shards", rt_ctx)?,
+            })
+        }
+    };
     let mixes = req(config, "mixes", ctx)?
         .as_arr()
         .ok_or_else(|| SpecError::new(ctx, "field \"mixes\" must be an array"))?
@@ -873,6 +995,8 @@ fn parse_fabric(config: &Json) -> Result<FabricGridConfig, SpecError> {
         cell_counts: req_usize_arr(config, "cell_counts", ctx)?,
         arrival_periods_us: req_f64_arr(config, "arrival_periods_us", ctx)?,
         mixes,
+        arrival: parse_arrival(config, ctx)?,
+        mode,
         deadline_us: req_f64(config, "deadline_us", ctx)?,
         cost: parse_cost(config, ctx)?,
         seed: req_u64(config, "seed", ctx)?,
@@ -1007,11 +1131,25 @@ mod tests {
                     ],
                 },
             ],
+            arrival: ArrivalProcess::Periodic,
+            mode: FabricMode::Virtual,
             deadline_us: 700.0,
             cost: CostModel::default(),
             seed: 2026,
             threads: 0,
         })
+    }
+
+    fn fabric_rt_spec() -> ExperimentSpec {
+        let ExperimentSpec::Fabric(mut config) = fabric_spec() else {
+            unreachable!()
+        };
+        config.arrival = ArrivalProcess::Bursty { burst: 4 };
+        config.mode = FabricMode::Realtime(RealtimeConfig {
+            producers: 3,
+            queue_shards: 2,
+        });
+        ExperimentSpec::Fabric(config)
     }
 
     fn canned_spec() -> ExperimentSpec {
@@ -1024,10 +1162,76 @@ mod tests {
 
     #[test]
     fn every_family_round_trips_exactly() {
-        for spec in [ber_spec(), stream_spec(), fabric_spec(), canned_spec()] {
+        for spec in [
+            ber_spec(),
+            stream_spec(),
+            fabric_spec(),
+            fabric_rt_spec(),
+            canned_spec(),
+        ] {
             let text = spec.to_json();
             let parsed = ExperimentSpec::parse(&text).expect(&text);
             assert_eq!(parsed, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn arrival_processes_round_trip_and_typos_are_rejected() {
+        let ExperimentSpec::Fabric(base) = fabric_spec() else {
+            unreachable!()
+        };
+        for arrival in [
+            ArrivalProcess::Bursty { burst: 3 },
+            ArrivalProcess::Diurnal {
+                amplitude: 0.5,
+                cycle_frames: 16,
+            },
+            ArrivalProcess::HeavyTailed { alpha: 1.5 },
+        ] {
+            let mut config = base.clone();
+            config.arrival = arrival;
+            let spec = ExperimentSpec::Fabric(config);
+            let parsed = ExperimentSpec::parse(&spec.to_json()).expect("round trip");
+            assert_eq!(parsed, spec);
+        }
+
+        let mut config = base.clone();
+        config.arrival = ArrivalProcess::Bursty { burst: 3 };
+        let doc = ExperimentSpec::Fabric(config)
+            .to_json()
+            .replace("\"burst\"", "\"bursts\"");
+        let err = ExperimentSpec::parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("unknown field"), "got: {err}");
+    }
+
+    #[test]
+    fn realtime_mode_is_the_experiment_tag() {
+        // fabric-rt serializes under its own experiment tag...
+        let text = fabric_rt_spec().to_json();
+        assert!(text.contains("\"experiment\": \"fabric-rt\""), "{text}");
+        // ...a realtime stanza on a plain fabric spec is rejected...
+        let bad = text.replace("\"fabric-rt\"", "\"fabric\"");
+        let err = ExperimentSpec::parse(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("virtual fabric spec"),
+            "got: {err}"
+        );
+        // ...and fabric-rt without one gets the default thread topology.
+        let mut doc = fabric_spec().to_json();
+        doc = doc.replace(
+            "\"experiment\": \"fabric\"",
+            "\"experiment\": \"fabric-rt\"",
+        );
+        let spec = ExperimentSpec::parse(&doc).expect("defaulted realtime");
+        match spec {
+            ExperimentSpec::Fabric(c) => assert_eq!(
+                c.mode,
+                FabricMode::Realtime(RealtimeConfig {
+                    producers: 2,
+                    queue_shards: 2,
+                })
+            ),
+            _ => unreachable!(),
         }
     }
 
@@ -1036,6 +1240,9 @@ mod tests {
         assert_eq!(ber_spec().family(), "ber");
         assert_eq!(stream_spec().family(), "stream");
         assert_eq!(fabric_spec().family(), "fabric");
+        assert_eq!(fabric_rt_spec().family(), "fabric-rt");
+        assert!(fabric_rt_spec().is_realtime());
+        assert!(!fabric_spec().is_realtime());
         assert_eq!(canned_spec().family(), "fig3");
         assert_eq!(canned_spec().seed(), 7);
         let mut spec = ber_spec();

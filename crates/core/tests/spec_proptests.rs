@@ -5,8 +5,8 @@
 
 use hqw_core::experiments::Scale;
 use hqw_core::fabric::{
-    AnnealerConfig, BackendMix, BackendSpec, FabricGridConfig, MockQpuConfig, NetworkModel,
-    SaPoolConfig,
+    AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig, FabricMode,
+    MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
 };
 use hqw_core::scenario::SnrSweepConfig;
 use hqw_core::spec::{CannedKind, CannedSpec, ExperimentSpec};
@@ -101,6 +101,33 @@ fn arbitrary_backend(rng: &mut Rng64) -> BackendSpec {
     }
 }
 
+fn arbitrary_arrival(rng: &mut Rng64) -> ArrivalProcess {
+    match rng.next_index(4) {
+        0 => ArrivalProcess::Periodic,
+        1 => ArrivalProcess::Bursty {
+            burst: 1 + rng.next_index(8),
+        },
+        2 => ArrivalProcess::Diurnal {
+            amplitude: rng.next_range(0.0, 0.99),
+            cycle_frames: 2 + rng.next_index(64),
+        },
+        _ => ArrivalProcess::HeavyTailed {
+            alpha: rng.next_range(1.1, 4.0),
+        },
+    }
+}
+
+fn arbitrary_mode(rng: &mut Rng64) -> FabricMode {
+    if rng.next_bool() {
+        FabricMode::Virtual
+    } else {
+        FabricMode::Realtime(RealtimeConfig {
+            producers: 1 + rng.next_index(4),
+            queue_shards: 1 + rng.next_index(4),
+        })
+    }
+}
+
 fn arbitrary_spec(seed: u64) -> ExperimentSpec {
     let mut rng = Rng64::new(seed);
     match rng.next_index(4) {
@@ -153,6 +180,8 @@ fn arbitrary_spec(seed: u64) -> ExperimentSpec {
                         .collect(),
                 })
                 .collect(),
+            arrival: arbitrary_arrival(&mut rng),
+            mode: arbitrary_mode(&mut rng),
             deadline_us: pos_f64(&mut rng, 0.0, 2000.0),
             cost: arbitrary_cost(&mut rng),
             seed: rng.next_u64(),
