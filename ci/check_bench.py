@@ -86,9 +86,18 @@ BENCH_fabric.json
     carries survivor bias;
   * at least one point actually formed a multi-job batch.
 
+SHARD_*.json (via --shards, standalone mode)
+  * every document is a well-formed ShardReport: bench == "shard",
+    schema_version == 1, a 16-hex-digit fingerprint, a shardable
+    experiment family, point_ids matching the embedded points exactly,
+    all ids strictly increasing and inside [0, total_points);
+  * across the group: one spec fingerprint, one (family, total_points),
+    pairwise-disjoint point sets that together cover the full grid.
+
 Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
                          [--fabric-rt PATH] [--ber PATH] [--manifest PATH]
        ci/check_bench.py --history
+       ci/check_bench.py --shards SHARD.json [SHARD.json ...]
 """
 
 import argparse
@@ -428,6 +437,88 @@ def check_fabric_rt(path):
     print(f"{path}: {len(points)} realtime points OK (peak {peak:.0f} frames/s)")
 
 
+# Experiment families `hqw run --shard` can produce documents for.
+SHARDABLE_FAMILIES = {"ber", "stream", "fabric"}
+
+
+def check_shard(paths):
+    """Validate a group of ShardReport documents as one shard partition."""
+    docs = []
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        check(doc.get("bench") == "shard", f"{path}: bench != 'shard'")
+        check(
+            doc.get("schema_version") == 1,
+            f"{path}: schema_version {doc.get('schema_version')} != 1",
+        )
+        fingerprint = doc.get("fingerprint", "")
+        check(
+            len(fingerprint) == 16
+            and all(c in "0123456789abcdef" for c in fingerprint),
+            f"{path}: fingerprint '{fingerprint}' is not 16 lowercase hex digits",
+        )
+        check(
+            doc.get("experiment") in SHARDABLE_FAMILIES,
+            f"{path}: experiment '{doc.get('experiment')}' is not shardable",
+        )
+        shard = doc.get("shard", {})
+        index, count = shard.get("index"), shard.get("count")
+        check(
+            isinstance(index, int) and isinstance(count, int) and 1 <= index <= count,
+            f"{path}: bad shard selector {shard}",
+        )
+        total = doc.get("total_points")
+        check(isinstance(total, int) and total > 0, f"{path}: bad total_points {total}")
+        point_ids = doc.get("point_ids", [])
+        body_ids = [p.get("id") for p in doc.get("points", [])]
+        check(
+            point_ids == body_ids,
+            f"{path}: point_ids header does not match the points array",
+        )
+        check(
+            all(isinstance(i, int) and 0 <= i < total for i in point_ids),
+            f"{path}: point id(s) outside [0, {total})",
+        )
+        check(
+            point_ids == sorted(set(point_ids)),
+            f"{path}: point ids are not strictly increasing",
+        )
+        docs.append((path, doc))
+
+    if not docs:
+        check(False, "--shards: no shard files given")
+        return
+    path0, doc0 = docs[0]
+    key0 = (doc0.get("fingerprint"), doc0.get("experiment"), doc0.get("total_points"))
+    for path, doc in docs[1:]:
+        key = (doc.get("fingerprint"), doc.get("experiment"), doc.get("total_points"))
+        check(
+            key == key0,
+            f"{path}: (fingerprint, experiment, total_points) {key} "
+            f"differs from {path0}'s {key0}",
+        )
+    owner = {}
+    for path, doc in docs:
+        for i in doc.get("point_ids", []):
+            check(
+                i not in owner,
+                f"point id {i} appears in both {owner.get(i)} and {path}",
+            )
+            owner[i] = path
+    total = doc0.get("total_points") or 0
+    missing = [i for i in range(total) if i not in owner]
+    check(
+        not missing,
+        f"shard group misses point id(s) {missing[:8]} of 0..{total}",
+    )
+    if not failures:
+        print(
+            f"shards OK: {len(docs)} document(s) tile all {total} "
+            f"{doc0.get('experiment')} grid points, fingerprint {key0[0]}"
+        )
+
+
 # The committed BENCH files the --history walk tracks, with the metrics
 # each contributes to the trajectory table (file, column, extractor).
 HISTORY_COLUMNS = [
@@ -539,10 +630,20 @@ def main():
         help="standalone mode: print the committed BENCH_*.json perf "
         "trajectory across git history and gate the newest commit",
     )
+    parser.add_argument(
+        "--shards",
+        nargs="+",
+        default=None,
+        metavar="SHARD.json",
+        help="standalone mode: validate a group of hqw ShardReport "
+        "documents (headers, fingerprints, exact grid coverage)",
+    )
     args = parser.parse_args()
 
     if args.history:
         check_history()
+    elif args.shards is not None:
+        check_shard(args.shards)
     else:
         check_kernels(args.kernels, baseline_path=args.kernels_baseline)
         check_ber(args.ber)

@@ -4,6 +4,9 @@
 //! hqw list [--json]
 //! hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR]
 //!                          [--threads N] [--json PATH]
+//!                          [--shard K/N] [--checkpoint PATH]
+//! hqw run --resume <checkpoint> [--out DIR] [--json PATH]
+//! hqw merge <shard.json>... [-o PATH]
 //! ```
 //!
 //! `hqw list` prints the experiment registry (add `--json` for the
@@ -12,14 +15,25 @@
 //! `ExperimentSpec` document (schema in `crates/bench/README.md`) and runs
 //! it. For spec-file runs, explicit `--seed`/`--threads` override the
 //! file's values and `--quick`/`--full` are rejected (the file carries its
-//! own shape). `hqw replay trace.json` re-feeds a recorded realtime
-//! routing trace through the virtual-time sim and exits 1 on any decision
-//! divergence — the `realtime-replay` CI contract. Malformed commands,
-//! unknown experiment names and invalid spec/trace files are reported on
-//! stderr with the usage line and exit status 2 — never a panic.
+//! own shape).
+//!
+//! The distributed plane: `--shard K/N` runs one strided slice of the
+//! point grid and emits a `ShardReport`; `hqw merge` reassembles a full
+//! set of shards into the ordinary report, byte-identical to running
+//! unsharded. `--checkpoint` journals completed points to a JSONL file as
+//! the run progresses, and `--resume` continues a killed run from that
+//! journal to the identical final report (schemas in
+//! `crates/bench/README.md`).
+//!
+//! `hqw replay trace.json` re-feeds a recorded realtime routing trace
+//! through the virtual-time sim and exits 1 on any decision divergence —
+//! the `realtime-replay` CI contract. Malformed commands, unknown
+//! experiment names and invalid spec/trace/shard/checkpoint files are
+//! reported on stderr with the usage line and exit status 2 — never a
+//! panic.
 
 use hqw_bench::cli::{HqwCommand, HQW_USAGE};
-use hqw_bench::registry;
+use hqw_bench::{distributed, registry};
 use hqw_core::fabric_rt::replay_trace_doc;
 
 fn main() {
@@ -45,21 +59,41 @@ fn main() {
                 println!("run one with: hqw run <name> [--quick|--full]");
             }
         }
-        HqwCommand::Run {
-            target,
-            mut options,
-            given,
-        } => {
-            let spec = match registry::resolve_target(&target, &options, given) {
+        HqwCommand::Run(mut run) => {
+            if let Some(path) = run.resume {
+                if let Err(message) = distributed::run_resume(&path, &run.options) {
+                    fail(&message);
+                }
+                return;
+            }
+            let target = run
+                .target
+                .expect("parser guarantees a target when not resuming");
+            let spec = match registry::resolve_target(&target, &run.options, run.given) {
                 Ok(spec) => spec,
                 Err(message) => fail(&message),
             };
             if target.ends_with(".json") {
                 // The banner reports what actually ran: a spec file's shape
                 // is its own, not a named scale preset.
-                options.scale_name = "spec";
+                run.options.scale_name = "spec";
             }
-            registry::run_spec(&spec, &options);
+            let result = if let Some((index, count)) = run.shard {
+                distributed::run_shard(&spec, &run.options, index, count)
+            } else if let Some(path) = run.checkpoint {
+                distributed::run_checkpointed(&spec, &run.options, &path)
+            } else {
+                registry::run_spec(&spec, &run.options);
+                Ok(())
+            };
+            if let Err(message) = result {
+                fail(&message);
+            }
+        }
+        HqwCommand::Merge { shards, out } => {
+            if let Err(message) = distributed::run_merge(&shards, out.as_deref()) {
+                fail(&message);
+            }
         }
         HqwCommand::Replay { trace } => {
             let text = match std::fs::read_to_string(&trace) {

@@ -43,8 +43,15 @@ impl Options {
     /// Parses `std::env::args()`. On malformed arguments, prints the error
     /// and [`USAGE`] to stderr and exits the process with status 2.
     pub fn from_args() -> Self {
-        match Self::parse(std::env::args().skip(1)) {
-            Ok(options) => options,
+        Self::from_args_tracked().0
+    }
+
+    /// [`Options::from_args`] plus the [`GivenFlags`] record of which flags
+    /// appeared explicitly — the legacy binaries feed this into the
+    /// registry's single flag-resolution point.
+    pub fn from_args_tracked() -> (Self, GivenFlags) {
+        match Self::parse_tracked(std::env::args().skip(1)) {
+            Ok(parsed) => parsed,
             Err(message) => {
                 eprintln!("error: {message}");
                 eprintln!("{USAGE}");
@@ -60,28 +67,44 @@ impl Options {
     /// Returns a human-readable message for an unknown flag, a flag missing
     /// its value, or a value that fails to parse.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        Self::parse_tracked(args).map(|(options, _)| options)
+    }
+
+    /// [`Options::parse`] plus the [`GivenFlags`] record of which flags
+    /// appeared explicitly — the one pass that both parses values and
+    /// tracks presence, so the two can never disagree.
+    ///
+    /// # Errors
+    /// Same as [`Options::parse`].
+    pub fn parse_tracked(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(Self, GivenFlags), String> {
         let mut scale = Scale::standard();
         let mut scale_name = "standard";
         let mut seed = 2026u64;
         let mut out_dir = PathBuf::from("results");
         let mut threads = 0usize;
         let mut json_out = None;
+        let mut given = GivenFlags::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => {
                     scale = Scale::quick();
                     scale_name = "quick";
+                    given.scale = true;
                 }
                 "--full" => {
                     scale = Scale::full();
                     scale_name = "full";
+                    given.scale = true;
                 }
                 "--seed" => {
                     let v = args.next().ok_or("--seed needs a value")?;
                     seed = v
                         .parse()
                         .map_err(|_| format!("--seed needs an unsigned integer, got '{v}'"))?;
+                    given.seed = true;
                 }
                 "--out" => {
                     out_dir = PathBuf::from(args.next().ok_or("--out needs a path")?);
@@ -91,6 +114,7 @@ impl Options {
                     threads = v
                         .parse()
                         .map_err(|_| format!("--threads needs an unsigned integer, got '{v}'"))?;
+                    given.threads = true;
                 }
                 "--json" => {
                     json_out = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
@@ -98,14 +122,17 @@ impl Options {
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
-        Ok(Options {
-            scale,
-            scale_name,
-            seed,
-            out_dir,
-            threads,
-            json_out,
-        })
+        Ok((
+            Options {
+                scale,
+                scale_name,
+                seed,
+                out_dir,
+                threads,
+                json_out,
+            },
+            given,
+        ))
     }
 
     /// Path for a named CSV in the output directory.
@@ -151,13 +178,16 @@ impl Options {
     }
 }
 
-/// One-line usage summary of the `hqw` runner binary.
+/// Usage summary of the `hqw` runner binary.
 ///
 /// For spec-file runs, `--seed`/`--threads` override the file's values and
 /// `--quick`/`--full` are rejected (a spec file carries its own shape; the
 /// scale presets only parameterize registry names).
 pub const HQW_USAGE: &str = "usage: hqw list [--json]\n       \
-     hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]\n       \
+     hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]\n                \
+     [--shard K/N] [--checkpoint PATH]\n       \
+     hqw run --resume <checkpoint> [--out DIR] [--json PATH]\n       \
+     hqw merge <shard.json>... [-o PATH]\n       \
      hqw replay <trace.json>";
 
 /// Which standard flags appeared *explicitly* on a `hqw run` command line —
@@ -174,6 +204,29 @@ pub struct GivenFlags {
     pub scale: bool,
 }
 
+/// Everything a `hqw run` command line can say: the target, the standard
+/// flags, and the distributed-plane selectors (`--shard`, `--checkpoint`,
+/// `--resume`). Parsed and cross-validated in one place so the runner only
+/// sees consistent combinations.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Registry name, or a path ending in `.json` to a spec file. `None`
+    /// only for `--resume` runs (the checkpoint carries the spec).
+    pub target: Option<String>,
+    /// The standard experiment flags.
+    pub options: Options,
+    /// Which flags the user gave explicitly.
+    pub given: GivenFlags,
+    /// `--shard K/N` — run only shard `K` of an `N`-way grid partition and
+    /// emit a `ShardReport` instead of the full report.
+    pub shard: Option<(usize, usize)>,
+    /// `--checkpoint PATH` — journal completed points to a fresh JSONL
+    /// checkpoint while running.
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume PATH` — continue a killed checkpointed run.
+    pub resume: Option<PathBuf>,
+}
+
 /// A parsed `hqw` runner command line.
 #[derive(Debug, Clone)]
 pub enum HqwCommand {
@@ -182,14 +235,19 @@ pub enum HqwCommand {
         /// Emit the machine-readable JSON manifest instead of a table.
         json: bool,
     },
-    /// `hqw run <name|spec.json> [flags]` — run one experiment.
-    Run {
-        /// Registry name, or a path ending in `.json` to a spec file.
-        target: String,
-        /// The standard experiment flags.
-        options: Options,
-        /// Which flags the user gave explicitly.
-        given: GivenFlags,
+    /// `hqw run <name|spec.json> [flags]` — run one experiment (or one
+    /// shard of it, or resume a checkpointed run).
+    Run(RunArgs),
+    /// `hqw merge <shard.json>... [-o PATH]` — reassemble shard reports
+    /// into the ordinary single-run report (byte-identical to running
+    /// unsharded). Exit 2 on mixed fingerprints, overlapping point sets,
+    /// or missing points.
+    Merge {
+        /// Shard report files, in any order.
+        shards: Vec<String>,
+        /// `-o`/`--out` output path (`None` = the family's `BENCH_*.json`
+        /// default).
+        out: Option<PathBuf>,
     },
     /// `hqw replay <trace.json>` — re-feed a recorded realtime routing
     /// trace through the virtual-time sim and diff the decisions. Exit 0
@@ -198,6 +256,18 @@ pub enum HqwCommand {
         /// Path to the `fabric_rt_trace.json` document to replay.
         trace: String,
     },
+}
+
+/// Parses a `--shard K/N` value.
+fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard needs K/N with 1 <= K <= N, got '{value}'");
+    let (index, count) = value.split_once('/').ok_or_else(err)?;
+    let index: usize = index.parse().map_err(|_| err())?;
+    let count: usize = count.parse().map_err(|_| err())?;
+    if index < 1 || index > count {
+        return Err(err());
+    }
+    Ok((index, count))
 }
 
 impl HqwCommand {
@@ -222,26 +292,110 @@ impl HqwCommand {
                 Ok(HqwCommand::List { json })
             }
             Some("run") => {
-                let target = args
-                    .next()
-                    .ok_or("run needs an experiment name or spec file")?;
-                if target.starts_with('-') {
-                    return Err(format!(
-                        "run needs an experiment name or spec file before flags, got '{target}'"
-                    ));
+                let mut target = None;
+                let mut shard = None;
+                let mut checkpoint = None;
+                let mut resume = None;
+                let mut std_args = Vec::new();
+                let mut first = true;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--shard" => {
+                            let v = args.next().ok_or("--shard needs K/N (e.g. --shard 2/4)")?;
+                            shard = Some(parse_shard(&v)?);
+                        }
+                        "--checkpoint" => {
+                            checkpoint = Some(PathBuf::from(
+                                args.next().ok_or("--checkpoint needs a path")?,
+                            ));
+                        }
+                        "--resume" => {
+                            resume = Some(PathBuf::from(
+                                args.next().ok_or("--resume needs a checkpoint path")?,
+                            ));
+                        }
+                        // Value-taking standard flags travel with their
+                        // value, so the value is never mistaken for a
+                        // positional (missing values are reported by the
+                        // shared Options parser).
+                        "--seed" | "--out" | "--threads" | "--json" => {
+                            std_args.push(arg.clone());
+                            if let Some(value) = args.next() {
+                                std_args.push(value);
+                            }
+                        }
+                        _ if !arg.starts_with('-') => {
+                            if !first {
+                                return Err(format!(
+                                    "unexpected argument '{arg}' \
+                                     (the experiment target must come first)"
+                                ));
+                            }
+                            target = Some(arg);
+                        }
+                        _ => std_args.push(arg),
+                    }
+                    first = false;
                 }
-                let rest: Vec<String> = args.collect();
-                let given = GivenFlags {
-                    threads: rest.iter().any(|a| a == "--threads"),
-                    seed: rest.iter().any(|a| a == "--seed"),
-                    scale: rest.iter().any(|a| a == "--quick" || a == "--full"),
-                };
-                let options = Options::parse(rest)?;
-                Ok(HqwCommand::Run {
+                let (options, given) = Options::parse_tracked(std_args)?;
+                if resume.is_some() {
+                    if let Some(target) = &target {
+                        return Err(format!(
+                            "--resume takes no experiment target (the checkpoint \
+                             carries the spec), got '{target}'"
+                        ));
+                    }
+                    if shard.is_some() {
+                        return Err("--shard cannot be combined with --resume".to_string());
+                    }
+                    if checkpoint.is_some() {
+                        return Err("--checkpoint cannot be combined with --resume \
+                             (the resumed journal already names itself)"
+                            .to_string());
+                    }
+                    if given.scale || given.seed || given.threads {
+                        return Err("--quick/--full/--seed/--threads cannot apply to --resume: \
+                             the checkpoint pins its spec"
+                            .to_string());
+                    }
+                } else if target.is_none() {
+                    return Err(
+                        "run needs an experiment name, spec file, or --resume <checkpoint>"
+                            .to_string(),
+                    );
+                }
+                if shard.is_some() && checkpoint.is_some() {
+                    return Err("--shard cannot be combined with --checkpoint \
+                         (shards are merged, not resumed)"
+                        .to_string());
+                }
+                Ok(HqwCommand::Run(RunArgs {
                     target,
                     options,
                     given,
-                })
+                    shard,
+                    checkpoint,
+                    resume,
+                }))
+            }
+            Some("merge") => {
+                let mut shards = Vec::new();
+                let mut out = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "-o" | "--out" => {
+                            out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?));
+                        }
+                        other if other.starts_with('-') => {
+                            return Err(format!("unknown merge flag '{other}'"));
+                        }
+                        _ => shards.push(arg),
+                    }
+                }
+                if shards.is_empty() {
+                    return Err("merge needs at least one shard file".to_string());
+                }
+                Ok(HqwCommand::Merge { shards, out })
             }
             Some("replay") => {
                 let trace = args.next().ok_or("replay needs a trace file")?;
@@ -369,42 +523,115 @@ mod tests {
         assert_eq!(hqw_err(&["list", "--oops"]), "unknown list flag '--oops'");
     }
 
+    fn run_args(list: &[&str]) -> RunArgs {
+        match hqw_ok(list) {
+            HqwCommand::Run(run) => run,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     fn hqw_run_parses_target_and_tracks_explicit_flags() {
-        match hqw_ok(&["run", "ber", "--quick", "--threads", "2"]) {
-            HqwCommand::Run {
-                target,
-                options,
-                given,
-            } => {
-                assert_eq!(target, "ber");
-                assert_eq!(options.scale_name, "quick");
-                assert_eq!(options.threads, 2);
-                assert_eq!(
-                    given,
-                    GivenFlags {
-                        threads: true,
-                        seed: false,
-                        scale: true,
-                    }
-                );
+        let run = run_args(&["run", "ber", "--quick", "--threads", "2"]);
+        assert_eq!(run.target.as_deref(), Some("ber"));
+        assert_eq!(run.options.scale_name, "quick");
+        assert_eq!(run.options.threads, 2);
+        assert_eq!(
+            run.given,
+            GivenFlags {
+                threads: true,
+                seed: false,
+                scale: true,
+            }
+        );
+        assert_eq!((run.shard, run.checkpoint, run.resume), (None, None, None));
+
+        let run = run_args(&["run", "specs/my.json", "--seed", "3"]);
+        assert_eq!(run.target.as_deref(), Some("specs/my.json"));
+        assert_eq!(
+            run.given,
+            GivenFlags {
+                threads: false,
+                seed: true,
+                scale: false,
+            }
+        );
+    }
+
+    #[test]
+    fn hqw_run_parses_shard_selectors() {
+        let run = run_args(&["run", "ber", "--quick", "--shard", "2/3"]);
+        assert_eq!(run.shard, Some((2, 3)));
+
+        for bad in ["5/3", "0/3", "3", "a/b", "2/0", "/", "-1/3"] {
+            let err = hqw_err(&["run", "ber", "--shard", bad]);
+            assert!(err.contains("--shard needs K/N"), "{bad}: {err}");
+            assert!(err.contains(bad), "{bad}: {err}");
+        }
+        assert_eq!(
+            hqw_err(&["run", "ber", "--shard"]),
+            "--shard needs K/N (e.g. --shard 2/4)"
+        );
+        assert!(
+            hqw_err(&["run", "ber", "--shard", "1/2", "--checkpoint", "ck.jsonl"])
+                .contains("--shard cannot be combined with --checkpoint")
+        );
+    }
+
+    #[test]
+    fn hqw_run_parses_checkpoint_and_resume() {
+        let run = run_args(&["run", "ber", "--quick", "--checkpoint", "ck.jsonl"]);
+        assert_eq!(run.checkpoint, Some(PathBuf::from("ck.jsonl")));
+        assert!(run.resume.is_none());
+
+        let run = run_args(&["run", "--resume", "ck.jsonl", "--json", "out.json"]);
+        assert!(run.target.is_none());
+        assert_eq!(run.resume, Some(PathBuf::from("ck.jsonl")));
+
+        assert_eq!(
+            hqw_err(&["run", "ber", "--checkpoint"]),
+            "--checkpoint needs a path"
+        );
+        assert_eq!(
+            hqw_err(&["run", "--resume"]),
+            "--resume needs a checkpoint path"
+        );
+        assert!(hqw_err(&["run", "ber", "--resume", "ck.jsonl"])
+            .contains("--resume takes no experiment target"));
+        assert!(hqw_err(&["run", "--resume", "ck.jsonl", "--shard", "1/2"])
+            .contains("--shard cannot be combined with --resume"));
+        assert!(
+            hqw_err(&["run", "--resume", "ck.jsonl", "--checkpoint", "x.jsonl"])
+                .contains("--checkpoint cannot be combined with --resume")
+        );
+        for pinned in [["--seed", "3"], ["--threads", "2"], ["--quick", "--quick"]] {
+            let err = hqw_err(&["run", "--resume", "ck.jsonl", pinned[0], pinned[1]]);
+            assert!(err.contains("the checkpoint pins its spec"), "{err}");
+        }
+    }
+
+    #[test]
+    fn hqw_merge_parses_shards_and_output() {
+        match hqw_ok(&["merge", "a.json", "b.json", "-o", "out.json"]) {
+            HqwCommand::Merge { shards, out } => {
+                assert_eq!(shards, vec!["a.json", "b.json"]);
+                assert_eq!(out, Some(PathBuf::from("out.json")));
             }
             other => panic!("unexpected {other:?}"),
         }
-        match hqw_ok(&["run", "specs/my.json", "--seed", "3"]) {
-            HqwCommand::Run { target, given, .. } => {
-                assert_eq!(target, "specs/my.json");
-                assert_eq!(
-                    given,
-                    GivenFlags {
-                        threads: false,
-                        seed: true,
-                        scale: false,
-                    }
-                );
+        match hqw_ok(&["merge", "a.json"]) {
+            HqwCommand::Merge { shards, out } => {
+                assert_eq!(shards, vec!["a.json"]);
+                assert!(out.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(hqw_err(&["merge"]), "merge needs at least one shard file");
+        assert_eq!(hqw_err(&["merge", "-o"]), "--out needs a path");
+        assert_eq!(
+            hqw_err(&["merge", "a.json", "--frob"]),
+            "unknown merge flag '--frob'"
+        );
     }
 
     #[test]
@@ -426,13 +653,36 @@ mod tests {
         assert_eq!(hqw_err(&["frob"]), "unknown command 'frob'");
         assert_eq!(
             hqw_err(&["run"]),
-            "run needs an experiment name or spec file"
+            "run needs an experiment name, spec file, or --resume <checkpoint>"
         );
-        assert!(hqw_err(&["run", "--quick"]).contains("before flags"));
+        assert_eq!(
+            hqw_err(&["run", "--quick"]),
+            "run needs an experiment name, spec file, or --resume <checkpoint>"
+        );
+        assert!(hqw_err(&["run", "ber", "extra"]).contains("unexpected argument 'extra'"));
         // Flag errors surface through the shared Options parser.
         assert_eq!(
             hqw_err(&["run", "ber", "--threads", "many"]),
             "--threads needs an unsigned integer, got 'many'"
+        );
+    }
+
+    #[test]
+    fn parse_tracked_presence_matches_values() {
+        let (o, given) = Options::parse_tracked(args(&[])).unwrap();
+        assert_eq!(given, GivenFlags::default());
+        assert_eq!(o.threads, 0);
+        let (o, given) =
+            Options::parse_tracked(args(&["--threads", "2", "--seed", "9", "--full"])).unwrap();
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.seed, 9);
+        assert_eq!(
+            given,
+            GivenFlags {
+                threads: true,
+                seed: true,
+                scale: true,
+            }
         );
     }
 }

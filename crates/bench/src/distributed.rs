@@ -1,0 +1,323 @@
+//! Runners for the distributed experiment plane: `hqw run --shard K/N`,
+//! `hqw run --checkpoint`/`--resume`, and `hqw merge`.
+//!
+//! Every function here drives the same engines as [`crate::runs`] through
+//! the per-point subset runners (`run_ber_points` / `run_stream_points` /
+//! `run_fabric_points`), so a shard or a resumed run computes the exact
+//! bytes the single-process run would have: `hqw merge` over any shard
+//! partition — and a kill-and-resume cycle — reproduces the committed
+//! `BENCH_*.json` byte-for-byte (the `shard-merge` CI job pins both).
+//! Errors come back as user-facing strings; the `hqw` binary prints them
+//! with the usage line and exits 2.
+
+use crate::cli::Options;
+use crate::runs;
+use hqw_core::report::{write_creating_parents, PointRecord};
+use hqw_core::shard::{
+    grid_len, merge_shards, shard_ids, spec_fingerprint, Checkpoint, GridReport, ShardReport,
+};
+use hqw_core::spec::ExperimentSpec;
+use hqw_core::{run_ber_points, run_fabric_points, run_stream_points};
+use hqw_phy::detect::Mmse;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// The standard emission names (CSV under `--out`, JSON default) of a grid
+/// family — the same pair [`crate::runs`] uses, so distributed output
+/// lands where single-process output does.
+fn emit_names(family: &str) -> (&'static str, &'static str) {
+    match family {
+        "ber" => ("fig_ber.csv", "BENCH_ber.json"),
+        "stream" => ("fig_stream.csv", "BENCH_stream.json"),
+        "fabric" => ("fig_fabric.csv", "BENCH_fabric.json"),
+        other => unreachable!("no emission names for unshardable family '{other}'"),
+    }
+}
+
+/// Computes the point records for an id-subset of a spec's grid, with the
+/// exact per-point seeds of the full run (ids must be strictly increasing
+/// and in range — [`shard_ids`] and [`Checkpoint::remaining_ids`] both
+/// produce such subsets).
+///
+/// # Errors
+/// Returns a message for specs without a shardable grid (canned figures,
+/// realtime fabric, empty grids).
+pub fn run_spec_points(spec: &ExperimentSpec, ids: &[usize]) -> Result<Vec<PointRecord>, String> {
+    grid_len(spec).map_err(|e| e.to_string())?;
+    Ok(match spec {
+        ExperimentSpec::Ber(config) => {
+            let detectors = runs::roster(config.seed);
+            run_ber_points(config, &detectors, ids)
+                .iter()
+                .map(|column| column.to_record())
+                .collect()
+        }
+        ExperimentSpec::Stream(config) => {
+            let classical = Mmse::new(config.track.noise_variance);
+            run_stream_points(config, &classical, ids)
+                .iter()
+                .zip(ids)
+                .map(|(cell, &id)| PointRecord {
+                    id,
+                    payload: cell.to_json_object(),
+                })
+                .collect()
+        }
+        ExperimentSpec::Fabric(config) => run_fabric_points(config, ids)
+            .iter()
+            .zip(ids)
+            .map(|(point, &id)| PointRecord {
+                id,
+                payload: point.to_json_object(),
+            })
+            .collect(),
+        ExperimentSpec::Canned(_) => unreachable!("grid_len rejects canned specs"),
+    })
+}
+
+/// Runs shard `index`/`count` of a spec's grid and writes the
+/// [`ShardReport`] document (default name
+/// `SHARD_<family>_<index>of<count>.json`, `--json` overrides).
+///
+/// # Errors
+/// Returns a message for unshardable specs or write failures.
+pub fn run_shard(
+    spec: &ExperimentSpec,
+    opts: &Options,
+    index: usize,
+    count: usize,
+) -> Result<(), String> {
+    let total = grid_len(spec).map_err(|e| e.to_string())?;
+    let ids = shard_ids(total, index, count);
+    println!(
+        "=== {} shard {index}/{count}: {} of {total} grid points",
+        spec.family(),
+        ids.len()
+    );
+    println!(
+        "    fingerprint={} seed={}",
+        spec_fingerprint(spec),
+        spec.seed()
+    );
+    println!();
+    let records = run_spec_points(spec, &ids)?;
+    let shard = ShardReport::new(spec, index, count, records).map_err(|e| e.to_string())?;
+    let default_name = format!("SHARD_{}_{index}of{count}.json", spec.family());
+    let path = opts.json_path(&default_name);
+    write_creating_parents(&path, &shard.to_json())
+        .map_err(|e| format!("cannot write shard report '{}': {e}", path.display()))?;
+    println!("shard report written to {}", path.display());
+    Ok(())
+}
+
+/// Runs `ids` in thread-count-sized waves, appending each completed wave
+/// to the journal before starting the next, so a kill loses at most one
+/// wave of work.
+fn run_and_journal(
+    spec: &ExperimentSpec,
+    file: &mut File,
+    path: &Path,
+    ids: &[usize],
+) -> Result<Vec<PointRecord>, String> {
+    let wave = match spec.threads() {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    };
+    let mut all = Vec::with_capacity(ids.len());
+    for chunk in ids.chunks(wave) {
+        let records = run_spec_points(spec, chunk)?;
+        let mut buf = String::new();
+        for record in &records {
+            buf.push_str(&Checkpoint::point_line(record));
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("cannot append to checkpoint '{}': {e}", path.display()))?;
+        all.extend(records);
+    }
+    Ok(all)
+}
+
+/// Emits a reassembled grid report through the family's standard
+/// table/CSV/JSON conventions — the same call the single-process runner
+/// makes, so the output is byte-identical.
+fn emit_grid(grid: &GridReport, opts: &Options) {
+    let (csv_name, json_default) = emit_names(grid.as_report().name());
+    opts.emit_report(grid.as_report(), csv_name, json_default);
+}
+
+/// Runs a full grid while journaling completed points to a fresh JSONL
+/// checkpoint at `path`, then emits the ordinary report.
+///
+/// # Errors
+/// Returns a message when `path` already exists (use `--resume`), for
+/// unshardable specs, or on I/O failures.
+pub fn run_checkpointed(spec: &ExperimentSpec, opts: &Options, path: &Path) -> Result<(), String> {
+    if path.exists() {
+        return Err(format!(
+            "checkpoint '{}' already exists; use --resume to continue it",
+            path.display()
+        ));
+    }
+    let total = grid_len(spec).map_err(|e| e.to_string())?;
+    let header = Checkpoint::header_line(spec).map_err(|e| e.to_string())?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create checkpoint directory: {e}"))?;
+        }
+    }
+    let mut file = File::create(path)
+        .map_err(|e| format!("cannot create checkpoint '{}': {e}", path.display()))?;
+    writeln!(file, "{header}")
+        .and_then(|()| file.flush())
+        .map_err(|e| format!("cannot write checkpoint '{}': {e}", path.display()))?;
+    println!(
+        "checkpointing {total} {} point(s) to {}",
+        spec.family(),
+        path.display()
+    );
+    let ids: Vec<usize> = (0..total).collect();
+    let records = run_and_journal(spec, &mut file, path, &ids)?;
+    let grid = GridReport::from_points(spec, records).map_err(|e| e.to_string())?;
+    emit_grid(&grid, opts);
+    Ok(())
+}
+
+/// Resumes a checkpointed run: parses the journal (repairing any torn
+/// trailing line in place), runs only the missing points, and emits the
+/// identical final report.
+///
+/// # Errors
+/// Returns a message for an unreadable/corrupt journal or I/O failures.
+pub fn run_resume(path: &Path, opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint '{}': {e}", path.display()))?;
+    let ck = Checkpoint::parse(&text)
+        .map_err(|e| format!("invalid checkpoint '{}': {e}", path.display()))?;
+    // Rewrite the repaired journal before appending: a torn tail from the
+    // killed run must not end up mid-file.
+    std::fs::write(path, ck.render())
+        .map_err(|e| format!("cannot rewrite checkpoint '{}': {e}", path.display()))?;
+    let remaining = ck.remaining_ids();
+    println!(
+        "resuming {} from {}: {}/{} point(s) done, {} to run",
+        ck.spec.family(),
+        path.display(),
+        ck.points.len(),
+        ck.total_points,
+        remaining.len()
+    );
+    let mut points = ck.points.clone();
+    if !remaining.is_empty() {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen checkpoint '{}': {e}", path.display()))?;
+        points.extend(run_and_journal(&ck.spec, &mut file, path, &remaining)?);
+        points.sort_by_key(|p| p.id);
+    }
+    let grid = GridReport::from_points(&ck.spec, points).map_err(|e| e.to_string())?;
+    emit_grid(&grid, opts);
+    Ok(())
+}
+
+/// Merges shard report files into the ordinary single-run report (default
+/// output: the family's `BENCH_*.json`), printing the merged table.
+///
+/// # Errors
+/// Returns a message for unreadable/invalid shard files, mixed
+/// fingerprints, overlapping point sets, missing points, or write
+/// failures.
+pub fn run_merge(paths: &[String], out: Option<&Path>) -> Result<(), String> {
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read shard file '{path}': {e}"))?;
+        let shard =
+            ShardReport::parse(&text).map_err(|e| format!("invalid shard file '{path}': {e}"))?;
+        shards.push((path.clone(), shard));
+    }
+    let grid = merge_shards(&shards).map_err(|e| e.to_string())?;
+    let report = grid.as_report();
+    let (_, json_default) = emit_names(report.name());
+    let path = out.unwrap_or_else(|| Path::new(json_default));
+    report
+        .write_json(path)
+        .map_err(|e| format!("cannot write merged report '{}': {e}", path.display()))?;
+    println!("{}", report.render_table());
+    println!("merged {} shard(s) into {}", shards.len(), path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqw_core::report::MergeableReport;
+
+    fn quick_spec(family: &str) -> ExperimentSpec {
+        let opts =
+            Options::parse(["--quick".to_string(), "--seed".to_string(), "5".to_string()]).unwrap();
+        crate::registry::spec(family, &opts).unwrap()
+    }
+
+    #[test]
+    fn stream_points_match_the_full_grid_run() {
+        let spec = quick_spec("stream");
+        let ExperimentSpec::Stream(config) = &spec else {
+            unreachable!()
+        };
+        // Shrink the grid so the test stays fast.
+        let mut config = config.clone();
+        config.frames = 8;
+        config.rhos = vec![0.0, 0.9];
+        config.arrival_periods_us = vec![400.0, 120.0];
+        let spec = ExperimentSpec::Stream(config.clone());
+        let total = grid_len(&spec).unwrap();
+
+        let classical = Mmse::new(config.track.noise_variance);
+        let full = hqw_core::run_stream_grid(&config, &classical);
+        let mut halves: Vec<PointRecord> = Vec::new();
+        for index in 1..=2 {
+            halves.extend(run_spec_points(&spec, &shard_ids(total, index, 2)).unwrap());
+        }
+        halves.sort_by_key(|p| p.id);
+        let rebuilt =
+            hqw_core::StreamGridReport::from_points(&spec, halves).expect("records merge");
+        assert_eq!(rebuilt.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn fabric_points_match_the_full_grid_run() {
+        let spec = quick_spec("fabric");
+        let ExperimentSpec::Fabric(config) = &spec else {
+            unreachable!()
+        };
+        let mut config = config.clone();
+        config.frames_per_cell = 6;
+        config.cell_counts = vec![2];
+        config.arrival_periods_us = vec![400.0, 120.0];
+        config.mixes.truncate(2);
+        let spec = ExperimentSpec::Fabric(config.clone());
+        let total = grid_len(&spec).unwrap();
+
+        let full = hqw_core::run_fabric_grid(&config);
+        let mut parts: Vec<PointRecord> = Vec::new();
+        for index in 1..=3 {
+            parts.extend(run_spec_points(&spec, &shard_ids(total, index, 3)).unwrap());
+        }
+        parts.sort_by_key(|p| p.id);
+        let rebuilt = hqw_core::FabricGridReport::from_points(&spec, parts).expect("records merge");
+        assert_eq!(rebuilt.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn unshardable_specs_are_reported() {
+        let err = run_spec_points(&quick_spec("fabric-rt"), &[0]).unwrap_err();
+        assert!(err.contains("realtime"), "{err}");
+        let err = run_spec_points(&quick_spec("fig3"), &[0]).unwrap_err();
+        assert!(err.contains("no point grid"), "{err}");
+    }
+}

@@ -109,24 +109,18 @@ pub fn find(name: &str) -> Option<&'static RegistryEntry> {
 }
 
 /// Builds the spec preset for a registered experiment at the CLI-selected
-/// scale/seed/threads (`None` for unknown names).
+/// scale/seed (`None` for unknown names).
 ///
 /// For the grid experiments this is the full declarative configuration the
 /// legacy `fig-*` binary would have hand-wired; for canned figures it is
-/// the scale + seed pair.
+/// the scale + seed pair. Presets are built with `threads: 0` (all cores):
+/// the `--threads` flag is applied by [`resolve_target`], the one place
+/// that decides the effective thread count for every path into a run.
 pub fn spec(name: &str, opts: &Options) -> Option<ExperimentSpec> {
     Some(match name {
-        "ber" => ExperimentSpec::Ber(runs::ber_config(opts.scale_name, opts.seed, opts.threads)),
-        "stream" => ExperimentSpec::Stream(runs::stream_config(
-            opts.scale_name,
-            opts.seed,
-            opts.threads,
-        )),
-        "fabric" => ExperimentSpec::Fabric(runs::fabric_config(
-            opts.scale_name,
-            opts.seed,
-            opts.threads,
-        )),
+        "ber" => ExperimentSpec::Ber(runs::ber_config(opts.scale_name, opts.seed, 0)),
+        "stream" => ExperimentSpec::Stream(runs::stream_config(opts.scale_name, opts.seed, 0)),
+        "fabric" => ExperimentSpec::Fabric(runs::fabric_config(opts.scale_name, opts.seed, 0)),
         "fabric-rt" => ExperimentSpec::Fabric(runs::fabric_rt_config(opts.scale_name, opts.seed)),
         other => {
             find(other)?;
@@ -198,24 +192,34 @@ fn run_canned(canned: &CannedSpec, opts: &Options) {
 }
 
 /// The `main` body every legacy binary shims to: parse the standard flags,
-/// build the registered preset, run it.
-///
-/// # Panics
-/// Panics when `name` is not registered (a programming error in the shim,
-/// not a user input path — user-facing resolution goes through
-/// [`resolve_target`], which reports and exits instead).
+/// resolve the registered preset through the same [`resolve_target`] path
+/// `hqw run` uses (so `--threads` precedence is decided in exactly one
+/// place), run it. Resolution errors print to stderr and exit 2.
 pub fn run_registered(name: &str) {
-    let opts = Options::from_args();
-    let spec = spec(name, &opts).expect("binary name must be registered");
+    let (opts, given) = Options::from_args_tracked();
+    let spec = match resolve_target(name, &opts, given) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", crate::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
     run_spec(&spec, &opts);
 }
 
 /// Resolves a `hqw run <target>` argument into a spec. A `*.json` path is
-/// parsed as a spec file: explicitly-given `--threads`/`--seed` override
-/// the file's values, and `--quick`/`--full` are rejected (a spec file
-/// carries its own shape — scale presets only parameterize registry
-/// names, and silently ignoring the flag would misreport what ran).
-/// Anything else is a registry lookup.
+/// parsed as a spec file: an explicitly-given `--seed` overrides the
+/// file's value, and `--quick`/`--full` are rejected (a spec file carries
+/// its own shape — scale presets only parameterize registry names, and
+/// silently ignoring the flag would misreport what ran). Anything else is
+/// a registry lookup.
+///
+/// This is the **single resolution point** for the effective thread count
+/// (the precedence-matrix test below pins it): an explicitly-given
+/// `--threads` overrides whatever the spec says (presets default to 0 =
+/// all cores; spec files carry their own value), and is rejected on
+/// realtime specs, whichever path the spec arrived by.
 ///
 /// # Errors
 /// Returns the user-facing message for an unknown name, an unreadable
@@ -226,7 +230,7 @@ pub fn resolve_target(
     opts: &Options,
     given: GivenFlags,
 ) -> Result<ExperimentSpec, String> {
-    let resolved = if target.ends_with(".json") {
+    let mut resolved = if target.ends_with(".json") {
         if given.scale {
             return Err(format!(
                 "--quick/--full cannot apply to the spec file '{target}': \
@@ -237,9 +241,6 @@ pub fn resolve_target(
             .map_err(|e| format!("cannot read spec file '{target}': {e}"))?;
         let mut parsed = ExperimentSpec::parse(&text)
             .map_err(|e| format!("invalid spec file '{target}': {e}"))?;
-        if given.threads && !parsed.is_realtime() {
-            parsed.set_threads(opts.threads);
-        }
         if given.seed {
             parsed.set_seed(opts.seed);
         }
@@ -249,15 +250,19 @@ pub fn resolve_target(
             format!("unknown experiment '{target}' (run `hqw list` for the registry)")
         })?
     };
-    // A realtime spec's thread topology is its `realtime` settings
-    // (producers/queue shards); the grid-level `--threads` knob has nothing
-    // to attach to, and silently ignoring it would misreport what ran.
-    if given.threads && resolved.is_realtime() {
-        return Err(format!(
-            "--threads cannot apply to the realtime experiment '{target}': \
-             worker topology comes from the spec's \"realtime\" settings \
-             (producers/queue_shards)"
-        ));
+    if given.threads {
+        // A realtime spec's thread topology is its `realtime` settings
+        // (producers/queue shards); the grid-level `--threads` knob has
+        // nothing to attach to, and silently ignoring it would misreport
+        // what ran.
+        if resolved.is_realtime() {
+            return Err(format!(
+                "--threads cannot apply to the realtime experiment '{target}': \
+                 worker topology comes from the spec's \"realtime\" settings \
+                 (producers/queue_shards)"
+            ));
+        }
+        resolved.set_threads(opts.threads);
     }
     Ok(resolved)
 }
@@ -327,12 +332,10 @@ mod tests {
         let quick = spec("ber", &opts(&["--quick"])).unwrap();
         let full = spec("ber", &opts(&["--full"])).unwrap();
         assert_ne!(quick, full);
-        let seeded = spec("ber", &opts(&["--quick", "--seed", "9", "--threads", "2"])).unwrap();
+        let seeded = spec("ber", &opts(&["--quick", "--seed", "9"])).unwrap();
         assert_eq!(seeded.seed(), 9);
-        match seeded {
-            ExperimentSpec::Ber(c) => assert_eq!(c.threads, 2),
-            _ => unreachable!(),
-        }
+        // Presets are thread-neutral: --threads is resolve_target's job.
+        assert_eq!(seeded.threads(), 0);
     }
 
     /// No flags given explicitly.
@@ -341,6 +344,45 @@ mod tests {
         seed: false,
         scale: false,
     };
+
+    #[test]
+    fn threads_precedence_is_decided_in_one_place() {
+        // The full flag-vs-spec-vs-default matrix, for both paths a spec
+        // can arrive by (registry name, spec file). Expected = flag when
+        // explicitly given, else the spec's own value (presets carry the
+        // 0 = all-cores default).
+        let dir =
+            std::env::temp_dir().join(format!("hqw_threads_matrix_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // (given --threads?, flag value, spec-file threads, expected name-path, expected file-path)
+        let cases = [
+            (false, 0, 3, 0, 3), // nothing given: preset default / file value
+            (true, 2, 3, 2, 2),  // flag beats both
+            (true, 0, 3, 0, 0),  // explicit 0 still wins (all cores)
+            (false, 7, 3, 0, 3), // value present but not *given*: ignored
+        ];
+        for (i, (given_threads, flag, file_threads, want_name, want_file)) in
+            cases.into_iter().enumerate()
+        {
+            let mut cli = opts(&["--quick"]);
+            cli.threads = flag;
+            let given = GivenFlags {
+                threads: given_threads,
+                ..NO_FLAGS
+            };
+
+            let by_name = resolve_target("ber", &cli, given).unwrap();
+            assert_eq!(by_name.threads(), want_name, "case {i} (name path)");
+
+            let mut spec_in = spec("ber", &opts(&["--quick"])).unwrap();
+            spec_in.set_threads(file_threads);
+            let path = dir.join(format!("case{i}.json"));
+            std::fs::write(&path, spec_in.to_json()).unwrap();
+            let by_file = resolve_target(path.to_str().unwrap(), &cli, given).unwrap();
+            assert_eq!(by_file.threads(), want_file, "case {i} (file path)");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn threads_flag_on_a_realtime_spec_is_rejected() {

@@ -33,8 +33,12 @@
 //! and `BENCH_fabric.json` is byte-identical at any thread count.
 
 use crate::pipeline::item_seed;
+use crate::report::PointRecord;
 use crate::scenario::json_num;
-use crate::spec::SpecError;
+use crate::spec::json::Json;
+use crate::spec::{
+    check_keys, req, req_f64, req_str, req_u64, req_usize, ExperimentSpec, SpecError,
+};
 use crate::stream::CostModel;
 use hqw_anneal::engine::FreezeOut;
 use hqw_anneal::{
@@ -1855,14 +1859,8 @@ pub(crate) fn grid_points(config: &FabricGridConfig) -> Vec<(String, FabricConfi
 /// [`FabricGridConfig::validate`] for the non-panicking check).
 pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
     config.validate_or_panic();
-
-    let points = grid_points(config);
-    let reports = parallel_map_indexed(&points, config.threads, |_, (mix_name, point)| {
-        let mut report = run_fabric(point);
-        report.mix = mix_name.clone();
-        report
-    });
-
+    let total = config.mixes.len() * config.cell_counts.len() * config.arrival_periods_us.len();
+    let ids: Vec<usize> = (0..total).collect();
     FabricGridReport {
         n_users: config.track.n_users,
         n_rx: config.track.n_rx,
@@ -1871,8 +1869,43 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
         frames_per_cell: config.frames_per_cell,
         deadline_us: config.deadline_us,
         seed: config.seed,
-        points: reports,
+        points: run_fabric_points(config, &ids),
     }
+}
+
+/// Runs an arbitrary subset of the (mix × cells × load) grid — the sharded
+/// form of [`run_fabric_grid`]. Always runs the virtual-time sim.
+///
+/// `ids` are flat indices into the mix-major grid (strictly increasing).
+/// Point seeds depend only on the grid seed and the point's cell-count
+/// index, so a point's report is byte-identical whether it runs alone or as
+/// part of the full grid; `run_fabric_grid` itself is the all-ids case.
+///
+/// # Panics
+/// Panics on an invalid configuration or on ids that are out of range or
+/// not strictly increasing.
+pub fn run_fabric_points(config: &FabricGridConfig, ids: &[usize]) -> Vec<FabricReport> {
+    config.validate_or_panic();
+    let all = grid_points(config);
+    for w in ids.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "run_fabric_points: ids must be strictly increasing"
+        );
+    }
+    if let Some(&last) = ids.last() {
+        assert!(
+            last < all.len(),
+            "run_fabric_points: id {last} out of range (grid has {} points)",
+            all.len()
+        );
+    }
+    let subset: Vec<(String, FabricConfig)> = ids.iter().map(|&id| all[id].clone()).collect();
+    parallel_map_indexed(&subset, config.threads, |_, (mix_name, point)| {
+        let mut report = run_fabric(point);
+        report.mix = mix_name.clone();
+        report
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1880,6 +1913,56 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
 // ---------------------------------------------------------------------------
 
 impl BackendReport {
+    /// Parses a [`BackendReport::to_json_object`] document back. Exact:
+    /// the float codec round-trips shortest-`Display` renderings
+    /// losslessly.
+    fn from_json(o: &Json, ctx: &str) -> Result<BackendReport, SpecError> {
+        check_keys(
+            o,
+            &[
+                "name",
+                "jobs",
+                "batches",
+                "utilization",
+                "mean_batch",
+                "mean_service_us",
+                "batch_histogram",
+                "embed_cache_hits",
+                "embed_cache_misses",
+            ],
+            ctx,
+        )?;
+        let batch_histogram = req(o, "batch_histogram", ctx)?
+            .as_arr()
+            .ok_or_else(|| {
+                SpecError::new(
+                    ctx.to_string(),
+                    "field \"batch_histogram\" must be an array",
+                )
+            })?
+            .iter()
+            .map(|v| {
+                v.as_u64().ok_or_else(|| {
+                    SpecError::new(
+                        ctx.to_string(),
+                        "field \"batch_histogram\" must contain only unsigned integers",
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BackendReport {
+            name: req_str(o, "name", ctx)?.to_string(),
+            jobs: req_usize(o, "jobs", ctx)?,
+            batches: req_u64(o, "batches", ctx)?,
+            utilization: req_f64(o, "utilization", ctx)?,
+            mean_batch: req_f64(o, "mean_batch", ctx)?,
+            mean_service_us: req_f64(o, "mean_service_us", ctx)?,
+            batch_histogram,
+            embed_cache_hits: req_u64(o, "embed_cache_hits", ctx)?,
+            embed_cache_misses: req_u64(o, "embed_cache_misses", ctx)?,
+        })
+    }
+
     fn to_json_object(&self) -> String {
         let histogram = self
             .batch_histogram
@@ -1906,9 +1989,55 @@ impl BackendReport {
 }
 
 impl FabricReport {
-    /// Renders one grid point as a JSON object (one entry of the `points`
-    /// array).
-    fn to_json_object(&self) -> String {
+    /// Parses a [`FabricReport::to_json_object`] document back. Exact: the
+    /// float codec round-trips shortest-`Display` renderings losslessly.
+    pub(crate) fn from_json(o: &Json, ctx: &str) -> Result<FabricReport, SpecError> {
+        check_keys(
+            o,
+            &[
+                "mix",
+                "n_cells",
+                "arrival_period_us",
+                "jobs",
+                "ber",
+                "deadline_miss_rate",
+                "fallback_rate",
+                "served_miss_rate",
+                "p50_latency_us",
+                "p99_latency_us",
+                "mean_latency_us",
+                "mean_served_latency_us",
+                "backends",
+            ],
+            ctx,
+        )?;
+        let backends = req(o, "backends", ctx)?
+            .as_arr()
+            .ok_or_else(|| SpecError::new(ctx.to_string(), "field \"backends\" must be an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BackendReport::from_json(b, &format!("{ctx}.backends[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FabricReport {
+            mix: req_str(o, "mix", ctx)?.to_string(),
+            n_cells: req_usize(o, "n_cells", ctx)?,
+            arrival_period_us: req_f64(o, "arrival_period_us", ctx)?,
+            jobs: req_usize(o, "jobs", ctx)?,
+            ber: req_f64(o, "ber", ctx)?,
+            deadline_miss_rate: req_f64(o, "deadline_miss_rate", ctx)?,
+            fallback_rate: req_f64(o, "fallback_rate", ctx)?,
+            served_miss_rate: req_f64(o, "served_miss_rate", ctx)?,
+            p50_latency_us: req_f64(o, "p50_latency_us", ctx)?,
+            p99_latency_us: req_f64(o, "p99_latency_us", ctx)?,
+            mean_latency_us: req_f64(o, "mean_latency_us", ctx)?,
+            mean_served_latency_us: req_f64(o, "mean_served_latency_us", ctx)?,
+            backends,
+        })
+    }
+
+    /// Renders one grid point as a JSON object — one entry of the report's
+    /// `points` array and the `point` field of a shard/checkpoint record.
+    pub fn to_json_object(&self) -> String {
         let backends = self
             .backends
             .iter()
@@ -2025,6 +2154,76 @@ impl crate::report::Report for FabricGridReport {
             ]);
         }
         table
+    }
+}
+
+impl crate::report::MergeableReport for FabricGridReport {
+    fn points(&self) -> Vec<PointRecord> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(id, point)| PointRecord {
+                id,
+                payload: point.to_json_object(),
+            })
+            .collect()
+    }
+
+    fn from_points(spec: &ExperimentSpec, mut points: Vec<PointRecord>) -> Result<Self, SpecError> {
+        let ctx = "FabricGridReport";
+        let ExperimentSpec::Fabric(config) = spec else {
+            return Err(SpecError::new(
+                ctx,
+                format!("expected a fabric spec, got '{}'", spec.family()),
+            ));
+        };
+        if config.mode != FabricMode::Virtual {
+            return Err(SpecError::new(
+                ctx,
+                "realtime fabric runs produce traces, not mergeable grid reports",
+            ));
+        }
+        let loads = config.arrival_periods_us.len();
+        let cells_n = config.cell_counts.len();
+        let total = config.mixes.len() * cells_n * loads;
+        crate::report::sort_and_check_point_ids(&mut points, total, ctx)?;
+        let reports = points
+            .iter()
+            .map(|record| {
+                let p_ctx = &format!("fabric point {}", record.id);
+                let doc = Json::parse(&record.payload)
+                    .map_err(|e| SpecError::new(p_ctx.clone(), e.to_string()))?;
+                let point = FabricReport::from_json(&doc, p_ctx)?;
+                // The payload's own grid coordinates must agree with its id.
+                let mix = &config.mixes[record.id / (cells_n * loads)].name;
+                let n_cells = config.cell_counts[(record.id / loads) % cells_n];
+                let period = config.arrival_periods_us[record.id % loads];
+                if point.mix != *mix
+                    || point.n_cells != n_cells
+                    || point.arrival_period_us.to_bits() != period.to_bits()
+                {
+                    return Err(SpecError::new(
+                        p_ctx.clone(),
+                        format!(
+                            "grid coordinates ({}, {} cells, period {}) do not match the \
+                             spec grid point ({}, {} cells, period {})",
+                            point.mix, point.n_cells, point.arrival_period_us, mix, n_cells, period
+                        ),
+                    ));
+                }
+                Ok(point)
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        Ok(FabricGridReport {
+            n_users: config.track.n_users,
+            n_rx: config.track.n_rx,
+            modulation: config.track.modulation.name().to_string(),
+            noise_variance: config.track.noise_variance,
+            frames_per_cell: config.frames_per_cell,
+            deadline_us: config.deadline_us,
+            seed: config.seed,
+            points: reports,
+        })
     }
 }
 

@@ -43,7 +43,12 @@
 //!   offline-safe JSON codec for them, and the shared [`spec::SpecError`]
 //!   validation error.
 //! * [`report`] — the unified [`report::Report`] trait (JSON/CSV/table in
-//!   one place) plus table/CSV rendering for the bench binaries.
+//!   one place) plus table/CSV rendering for the bench binaries, and the
+//!   [`report::MergeableReport`] per-point decomposition every grid report
+//!   implements.
+//! * [`shard`] — the distributed experiment plane: deterministic grid
+//!   sharding, byte-stable [`shard::merge_shards`] reassembly, and the
+//!   streaming [`shard::Checkpoint`] journal long runs resume from.
 
 #![warn(missing_docs)]
 
@@ -58,6 +63,7 @@ pub mod pipeline;
 pub mod protocol;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod solver;
 pub mod spec;
 pub mod stages;
@@ -65,21 +71,27 @@ pub mod stream;
 pub mod sweep;
 
 pub use fabric::{
-    run_fabric, run_fabric_grid, run_fabric_traced, ArrivalProcess, BackendMix, BackendSpec,
-    FabricConfig, FabricGridConfig, FabricGridReport, FabricMode, FabricReport, FabricScheduler,
-    NetworkModel, RealtimeConfig, RouteTrace, SolverBackend,
+    run_fabric, run_fabric_grid, run_fabric_points, run_fabric_traced, ArrivalProcess, BackendMix,
+    BackendSpec, FabricConfig, FabricGridConfig, FabricGridReport, FabricMode, FabricReport,
+    FabricScheduler, NetworkModel, RealtimeConfig, RouteTrace, SolverBackend,
 };
 pub use fabric_rt::{
     diff_traces, replay_trace_doc, run_fabric_rt_grid, FabricRtGridReport, FabricRtReport,
     ReplayReport,
 };
 pub use protocol::Protocol;
-pub use report::Report;
-pub use scenario::{run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig};
+pub use report::{MergeableReport, PointRecord, Report};
+pub use scenario::{
+    run_ber_points, run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig,
+};
+pub use shard::{
+    grid_len, merge_shards, shard_ids, spec_fingerprint, Checkpoint, GridReport, ShardReport,
+    SHARD_SCHEMA_VERSION,
+};
 pub use solver::{HybridConfig, HybridResult, HybridSolver};
 pub use spec::{CannedKind, CannedSpec, ExperimentSpec, SpecError, SPEC_VERSION};
 pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};
 pub use stream::{
-    run_stream, run_stream_grid, CostModel, DispatchPolicy, StreamConfig, StreamGridConfig,
-    StreamGridReport, StreamReport,
+    run_stream, run_stream_grid, run_stream_points, CostModel, DispatchPolicy, StreamConfig,
+    StreamGridConfig, StreamGridReport, StreamReport,
 };

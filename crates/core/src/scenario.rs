@@ -18,8 +18,10 @@
 //! rendering — are **byte-identical** for any value, which CI pins by
 //! diffing a 1-thread against an N-thread run.
 
+use crate::report::PointRecord;
 use crate::solver::HybridSolver;
-use crate::spec::SpecError;
+use crate::spec::json::Json;
+use crate::spec::{check_keys, req, req_f64, req_str, ExperimentSpec, SpecError};
 use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::{CMatrix, CVector, Rng64};
 use hqw_phy::channel::{add_awgn, snr_db_to_noise_variance, ChannelModel};
@@ -289,6 +291,91 @@ pub struct BerPoint {
     pub avg_sweeps: f64,
 }
 
+/// One detector's result at one SNR grid point — one arm of a
+/// [`BerColumn`].
+#[derive(Debug, Clone)]
+pub struct BerArmPoint {
+    /// Detector name.
+    pub detector: String,
+    /// Whether this arm routes through the ML→QUBO/Ising reduction.
+    pub qubo_backed: bool,
+    /// The arm's metrics at this SNR point.
+    pub point: BerPoint,
+}
+
+/// Every detector's result at one SNR grid point: the unit of BER-sweep
+/// sharding (point id = index into `config.snr_db`).
+///
+/// A column is the report sliced the other way round from
+/// [`DetectorSeries`]: per-point across detectors instead of per-detector
+/// across points. [`run_ber_points`] produces columns; the full sweep and
+/// [`MergeableReport::from_points`](crate::report::MergeableReport)
+/// transpose them back into series.
+#[derive(Debug, Clone)]
+pub struct BerColumn {
+    /// Grid-order point id (index into the configured `snr_db` grid).
+    pub id: usize,
+    /// One entry per roster detector, in roster order.
+    pub arms: Vec<BerArmPoint>,
+}
+
+impl BerColumn {
+    /// Renders the column as a shard/checkpoint point record
+    /// (`{"arms": [{"detector": ..., "qubo_backed": ..., "point": {...}}]}`).
+    pub fn to_record(&self) -> PointRecord {
+        let arms = self
+            .arms
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"detector\": {}, \"qubo_backed\": {}, \"point\": {}}}",
+                    Json::Str(a.detector.clone()).to_string_compact(),
+                    a.qubo_backed,
+                    a.point.to_json_object()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        PointRecord {
+            id: self.id,
+            payload: format!("{{\"arms\": [{arms}]}}"),
+        }
+    }
+
+    /// Parses a [`BerColumn::to_record`] payload back.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] on syntax errors, unknown/missing fields, or
+    /// mistyped values.
+    pub fn from_record(record: &PointRecord) -> Result<BerColumn, SpecError> {
+        let ctx = &format!("ber point {}", record.id);
+        let doc =
+            Json::parse(&record.payload).map_err(|e| SpecError::new(ctx.clone(), e.to_string()))?;
+        check_keys(&doc, &["arms"], ctx)?;
+        let arms = req(&doc, "arms", ctx)?
+            .as_arr()
+            .ok_or_else(|| SpecError::new(ctx.clone(), "field \"arms\" must be an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let a_ctx = &format!("{ctx}.arms[{i}]");
+                check_keys(a, &["detector", "qubo_backed", "point"], a_ctx)?;
+                Ok(BerArmPoint {
+                    detector: req_str(a, "detector", a_ctx)?.to_string(),
+                    qubo_backed: req(a, "qubo_backed", a_ctx)?.as_bool().ok_or_else(|| {
+                        SpecError::new(a_ctx.clone(), "field \"qubo_backed\" must be a boolean")
+                    })?,
+                    point: BerPoint::from_json(req(a, "point", a_ctx)?, a_ctx)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        Ok(BerColumn {
+            id: record.id,
+            arms,
+        })
+    }
+}
+
 /// One detector's full curve.
 #[derive(Debug, Clone)]
 pub struct DetectorSeries {
@@ -345,18 +432,75 @@ struct CellOutcome {
 /// for the non-panicking check.
 pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) -> BerReport {
     config.validate_or_panic();
+    let ids: Vec<usize> = (0..config.snr_db.len()).collect();
+    let columns = run_ber_points(config, detectors, &ids);
+    let series = detectors
+        .iter()
+        .enumerate()
+        .map(|(det_idx, arm)| DetectorSeries {
+            detector: arm.name.clone(),
+            qubo_backed: arm.qubo_backed,
+            points: columns.iter().map(|c| c.arms[det_idx].point).collect(),
+        })
+        .collect();
+    BerReport {
+        n_users: config.n_users,
+        n_rx: config.n_rx,
+        modulation: config.modulation,
+        channel: config.channel,
+        realizations: config.realizations,
+        seed: config.seed,
+        series,
+    }
+}
 
-    // Per-cell seeds drawn up front, in grid order — the same derivation the
-    // batch solver uses, so randomness never depends on thread placement.
+/// Runs an arbitrary subset of a BER sweep's SNR grid — the sharded form of
+/// [`run_ber_sweep`].
+///
+/// `ids` are indices into `config.snr_db` (strictly increasing). Every
+/// cell's seed is derived from its position in the **full** grid, and the
+/// per-point accumulation runs over the same realization order as the full
+/// sweep, so a point's column is byte-identical whether it is computed
+/// alone or as part of the complete sweep. `run_ber_sweep` itself is the
+/// `ids = 0..snr_db.len()` case.
+///
+/// # Panics
+/// Panics on an invalid configuration or on ids that are out of range or
+/// not strictly increasing.
+pub fn run_ber_points(
+    config: &SnrSweepConfig,
+    detectors: &[ScenarioDetector],
+    ids: &[usize],
+) -> Vec<BerColumn> {
+    config.validate_or_panic();
+    for w in ids.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "run_ber_points: ids must be strictly increasing"
+        );
+    }
+    if let Some(&last) = ids.last() {
+        assert!(
+            last < config.snr_db.len(),
+            "run_ber_points: id {last} out of range (grid has {} points)",
+            config.snr_db.len()
+        );
+    }
+
+    // Per-cell seeds drawn up front, indexed by the cell's position in the
+    // FULL grid — the same derivation the batch solver uses, so a point's
+    // randomness depends on neither thread placement nor which subset of
+    // the grid is running.
     struct Cell {
+        pos: usize,
         snr_idx: usize,
         seed: u64,
     }
-    let mut cells = Vec::with_capacity(config.snr_db.len() * config.realizations);
-    for snr_idx in 0..config.snr_db.len() {
-        for _ in 0..config.realizations {
-            let seed = crate::pipeline::item_seed(config.seed, cells.len());
-            cells.push(Cell { snr_idx, seed });
+    let mut cells = Vec::with_capacity(ids.len() * config.realizations);
+    for (pos, &snr_idx) in ids.iter().enumerate() {
+        for r in 0..config.realizations {
+            let seed = crate::pipeline::item_seed(config.seed, snr_idx * config.realizations + r);
+            cells.push(Cell { pos, snr_idx, seed });
         }
     }
 
@@ -400,10 +544,10 @@ pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) ->
         nodes: f64,
         sweeps: f64,
     }
-    let mut acc = vec![vec![Acc::default(); config.snr_db.len()]; detectors.len()];
+    let mut acc = vec![vec![Acc::default(); ids.len()]; detectors.len()];
     for (cell, outcomes) in cells.iter().zip(&per_cell) {
         for (det_idx, outcome) in outcomes.iter().enumerate() {
-            let a = &mut acc[det_idx][cell.snr_idx];
+            let a = &mut acc[det_idx][cell.pos];
             a.ber += outcome.ber;
             a.ser += outcome.ser;
             a.block_err += outcome.block_err;
@@ -414,42 +558,37 @@ pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) ->
 
     let bits_per_use = (config.n_users * bits_per_symbol) as f64;
     let n = config.realizations as f64;
-    let series = detectors
-        .iter()
-        .zip(&acc)
-        .map(|(arm, per_snr)| DetectorSeries {
-            detector: arm.name.clone(),
-            qubo_backed: arm.qubo_backed,
-            points: config
-                .snr_db
-                .iter()
-                .zip(per_snr)
-                .map(|(&snr_db, a)| {
-                    let bler = a.block_err / n;
-                    BerPoint {
-                        snr_db,
-                        noise_variance: snr_db_to_noise_variance(snr_db, config.n_users),
-                        ber: a.ber / n,
-                        ser: a.ser / n,
-                        bler,
-                        goodput_bpcu: bits_per_use * (1.0 - bler),
-                        avg_nodes_visited: a.nodes / n,
-                        avg_sweeps: a.sweeps / n,
-                    }
-                })
-                .collect(),
+    ids.iter()
+        .enumerate()
+        .map(|(pos, &snr_idx)| {
+            let snr_db = config.snr_db[snr_idx];
+            BerColumn {
+                id: snr_idx,
+                arms: detectors
+                    .iter()
+                    .enumerate()
+                    .map(|(det_idx, arm)| {
+                        let a = &acc[det_idx][pos];
+                        let bler = a.block_err / n;
+                        BerArmPoint {
+                            detector: arm.name.clone(),
+                            qubo_backed: arm.qubo_backed,
+                            point: BerPoint {
+                                snr_db,
+                                noise_variance: snr_db_to_noise_variance(snr_db, config.n_users),
+                                ber: a.ber / n,
+                                ser: a.ser / n,
+                                bler,
+                                goodput_bpcu: bits_per_use * (1.0 - bler),
+                                avg_nodes_visited: a.nodes / n,
+                                avg_sweeps: a.sweeps / n,
+                            },
+                        }
+                    })
+                    .collect(),
+            }
         })
-        .collect();
-
-    BerReport {
-        n_users: config.n_users,
-        n_rx: config.n_rx,
-        modulation: config.modulation,
-        channel: config.channel,
-        realizations: config.realizations,
-        seed: config.seed,
-        series,
-    }
+        .collect()
 }
 
 /// Formats a finite float as a JSON number (shared with the stream engine's
@@ -461,6 +600,56 @@ pub fn run_ber_sweep(config: &SnrSweepConfig, detectors: &[ScenarioDetector]) ->
 pub(crate) fn json_num(v: f64) -> String {
     assert!(v.is_finite(), "json_num: non-finite value {v}");
     format!("{v}")
+}
+
+impl BerPoint {
+    /// Renders the point as a single-line JSON object — one line of the
+    /// report's points arrays and the `point` field of a shard/checkpoint
+    /// record.
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"snr_db\": {}, \"noise_variance\": {}, \"ber\": {}, \
+             \"ser\": {}, \"bler\": {}, \"goodput_bpcu\": {}, \
+             \"avg_nodes_visited\": {}, \"avg_sweeps\": {}}}",
+            json_num(self.snr_db),
+            json_num(self.noise_variance),
+            json_num(self.ber),
+            json_num(self.ser),
+            json_num(self.bler),
+            json_num(self.goodput_bpcu),
+            json_num(self.avg_nodes_visited),
+            json_num(self.avg_sweeps),
+        )
+    }
+
+    /// Parses a [`BerPoint::to_json_object`] document back. Exact: the
+    /// float codec round-trips shortest-`Display` renderings losslessly.
+    pub(crate) fn from_json(o: &Json, ctx: &str) -> Result<BerPoint, SpecError> {
+        check_keys(
+            o,
+            &[
+                "snr_db",
+                "noise_variance",
+                "ber",
+                "ser",
+                "bler",
+                "goodput_bpcu",
+                "avg_nodes_visited",
+                "avg_sweeps",
+            ],
+            ctx,
+        )?;
+        Ok(BerPoint {
+            snr_db: req_f64(o, "snr_db", ctx)?,
+            noise_variance: req_f64(o, "noise_variance", ctx)?,
+            ber: req_f64(o, "ber", ctx)?,
+            ser: req_f64(o, "ser", ctx)?,
+            bler: req_f64(o, "bler", ctx)?,
+            goodput_bpcu: req_f64(o, "goodput_bpcu", ctx)?,
+            avg_nodes_visited: req_f64(o, "avg_nodes_visited", ctx)?,
+            avg_sweeps: req_f64(o, "avg_sweeps", ctx)?,
+        })
+    }
 }
 
 impl BerReport {
@@ -487,17 +676,8 @@ impl BerReport {
             ));
             for (j, p) in series.points.iter().enumerate() {
                 s.push_str(&format!(
-                    "      {{\"snr_db\": {}, \"noise_variance\": {}, \"ber\": {}, \
-                     \"ser\": {}, \"bler\": {}, \"goodput_bpcu\": {}, \
-                     \"avg_nodes_visited\": {}, \"avg_sweeps\": {}}}{}\n",
-                    json_num(p.snr_db),
-                    json_num(p.noise_variance),
-                    json_num(p.ber),
-                    json_num(p.ser),
-                    json_num(p.bler),
-                    json_num(p.goodput_bpcu),
-                    json_num(p.avg_nodes_visited),
-                    json_num(p.avg_sweeps),
+                    "      {}{}\n",
+                    p.to_json_object(),
                     if j + 1 < series.points.len() { "," } else { "" }
                 ));
             }
@@ -553,6 +733,101 @@ impl crate::report::Report for BerReport {
             }
         }
         table
+    }
+}
+
+impl crate::report::MergeableReport for BerReport {
+    fn points(&self) -> Vec<PointRecord> {
+        let n_points = self.series.first().map_or(0, |s| s.points.len());
+        (0..n_points)
+            .map(|id| {
+                BerColumn {
+                    id,
+                    arms: self
+                        .series
+                        .iter()
+                        .map(|s| BerArmPoint {
+                            detector: s.detector.clone(),
+                            qubo_backed: s.qubo_backed,
+                            point: s.points[id],
+                        })
+                        .collect(),
+                }
+                .to_record()
+            })
+            .collect()
+    }
+
+    fn from_points(spec: &ExperimentSpec, mut points: Vec<PointRecord>) -> Result<Self, SpecError> {
+        let ctx = "BerReport";
+        let ExperimentSpec::Ber(config) = spec else {
+            return Err(SpecError::new(
+                ctx,
+                format!("expected a ber spec, got '{}'", spec.family()),
+            ));
+        };
+        crate::report::sort_and_check_point_ids(&mut points, config.snr_db.len(), ctx)?;
+        let columns = points
+            .iter()
+            .map(BerColumn::from_record)
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(first) = columns.first() {
+            // Every column must carry the same roster, in the same order —
+            // a mismatch means the records came from different runs.
+            for c in &columns[1..] {
+                let same = c.arms.len() == first.arms.len()
+                    && c.arms
+                        .iter()
+                        .zip(&first.arms)
+                        .all(|(a, b)| a.detector == b.detector && a.qubo_backed == b.qubo_backed);
+                if !same {
+                    return Err(SpecError::new(
+                        ctx,
+                        format!(
+                            "point {} has a different detector roster than point {}",
+                            c.id, first.id
+                        ),
+                    ));
+                }
+            }
+        }
+        for c in &columns {
+            let want = config.snr_db[c.id];
+            if let Some(a) = c
+                .arms
+                .iter()
+                .find(|a| a.point.snr_db.to_bits() != want.to_bits())
+            {
+                return Err(SpecError::new(
+                    ctx,
+                    format!(
+                        "point {}: snr_db {} does not match the spec grid value {}",
+                        c.id, a.point.snr_db, want
+                    ),
+                ));
+            }
+        }
+        let series = columns.first().map_or_else(Vec::new, |first| {
+            first
+                .arms
+                .iter()
+                .enumerate()
+                .map(|(ai, arm)| DetectorSeries {
+                    detector: arm.detector.clone(),
+                    qubo_backed: arm.qubo_backed,
+                    points: columns.iter().map(|c| c.arms[ai].point).collect(),
+                })
+                .collect()
+        });
+        Ok(BerReport {
+            n_users: config.n_users,
+            n_rx: config.n_rx,
+            modulation: config.modulation,
+            channel: config.channel,
+            realizations: config.realizations,
+            seed: config.seed,
+            series,
+        })
     }
 }
 

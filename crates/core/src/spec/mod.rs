@@ -253,6 +253,17 @@ impl ExperimentSpec {
         }
     }
 
+    /// The spec's worker-thread count (0 = all cores; canned experiments
+    /// have no parallel grid and always report 0).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExperimentSpec::Ber(c) => c.threads,
+            ExperimentSpec::Stream(c) => c.threads,
+            ExperimentSpec::Fabric(c) => c.threads,
+            ExperimentSpec::Canned(_) => 0,
+        }
+    }
+
     /// Overrides the worker-thread count (a no-op for canned experiments,
     /// which have no parallel grid). Threads are a pure throughput knob:
     /// results are bit-identical for any value.
@@ -575,7 +586,7 @@ fn canned_json(c: &CannedSpec) -> Json {
 // Parsing (Json → struct)
 // ---------------------------------------------------------------------------
 
-fn req<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
+pub(crate) fn req<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
     match o {
         Json::Obj(_) => o
             .get(key)
@@ -585,7 +596,7 @@ fn req<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, SpecError> {
 }
 
 /// Rejects unknown object keys — the typo guard for hand-written specs.
-fn check_keys(o: &Json, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+pub(crate) fn check_keys(o: &Json, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
     match o {
         Json::Obj(fields) => {
             for (key, _) in fields {
@@ -604,24 +615,24 @@ fn check_keys(o: &Json, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
     }
 }
 
-fn req_u64(o: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
+pub(crate) fn req_u64(o: &Json, key: &str, ctx: &str) -> Result<u64, SpecError> {
     req(o, key, ctx)?
         .as_u64()
         .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be an unsigned integer")))
 }
 
-fn req_usize(o: &Json, key: &str, ctx: &str) -> Result<usize, SpecError> {
+pub(crate) fn req_usize(o: &Json, key: &str, ctx: &str) -> Result<usize, SpecError> {
     usize::try_from(req_u64(o, key, ctx)?)
         .map_err(|_| SpecError::new(ctx, format!("field \"{key}\" overflows usize")))
 }
 
-fn req_f64(o: &Json, key: &str, ctx: &str) -> Result<f64, SpecError> {
+pub(crate) fn req_f64(o: &Json, key: &str, ctx: &str) -> Result<f64, SpecError> {
     req(o, key, ctx)?
         .as_f64()
         .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be a number")))
 }
 
-fn req_str<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a str, SpecError> {
+pub(crate) fn req_str<'a>(o: &'a Json, key: &str, ctx: &str) -> Result<&'a str, SpecError> {
     req(o, key, ctx)?
         .as_str()
         .ok_or_else(|| SpecError::new(ctx, format!("field \"{key}\" must be a string")))

@@ -33,8 +33,10 @@
 //! N-thread `fig-stream` run.
 
 use crate::pipeline::item_seed;
+use crate::report::PointRecord;
 use crate::scenario::json_num;
-use crate::spec::SpecError;
+use crate::spec::json::Json;
+use crate::spec::{check_keys, req_f64, req_str, req_usize, ExperimentSpec, SpecError};
 use hqw_math::parallel::parallel_map_indexed;
 use hqw_math::stats::percentile_sorted;
 use hqw_math::Rng64;
@@ -629,32 +631,8 @@ pub struct StreamGridReport {
 /// [`StreamGridConfig::validate`] for the non-panicking check).
 pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> StreamGridReport {
     config.validate_or_panic();
-
-    let mut cells = Vec::new();
-    for &policy in &config.policies {
-        for (rho_idx, &rho) in config.rhos.iter().enumerate() {
-            for &arrival_period_us in &config.arrival_periods_us {
-                let mut track = config.track;
-                track.rho = rho;
-                cells.push(StreamConfig {
-                    track,
-                    frames: config.frames,
-                    arrival_period_us,
-                    deadline_us: config.deadline_us,
-                    policy,
-                    cost: config.cost,
-                    sa: config.sa,
-                    // ρ-indexed only: same frames across loads and policies.
-                    seed: item_seed(config.seed, rho_idx),
-                });
-            }
-        }
-    }
-
-    let reports = parallel_map_indexed(&cells, config.threads, |_, cell| {
-        run_stream(cell, classical)
-    });
-
+    let ids: Vec<usize> =
+        (0..config.policies.len() * config.rhos.len() * config.arrival_periods_us.len()).collect();
     StreamGridReport {
         n_users: config.track.n_users,
         n_rx: config.track.n_rx,
@@ -663,13 +641,79 @@ pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> S
         frames: config.frames,
         deadline_us: config.deadline_us,
         seed: config.seed,
-        cells: reports,
+        cells: run_stream_points(config, classical, &ids),
     }
 }
 
+/// Builds the cell config for one flat grid id (policy-major, then ρ, then
+/// load — the `cells` array order of the report).
+pub(crate) fn stream_cell_config(config: &StreamGridConfig, id: usize) -> StreamConfig {
+    let loads = config.arrival_periods_us.len();
+    let rhos = config.rhos.len();
+    let policy = config.policies[id / (rhos * loads)];
+    let rho_idx = (id / loads) % rhos;
+    let mut track = config.track;
+    track.rho = config.rhos[rho_idx];
+    StreamConfig {
+        track,
+        frames: config.frames,
+        arrival_period_us: config.arrival_periods_us[id % loads],
+        deadline_us: config.deadline_us,
+        policy,
+        cost: config.cost,
+        sa: config.sa,
+        // ρ-indexed only: same frames across loads and policies.
+        seed: item_seed(config.seed, rho_idx),
+    }
+}
+
+/// Runs an arbitrary subset of the (policy × ρ × load) grid — the sharded
+/// form of [`run_stream_grid`].
+///
+/// `ids` are flat indices into the policy-major grid (strictly increasing).
+/// Cell seeds depend only on the grid seed and the cell's ρ index, so a
+/// cell's report is byte-identical whether it runs alone or as part of the
+/// full grid; `run_stream_grid` itself is the all-ids case.
+///
+/// # Panics
+/// Panics on an invalid configuration or on ids that are out of range or
+/// not strictly increasing.
+pub fn run_stream_points(
+    config: &StreamGridConfig,
+    classical: &dyn Detector,
+    ids: &[usize],
+) -> Vec<StreamReport> {
+    config.validate_or_panic();
+    let total = config.policies.len() * config.rhos.len() * config.arrival_periods_us.len();
+    for w in ids.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "run_stream_points: ids must be strictly increasing"
+        );
+    }
+    if let Some(&last) = ids.last() {
+        assert!(
+            last < total,
+            "run_stream_points: id {last} out of range (grid has {total} points)"
+        );
+    }
+    let cells: Vec<StreamConfig> = ids
+        .iter()
+        .map(|&id| stream_cell_config(config, id))
+        .collect();
+    parallel_map_indexed(&cells, config.threads, |_, cell| {
+        run_stream(cell, classical)
+    })
+}
+
 impl StreamReport {
-    /// Renders one cell as a JSON object (one line of the `cells` array).
-    fn to_json_object(&self) -> String {
+    /// Renders one cell as a JSON object — one line of the report's `cells`
+    /// array and the `point` field of a shard/checkpoint record.
+    ///
+    /// `frames`, `deadline_us` and `seed` are omitted: they are derivable
+    /// from the grid config (and `StreamReport::from_json` reconstructs
+    /// them from it).
+    pub fn to_json_object(&self) -> String {
         format!(
             "{{\"policy\": \"{}\", \"rho\": {}, \"arrival_period_us\": {}, \
              \"ber\": {}, \"deadline_miss_rate\": {}, \"p50_latency_us\": {}, \
@@ -692,6 +736,62 @@ impl StreamReport {
             json_num(self.cold_sweeps_to_solution),
             json_num(self.warm_sweeps_to_solution),
         )
+    }
+
+    /// Parses a [`StreamReport::to_json_object`] document back, taking the
+    /// omitted `frames`/`deadline_us`/`seed` fields as arguments. Exact:
+    /// the float codec round-trips shortest-`Display` renderings
+    /// losslessly.
+    pub(crate) fn from_json(
+        o: &Json,
+        frames: usize,
+        deadline_us: f64,
+        seed: u64,
+        ctx: &str,
+    ) -> Result<StreamReport, SpecError> {
+        check_keys(
+            o,
+            &[
+                "policy",
+                "rho",
+                "arrival_period_us",
+                "ber",
+                "deadline_miss_rate",
+                "p50_latency_us",
+                "p99_latency_us",
+                "throughput_per_ms",
+                "avg_service_us",
+                "classical_frames",
+                "hybrid_frames",
+                "warm_pairs",
+                "cold_sweeps_to_solution",
+                "warm_sweeps_to_solution",
+            ],
+            ctx,
+        )?;
+        let policy_name = req_str(o, "policy", ctx)?;
+        let policy = DispatchPolicy::from_name(policy_name).ok_or_else(|| {
+            SpecError::new(ctx.to_string(), format!("unknown policy '{policy_name}'"))
+        })?;
+        Ok(StreamReport {
+            policy,
+            rho: req_f64(o, "rho", ctx)?,
+            frames,
+            arrival_period_us: req_f64(o, "arrival_period_us", ctx)?,
+            deadline_us,
+            seed,
+            ber: req_f64(o, "ber", ctx)?,
+            deadline_miss_rate: req_f64(o, "deadline_miss_rate", ctx)?,
+            p50_latency_us: req_f64(o, "p50_latency_us", ctx)?,
+            p99_latency_us: req_f64(o, "p99_latency_us", ctx)?,
+            throughput_per_ms: req_f64(o, "throughput_per_ms", ctx)?,
+            avg_service_us: req_f64(o, "avg_service_us", ctx)?,
+            classical_frames: req_usize(o, "classical_frames", ctx)?,
+            hybrid_frames: req_usize(o, "hybrid_frames", ctx)?,
+            warm_pairs: req_usize(o, "warm_pairs", ctx)?,
+            cold_sweeps_to_solution: req_f64(o, "cold_sweeps_to_solution", ctx)?,
+            warm_sweeps_to_solution: req_f64(o, "warm_sweeps_to_solution", ctx)?,
+        })
     }
 }
 
@@ -776,6 +876,74 @@ impl crate::report::Report for StreamGridReport {
             ]);
         }
         table
+    }
+}
+
+impl crate::report::MergeableReport for StreamGridReport {
+    fn points(&self) -> Vec<PointRecord> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(id, cell)| PointRecord {
+                id,
+                payload: cell.to_json_object(),
+            })
+            .collect()
+    }
+
+    fn from_points(spec: &ExperimentSpec, mut points: Vec<PointRecord>) -> Result<Self, SpecError> {
+        let ctx = "StreamGridReport";
+        let ExperimentSpec::Stream(config) = spec else {
+            return Err(SpecError::new(
+                ctx,
+                format!("expected a stream spec, got '{}'", spec.family()),
+            ));
+        };
+        let total = config.policies.len() * config.rhos.len() * config.arrival_periods_us.len();
+        crate::report::sort_and_check_point_ids(&mut points, total, ctx)?;
+        let cells = points
+            .iter()
+            .map(|record| {
+                let p_ctx = &format!("stream point {}", record.id);
+                let doc = Json::parse(&record.payload)
+                    .map_err(|e| SpecError::new(p_ctx.clone(), e.to_string()))?;
+                // The grid coordinates the cell was computed for: frames,
+                // deadline and seed come from the spec, and the payload's
+                // own coordinates must agree with its id.
+                let want = stream_cell_config(config, record.id);
+                let cell =
+                    StreamReport::from_json(&doc, want.frames, want.deadline_us, want.seed, p_ctx)?;
+                if cell.policy != want.policy
+                    || cell.rho.to_bits() != want.track.rho.to_bits()
+                    || cell.arrival_period_us.to_bits() != want.arrival_period_us.to_bits()
+                {
+                    return Err(SpecError::new(
+                        p_ctx.clone(),
+                        format!(
+                            "grid coordinates ({}, rho {}, period {}) do not match the \
+                             spec grid cell ({}, rho {}, period {})",
+                            cell.policy.name(),
+                            cell.rho,
+                            cell.arrival_period_us,
+                            want.policy.name(),
+                            want.track.rho,
+                            want.arrival_period_us
+                        ),
+                    ));
+                }
+                Ok(cell)
+            })
+            .collect::<Result<Vec<_>, SpecError>>()?;
+        Ok(StreamGridReport {
+            n_users: config.track.n_users,
+            n_rx: config.track.n_rx,
+            modulation: config.track.modulation.name().to_string(),
+            noise_variance: config.track.noise_variance,
+            frames: config.frames,
+            deadline_us: config.deadline_us,
+            seed: config.seed,
+            cells,
+        })
     }
 }
 

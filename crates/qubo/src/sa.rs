@@ -289,7 +289,7 @@ pub fn sa_read_fast(
 
 /// [`sa_read_fast`] that also records a running-best trace. Trace entries
 /// between refresh points come from the f32 energy estimate (exactly
-/// re-anchored every [`FAST_FIELD_REFRESH_SWEEPS`] sweeps and at the end),
+/// re-anchored every `FAST_FIELD_REFRESH_SWEEPS` sweeps and at the end),
 /// so they are approximate — within f32 accumulation error — but the
 /// non-increasing invariant and the final energy are exact.
 pub fn sa_read_fast_traced(
