@@ -86,6 +86,26 @@ BENCH_fabric.json
     carries survivor bias;
   * at least one point actually formed a multi-job batch.
 
+--telemetry-trace TRACE.json [--telemetry-bench BENCH_fabric_rt.json]
+  (standalone mode)
+  * the Chrome trace-event document is well-formed: only M/X/i/C phases,
+    non-negative timestamps and durations, every span's (pid, tid) covered
+    by process/thread name metadata;
+  * per-job stage spans (enqueue -> admit -> form -> wait -> solve) are
+    contained in their job's end-to-end span and their durations sum to no
+    more than the end-to-end duration (small float slack) — the stage
+    chain is contiguous by construction, so a violation means the spans
+    lie about the lifecycle;
+  * when --telemetry-bench is given, its TELEMETRY stanza has ordered
+    percentiles (p50 <= p90 <= p99 <= max) per stage and end-to-end, all
+    five realtime stages present with equal counts, and counter maxima
+    present for the queue/utilization series.
+
+--overhead ON.json OFF.json (standalone mode)
+  * telemetry-on aggregate realtime throughput (sum of frames_per_sec over
+    matched grid points) stays within 5% of the telemetry-off run — the
+    observability plane must not tax the data path.
+
 SHARD_*.json (via --shards, standalone mode)
   * every document is a well-formed ShardReport: bench == "shard",
     schema_version == 1, a 16-hex-digit fingerprint, a shardable
@@ -98,6 +118,8 @@ Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
                          [--fabric-rt PATH] [--ber PATH] [--manifest PATH]
        ci/check_bench.py --history
        ci/check_bench.py --shards SHARD.json [SHARD.json ...]
+       ci/check_bench.py --telemetry-trace TRACE.json [--telemetry-bench PATH]
+       ci/check_bench.py --overhead ON.json OFF.json
 """
 
 import argparse
@@ -437,6 +459,188 @@ def check_fabric_rt(path):
     print(f"{path}: {len(points)} realtime points OK (peak {peak:.0f} frames/s)")
 
 
+# The realtime frame lifecycle, in pipeline order. The sequencer emits the
+# first three stages, the worker lanes the last two; together they tile the
+# delivered -> completed interval exactly.
+RT_STAGES = ("enqueue", "admit", "form", "wait", "solve")
+
+# Absolute slack (µs) for float round-off when comparing span arithmetic.
+SPAN_SLACK_US = 1.0
+
+
+def check_telemetry(trace_path, bench_path=None):
+    """Validate a Chrome trace-event file (and optionally the TELEMETRY
+    stanza of the BENCH_fabric_rt.json emitted by the same run)."""
+    with open(trace_path) as f:
+        doc = json.load(f)
+    check(
+        doc.get("displayTimeUnit") == "ms",
+        f"{trace_path}: missing displayTimeUnit",
+    )
+    events = doc.get("traceEvents", [])
+    check(bool(events), f"{trace_path}: no trace events")
+    for e in events:
+        check(
+            e.get("ph") in ("M", "X", "i", "C"),
+            f"{trace_path}: unexpected event phase {e.get('ph')!r}",
+        )
+        if e.get("ph") != "M":
+            check(
+                e.get("ts", -1.0) >= 0.0,
+                f"{trace_path}: negative timestamp on {e.get('name')!r}",
+            )
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    counters = [e for e in events if e.get("ph") == "C"]
+    check(bool(spans), f"{trace_path}: no span events")
+    named_pids = set()
+    named_threads = set()
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            named_pids.add(e["pid"])
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            named_threads.add((e["pid"], e["tid"]))
+    for e in spans:
+        check(
+            e.get("dur", -1.0) >= 0.0,
+            f"{trace_path}: negative duration on {e.get('name')!r}",
+        )
+        check(
+            e["pid"] in named_pids,
+            f"{trace_path}: span {e.get('name')!r} in unnamed process {e['pid']}",
+        )
+        check(
+            (e["pid"], e["tid"]) in named_threads,
+            f"{trace_path}: span {e.get('name')!r} on unnamed thread "
+            f"({e['pid']}, {e['tid']})",
+        )
+
+    # Per-job stage chains vs their end-to-end span.
+    stage_spans = {}  # (pid, job) -> {stage: (ts, dur)}
+    job_spans = {}  # (pid, job) -> (ts, dur)
+    for e in spans:
+        job = e.get("args", {}).get("job")
+        if job is None:
+            continue
+        key = (e["pid"], job)
+        if e.get("cat") == "stage":
+            check(
+                e["name"] not in stage_spans.get(key, {}),
+                f"{trace_path}: duplicate stage {e['name']!r} for job {key}",
+            )
+            stage_spans.setdefault(key, {})[e["name"]] = (e["ts"], e["dur"])
+        elif e.get("cat") == "job":
+            check(job_spans.get(key) is None, f"{trace_path}: duplicate job span {key}")
+            job_spans[key] = (e["ts"], e["dur"])
+    checked_jobs = 0
+    for key, stages in stage_spans.items():
+        if key not in job_spans:
+            continue
+        checked_jobs += 1
+        job_ts, job_dur = job_spans[key]
+        stage_sum = 0.0
+        for stage, (ts, dur) in stages.items():
+            stage_sum += dur
+            check(
+                ts >= job_ts - SPAN_SLACK_US
+                and ts + dur <= job_ts + job_dur + SPAN_SLACK_US,
+                f"{trace_path}: stage {stage!r} of job {key} "
+                f"[{ts}, {ts + dur}] escapes its end-to-end span "
+                f"[{job_ts}, {job_ts + job_dur}]",
+            )
+        check(
+            stage_sum <= job_dur * (1.0 + 1e-9) + SPAN_SLACK_US,
+            f"{trace_path}: job {key} stage durations sum to {stage_sum} us, "
+            f"more than the end-to-end {job_dur} us",
+        )
+    check(checked_jobs > 0, f"{trace_path}: no job carries both stage and job spans")
+
+    if bench_path is not None:
+        _check_telemetry_stanza(bench_path)
+
+    print(
+        f"{trace_path}: {len(spans)} spans over {checked_jobs} jobs, "
+        f"{len(counters)} counter samples OK"
+    )
+
+
+def _check_telemetry_stanza(bench_path):
+    """Validate the TELEMETRY stanza a --telemetry realtime run embeds."""
+    with open(bench_path) as f:
+        bench = json.load(f)
+    stanza = bench.get("telemetry")
+    check(stanza is not None, f"{bench_path}: no telemetry stanza")
+    if stanza is None:
+        return
+    check(stanza.get("spans", 0) > 0, f"{bench_path}: telemetry saw no spans")
+    check(stanza.get("samples", 0) > 0, f"{bench_path}: sampler took no readings")
+    stages = {s["stage"]: s for s in stanza.get("stages", [])}
+    for name in RT_STAGES:
+        check(name in stages, f"{bench_path}: telemetry stage {name!r} missing")
+    counts = {s["count"] for s in stages.values()}
+    check(
+        len(counts) <= 1,
+        f"{bench_path}: stage counts differ {sorted(counts)} — the lifecycle "
+        f"must record every stage once per job",
+    )
+    for entry in list(stanza.get("stages", [])) + [stanza.get("end_to_end", {})]:
+        name = entry.get("stage", "?")
+        check(entry.get("count", 0) > 0, f"{bench_path}: [{name}] empty histogram")
+        check(
+            0.0 <= entry.get("p50_us", -1.0)
+            <= entry.get("p90_us", -1.0)
+            <= entry.get("p99_us", -1.0)
+            <= entry.get("max_us", -1.0),
+            f"{bench_path}: [{name}] percentiles disordered: {entry}",
+        )
+    counter_names = {c["name"] for c in stanza.get("counters", [])}
+    for series in ("in_flight",):
+        check(
+            series in counter_names,
+            f"{bench_path}: counter series {series!r} missing from telemetry",
+        )
+
+
+# One-sided floor: telemetry-on aggregate throughput vs telemetry-off.
+OVERHEAD_FLOOR = 0.95
+
+
+def check_overhead(on_path, off_path):
+    """Gate the observability tax: a --telemetry realtime run must keep at
+    least OVERHEAD_FLOOR of the plain run's aggregate throughput."""
+
+    def points_by_key(path):
+        with open(path) as f:
+            bench = json.load(f)
+        check(bench.get("bench") == "fabric-rt", f"{path}: wrong bench tag")
+        return {
+            (p["mix"], p["n_cells"], p["arrival_period_us"]): p
+            for p in bench.get("points", [])
+        }
+
+    on, off = points_by_key(on_path), points_by_key(off_path)
+    shared = sorted(set(on) & set(off))
+    check(bool(shared), f"--overhead: {on_path} and {off_path} share no grid points")
+    check(
+        set(on) == set(off),
+        f"--overhead: {on_path} and {off_path} cover different grids",
+    )
+    if not shared:
+        return
+    total_on = sum(on[k]["frames_per_sec"] for k in shared)
+    total_off = sum(off[k]["frames_per_sec"] for k in shared)
+    ratio = total_on / total_off if total_off > 0 else 0.0
+    check(
+        ratio >= OVERHEAD_FLOOR,
+        f"--overhead: telemetry-on throughput is {ratio:.3f}x of the plain "
+        f"run (floor: {OVERHEAD_FLOOR}x) — observation is taxing the data path",
+    )
+    print(
+        f"telemetry overhead OK: {len(shared)} points, on/off aggregate "
+        f"throughput ratio {ratio:.3f}x (floor {OVERHEAD_FLOOR}x)"
+    )
+
+
 # Experiment families `hqw run --shard` can produce documents for.
 SHARDABLE_FAMILIES = {"ber", "stream", "fabric"}
 
@@ -519,6 +723,15 @@ def check_shard(paths):
         )
 
 
+def _stage_p50(bench, stage):
+    """p50 of a telemetry stage, None when the run carried no telemetry
+    (the committed BENCH files are generated without --telemetry)."""
+    for s in bench["telemetry"]["stages"]:
+        if s["stage"] == stage:
+            return s["p50_us"]
+    return None
+
+
 # The committed BENCH files the --history walk tracks, with the metrics
 # each contributes to the trajectory table (file, column, extractor).
 HISTORY_COLUMNS = [
@@ -529,6 +742,9 @@ HISTORY_COLUMNS = [
     ("BENCH_fabric_rt.json", "rt_pts", lambda b: len(b["points"])),
     ("BENCH_fabric_rt.json", "rt_fps", lambda b: max(p["frames_per_sec"] for p in b["points"])),
     ("BENCH_fabric_rt.json", "rt_dec_ns", lambda b: max(p["decision_ns_per_job"] for p in b["points"])),
+    ("BENCH_fabric_rt.json", "solve_p50", lambda b: _stage_p50(b, "solve")),
+    ("BENCH_fabric_rt.json", "wait_p50", lambda b: _stage_p50(b, "wait")),
+    ("BENCH_fabric_rt.json", "e2e_p50", lambda b: b["telemetry"]["end_to_end"]["p50_us"]),
 ]
 
 # Floor the newest commit in the walk must hold (the committed state, as
@@ -638,12 +854,38 @@ def main():
         help="standalone mode: validate a group of hqw ShardReport "
         "documents (headers, fingerprints, exact grid coverage)",
     )
+    parser.add_argument(
+        "--telemetry-trace",
+        default=None,
+        metavar="TRACE.json",
+        help="standalone mode: validate a Chrome trace-event file emitted "
+        "by a --telemetry run (span nesting, stage-sum containment)",
+    )
+    parser.add_argument(
+        "--telemetry-bench",
+        default=None,
+        metavar="PATH",
+        help="with --telemetry-trace: also validate the TELEMETRY stanza "
+        "of this BENCH_fabric_rt.json (ordered percentiles, all stages)",
+    )
+    parser.add_argument(
+        "--overhead",
+        nargs=2,
+        default=None,
+        metavar=("ON.json", "OFF.json"),
+        help="standalone mode: gate telemetry-on vs telemetry-off "
+        "aggregate realtime throughput (one-sided 5%% band)",
+    )
     args = parser.parse_args()
 
     if args.history:
         check_history()
     elif args.shards is not None:
         check_shard(args.shards)
+    elif args.telemetry_trace is not None:
+        check_telemetry(args.telemetry_trace, bench_path=args.telemetry_bench)
+    elif args.overhead is not None:
+        check_overhead(args.overhead[0], args.overhead[1])
     else:
         check_kernels(args.kernels, baseline_path=args.kernels_baseline)
         check_ber(args.ber)

@@ -3,7 +3,7 @@
 //! ```text
 //! hqw list [--json]
 //! hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR]
-//!                          [--threads N] [--json PATH]
+//!                          [--threads N] [--json PATH] [--telemetry PATH]
 //!                          [--shard K/N] [--checkpoint PATH]
 //! hqw run --resume <checkpoint> [--out DIR] [--json PATH]
 //! hqw merge <shard.json>... [-o PATH]
@@ -24,6 +24,12 @@
 //! the run progresses, and `--resume` continues a killed run from that
 //! journal to the identical final report (schemas in
 //! `crates/bench/README.md`).
+//!
+//! `--telemetry PATH` (stream/fabric/fabric-rt only) captures the
+//! zero-perturbation observability plane — frame-lifecycle spans,
+//! log-bucketed latency histograms, queue/backend time series — and writes
+//! a Chrome trace-event file at `PATH`. Telemetry never feeds back into
+//! routing: enabling it changes no experiment result.
 //!
 //! `hqw replay trace.json` re-feeds a recorded realtime routing trace
 //! through the virtual-time sim and exits 1 on any decision divergence —

@@ -9,6 +9,8 @@
 //!   results are bit-identical for any value).
 //! * `--json <path>` — JSON report path, for binaries that emit one
 //!   (default: the binary's `BENCH_*.json` at the workspace root).
+//! * `--telemetry <path>` — capture a Chrome trace-event file at `path`
+//!   (off by default; only the stream/fabric engines support it).
 //!
 //! Malformed arguments are reported on stderr with the usage line and exit
 //! the process with status 2 (never a panic/abort — CI and scripts get a
@@ -19,8 +21,8 @@ use hqw_core::report::Report;
 use std::path::PathBuf;
 
 /// One-line usage summary, printed alongside parse errors.
-pub const USAGE: &str =
-    "usage: [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]";
+pub const USAGE: &str = "usage: [--quick|--full] [--seed N] [--out DIR] [--threads N] \
+     [--json PATH] [--telemetry PATH]";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -37,6 +39,10 @@ pub struct Options {
     pub threads: usize,
     /// Override path for JSON reports (`None` = binary default).
     pub json_out: Option<PathBuf>,
+    /// `--telemetry PATH` — capture spans/histograms/counter series and
+    /// write a Chrome trace-event file at `PATH` (`None` = telemetry off,
+    /// the default; observation never perturbs results either way).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Options {
@@ -85,6 +91,7 @@ impl Options {
         let mut out_dir = PathBuf::from("results");
         let mut threads = 0usize;
         let mut json_out = None;
+        let mut telemetry = None;
         let mut given = GivenFlags::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -119,6 +126,11 @@ impl Options {
                 "--json" => {
                     json_out = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
                 }
+                "--telemetry" => {
+                    telemetry = Some(PathBuf::from(
+                        args.next().ok_or("--telemetry needs a path")?,
+                    ));
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -130,6 +142,7 @@ impl Options {
                 out_dir,
                 threads,
                 json_out,
+                telemetry,
             },
             given,
         ))
@@ -185,7 +198,7 @@ impl Options {
 /// scale presets only parameterize registry names).
 pub const HQW_USAGE: &str = "usage: hqw list [--json]\n       \
      hqw run <name|spec.json> [--quick|--full] [--seed N] [--out DIR] [--threads N] [--json PATH]\n                \
-     [--shard K/N] [--checkpoint PATH]\n       \
+     [--telemetry PATH] [--shard K/N] [--checkpoint PATH]\n       \
      hqw run --resume <checkpoint> [--out DIR] [--json PATH]\n       \
      hqw merge <shard.json>... [-o PATH]\n       \
      hqw replay <trace.json>";
@@ -318,7 +331,7 @@ impl HqwCommand {
                         // value, so the value is never mistaken for a
                         // positional (missing values are reported by the
                         // shared Options parser).
-                        "--seed" | "--out" | "--threads" | "--json" => {
+                        "--seed" | "--out" | "--threads" | "--json" | "--telemetry" => {
                             std_args.push(arg.clone());
                             if let Some(value) = args.next() {
                                 std_args.push(value);
@@ -358,6 +371,12 @@ impl HqwCommand {
                              the checkpoint pins its spec"
                             .to_string());
                     }
+                    if options.telemetry.is_some() {
+                        return Err("--telemetry cannot be combined with --resume \
+                             (a resumed run replays journaled points, so there is no \
+                             live execution to trace)"
+                            .to_string());
+                    }
                 } else if target.is_none() {
                     return Err(
                         "run needs an experiment name, spec file, or --resume <checkpoint>"
@@ -367,6 +386,11 @@ impl HqwCommand {
                 if shard.is_some() && checkpoint.is_some() {
                     return Err("--shard cannot be combined with --checkpoint \
                          (shards are merged, not resumed)"
+                        .to_string());
+                }
+                if shard.is_some() && options.telemetry.is_some() {
+                    return Err("--telemetry cannot be combined with --shard \
+                         (traces are per-process; merge reassembles reports, not spans)"
                         .to_string());
                 }
                 Ok(HqwCommand::Run(RunArgs {
@@ -466,6 +490,15 @@ mod tests {
         let o = parse_ok(&["--threads", "3", "--json", "/tmp/ber.json"]);
         assert_eq!(o.threads, 3);
         assert_eq!(o.json_out, Some(PathBuf::from("/tmp/ber.json")));
+    }
+
+    #[test]
+    fn telemetry_parses_a_path_and_defaults_off() {
+        let o = parse_ok(&[]);
+        assert!(o.telemetry.is_none());
+        let o = parse_ok(&["--telemetry", "/tmp/trace.json"]);
+        assert_eq!(o.telemetry, Some(PathBuf::from("/tmp/trace.json")));
+        assert_eq!(parse_err(&["--telemetry"]), "--telemetry needs a path");
     }
 
     #[test]
@@ -608,6 +641,30 @@ mod tests {
             let err = hqw_err(&["run", "--resume", "ck.jsonl", pinned[0], pinned[1]]);
             assert!(err.contains("the checkpoint pins its spec"), "{err}");
         }
+    }
+
+    #[test]
+    fn hqw_run_routes_telemetry_and_rejects_impossible_combos() {
+        let run = run_args(&["run", "fabric-rt", "--quick", "--telemetry", "trace.json"]);
+        assert_eq!(run.options.telemetry, Some(PathBuf::from("trace.json")));
+
+        assert!(hqw_err(&[
+            "run",
+            "fabric-rt",
+            "--telemetry",
+            "t.json",
+            "--shard",
+            "1/2"
+        ])
+        .contains("--telemetry cannot be combined with --shard"));
+        assert!(
+            hqw_err(&["run", "--resume", "ck.jsonl", "--telemetry", "t.json"])
+                .contains("--telemetry cannot be combined with --resume")
+        );
+        assert_eq!(
+            hqw_err(&["run", "fabric-rt", "--telemetry"]),
+            "--telemetry needs a path"
+        );
     }
 
     #[test]

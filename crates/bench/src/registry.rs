@@ -264,6 +264,14 @@ pub fn resolve_target(
         }
         resolved.set_threads(opts.threads);
     }
+    if opts.telemetry.is_some() && !resolved.supports_telemetry() {
+        // BER sweeps and canned figures have no frame lifecycle to trace;
+        // silently writing an empty trace would misreport what ran.
+        return Err(format!(
+            "--telemetry cannot apply to '{target}': only the stream/fabric \
+             engines emit frame-lifecycle spans"
+        ));
+    }
     Ok(resolved)
 }
 
@@ -411,6 +419,20 @@ mod tests {
         let resolved = resolve_target(path_str, &opts(&[]), NO_FLAGS).unwrap();
         assert_eq!(resolved, spec_in);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_flag_on_an_unsupported_spec_is_rejected() {
+        let mut cli = opts(&["--quick"]);
+        cli.telemetry = Some(std::path::PathBuf::from("trace.json"));
+        for unsupported in ["ber", "fig3", "headline"] {
+            let err = resolve_target(unsupported, &cli, NO_FLAGS).unwrap_err();
+            assert!(err.contains("--telemetry cannot apply"), "{err}");
+        }
+        for supported in ["stream", "fabric", "fabric-rt"] {
+            resolve_target(supported, &cli, NO_FLAGS)
+                .unwrap_or_else(|e| panic!("{supported} should accept --telemetry: {e}"));
+        }
     }
 
     #[test]

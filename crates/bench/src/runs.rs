@@ -12,15 +12,17 @@ use crate::cli::Options;
 use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
 use hqw_anneal::DWaveProfile;
 use hqw_core::fabric::{
-    run_fabric_grid, AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig,
-    FabricMode, MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
+    run_fabric_grid_observed, AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec,
+    FabricGridConfig, FabricMode, MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
 };
-use hqw_core::fabric_rt::{run_fabric_rt_grid, trace_doc};
+use hqw_core::fabric_rt::{run_fabric_rt_grid_observed, trace_doc};
 use hqw_core::protocol::Protocol;
 use hqw_core::scenario::{run_ber_sweep, HybridDetector, ScenarioDetector, SnrSweepConfig};
 use hqw_core::solver::{HybridConfig, HybridSolver};
 use hqw_core::stages::GreedyInitializer;
-use hqw_core::stream::{run_stream_grid, CostModel, DispatchPolicy, StreamGridConfig};
+use hqw_core::stream::run_stream_grid_observed;
+use hqw_core::stream::{CostModel, DispatchPolicy, StreamGridConfig};
+use hqw_core::telemetry::Collector;
 use hqw_phy::channel::{snr_db_to_noise_variance, ChannelModel, TrackConfig};
 use hqw_phy::detect::{Fcsd, KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
 use hqw_phy::modulation::Modulation;
@@ -275,6 +277,28 @@ pub fn roster(seed: u64) -> Vec<ScenarioDetector> {
 // Execution + emission
 // ---------------------------------------------------------------------------
 
+/// Runs `body` with a telemetry [`Collector`] when `--telemetry` was given
+/// (`None` otherwise), then writes the Chrome trace-event file at the
+/// flag's path. Observation never feeds back into the run: the engines
+/// compute identical results either way, telemetry only *reads* clocks.
+fn with_telemetry<R>(opts: &Options, body: impl FnOnce(Option<&Collector>) -> R) -> R {
+    match &opts.telemetry {
+        None => body(None),
+        Some(path) => {
+            let collector = Collector::new();
+            let result = body(Some(&collector));
+            collector
+                .write_chrome_trace(path)
+                .expect("write telemetry trace");
+            println!(
+                "telemetry trace written to {} (open in a Chrome trace viewer)",
+                path.display()
+            );
+            result
+        }
+    }
+}
+
 /// Runs a BER sweep over the standard roster and emits table + CSV + JSON.
 pub fn run_ber(config: &SnrSweepConfig, opts: &Options) {
     opts.banner(
@@ -314,7 +338,7 @@ pub fn run_stream(config: &StreamGridConfig, opts: &Options) {
     );
     println!();
     let classical = Mmse::new(config.track.noise_variance);
-    let report = run_stream_grid(config, &classical);
+    let report = with_telemetry(opts, |t| run_stream_grid_observed(config, &classical, t));
     opts.emit_report(&report, "fig_stream.csv", "BENCH_stream.json");
 }
 
@@ -336,7 +360,7 @@ pub fn run_fabric(config: &FabricGridConfig, opts: &Options) {
         config.threads
     );
     println!();
-    let report = run_fabric_grid(config);
+    let report = with_telemetry(opts, |t| run_fabric_grid_observed(config, t));
     opts.emit_report(&report, "fig_fabric.csv", "BENCH_fabric.json");
 }
 
@@ -366,7 +390,11 @@ pub fn run_fabric_rt(config: &FabricGridConfig, opts: &Options) {
         config.arrival_periods_us.len(),
     );
     println!();
-    let report = run_fabric_rt_grid(config);
+    let report = with_telemetry(opts, |t| run_fabric_rt_grid_observed(config, t));
+    if let Some(summary) = &report.telemetry {
+        println!("Per-stage latency breakdown (telemetry, all grid points):");
+        println!("{}", summary.table().render());
+    }
     opts.emit_report(&report, "fig_fabric_rt.csv", "BENCH_fabric_rt.json");
     let trace_path = opts.csv_path("fabric_rt_trace.json");
     std::fs::write(&trace_path, trace_doc(config, &report)).expect("write replay trace");

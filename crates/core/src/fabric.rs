@@ -46,7 +46,7 @@ use hqw_anneal::{
     EmbeddingCache, EngineKind, QuantumSampler, SamplerConfig,
 };
 use hqw_math::parallel::parallel_map_indexed;
-use hqw_math::stats::percentile_sorted;
+use hqw_math::stats::{percentile_sorted, sorted_ascending};
 use hqw_math::Rng64;
 use hqw_phy::channel::{ChannelTrack, TrackConfig};
 use hqw_phy::detect::{Detector, DetectorMeta, Mmse};
@@ -1390,6 +1390,12 @@ impl FabricScheduler {
         }
     }
 
+    /// Names of the pooled backends, in routing-index order (the realtime
+    /// service labels its telemetry lanes with these).
+    pub(crate) fn backend_names(&self) -> Vec<&'static str> {
+        self.backends.iter().map(|b| b.backend.name()).collect()
+    }
+
     /// Charge-mode driver: advances the virtual clock to `t`, completing
     /// every in-flight batch due at or before it (completions fire before
     /// the arrival sharing their timestamp, exactly as in [`run_fabric`]).
@@ -1493,6 +1499,25 @@ pub fn run_fabric(config: &FabricConfig) -> FabricReport {
 /// # Panics
 /// As [`run_fabric`].
 pub fn run_fabric_traced(config: &FabricConfig) -> (FabricReport, RouteTrace) {
+    run_fabric_observed(config, None, 0)
+}
+
+/// [`run_fabric_traced`] with optional telemetry: when a collector is
+/// given, the run emits virtual-time spans — one `"job"` span per frame on
+/// its routed backend's lane (or the fallback lane), stamped with the
+/// simulation's own µs clock under trace process `pid`.
+///
+/// Telemetry is emitted from the finished per-job outcomes *after* the
+/// event loop, so the simulation itself is untouched: the report and trace
+/// are byte-identical with and without a collector.
+///
+/// # Panics
+/// As [`run_fabric`].
+pub fn run_fabric_observed(
+    config: &FabricConfig,
+    telemetry: Option<&crate::telemetry::Collector>,
+    pid: u32,
+) -> (FabricReport, RouteTrace) {
     config.validate_or_panic();
 
     let jobs = generate_jobs(config);
@@ -1527,14 +1552,18 @@ pub fn run_fabric_traced(config: &FabricConfig) -> (FabricReport, RouteTrace) {
         .into_iter()
         .map(|f| f.expect("every job finishes"))
         .collect();
+    if let Some(collector) = telemetry {
+        emit_virtual_spans(collector, pid, config, &jobs, &per_job, &trace, &backends);
+    }
     let n = per_job.len() as f64;
     let makespan_us = jobs
         .iter()
         .zip(&per_job)
         .map(|(job, f)| job.arrival_us + f.latency_us)
         .fold(0.0, f64::max);
-    let mut latencies: Vec<f64> = per_job.iter().map(|f| f.latency_us).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // Sort once, then sum over the *sorted* order below — the committed
+    // BENCH_fabric.json bytes depend on that float-summation order.
+    let latencies = sorted_ascending(&per_job.iter().map(|f| f.latency_us).collect::<Vec<f64>>());
     let misses = latencies
         .iter()
         .filter(|&&l| l > config.deadline_us)
@@ -1594,6 +1623,47 @@ pub fn run_fabric_traced(config: &FabricConfig) -> (FabricReport, RouteTrace) {
             .collect(),
     };
     (report, trace)
+}
+
+/// Emits the virtual-time span set for one finished fabric run: a lane per
+/// backend (tid `2+b`) plus the classical-fallback lane (tid 1), with one
+/// `"job"` span per frame at its virtual arrival/latency coordinates.
+fn emit_virtual_spans(
+    collector: &crate::telemetry::Collector,
+    pid: u32,
+    config: &FabricConfig,
+    jobs: &[FabricJob],
+    per_job: &[JobFinish],
+    trace: &RouteTrace,
+    backends: &[BackendState],
+) {
+    collector.label_process(
+        pid,
+        &format!(
+            "fabric cells={} period={}us",
+            config.n_cells, config.arrival_period_us
+        ),
+    );
+    let mut fallback_rec = collector.recorder(pid, 1, "fallback-mmse");
+    let mut lanes: Vec<_> = backends
+        .iter()
+        .enumerate()
+        .map(|(b, state)| collector.recorder(pid, 2 + b as u32, state.backend.name()))
+        .collect();
+    for (j, finish) in per_job.iter().enumerate() {
+        let name = format!("cell{}", jobs[j].cell);
+        let rec = match trace[j] {
+            Some(b) => &mut lanes[b],
+            None => &mut fallback_rec,
+        };
+        rec.span_at(
+            "job",
+            &name,
+            Some(j as u64),
+            jobs[j].arrival_us,
+            finish.latency_us,
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1858,6 +1928,19 @@ pub(crate) fn grid_points(config: &FabricGridConfig) -> Vec<(String, FabricConfi
 /// Panics on an empty mix/cells/load axis or invalid point parameters (see
 /// [`FabricGridConfig::validate`] for the non-panicking check).
 pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
+    run_fabric_grid_observed(config, None)
+}
+
+/// [`run_fabric_grid`] with optional telemetry: point `i` of the flat
+/// mix-major grid emits its virtual-time spans under trace process `i + 1`.
+/// The report is byte-identical with and without a collector.
+///
+/// # Panics
+/// As [`run_fabric_grid`].
+pub fn run_fabric_grid_observed(
+    config: &FabricGridConfig,
+    telemetry: Option<&crate::telemetry::Collector>,
+) -> FabricGridReport {
     config.validate_or_panic();
     let total = config.mixes.len() * config.cell_counts.len() * config.arrival_periods_us.len();
     let ids: Vec<usize> = (0..total).collect();
@@ -1869,7 +1952,7 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
         frames_per_cell: config.frames_per_cell,
         deadline_us: config.deadline_us,
         seed: config.seed,
-        points: run_fabric_points(config, &ids),
+        points: run_fabric_points_observed(config, &ids, telemetry),
     }
 }
 
@@ -1885,6 +1968,20 @@ pub fn run_fabric_grid(config: &FabricGridConfig) -> FabricGridReport {
 /// Panics on an invalid configuration or on ids that are out of range or
 /// not strictly increasing.
 pub fn run_fabric_points(config: &FabricGridConfig, ids: &[usize]) -> Vec<FabricReport> {
+    run_fabric_points_observed(config, ids, None)
+}
+
+/// [`run_fabric_points`] with optional telemetry: flat grid id `i` emits
+/// its virtual-time spans under trace process `i + 1` (stable whether the
+/// point runs alone or as part of the full grid).
+///
+/// # Panics
+/// As [`run_fabric_points`].
+pub fn run_fabric_points_observed(
+    config: &FabricGridConfig,
+    ids: &[usize],
+    telemetry: Option<&crate::telemetry::Collector>,
+) -> Vec<FabricReport> {
     config.validate_or_panic();
     let all = grid_points(config);
     for w in ids.windows(2) {
@@ -1900,9 +1997,12 @@ pub fn run_fabric_points(config: &FabricGridConfig, ids: &[usize]) -> Vec<Fabric
             all.len()
         );
     }
-    let subset: Vec<(String, FabricConfig)> = ids.iter().map(|&id| all[id].clone()).collect();
-    parallel_map_indexed(&subset, config.threads, |_, (mix_name, point)| {
-        let mut report = run_fabric(point);
+    let subset: Vec<(usize, String, FabricConfig)> = ids
+        .iter()
+        .map(|&id| (id, all[id].0.clone(), all[id].1.clone()))
+        .collect();
+    parallel_map_indexed(&subset, config.threads, |_, (id, mix_name, point)| {
+        let (mut report, _) = run_fabric_observed(point, telemetry, 1 + *id as u32);
         report.mix = mix_name.clone();
         report
     })

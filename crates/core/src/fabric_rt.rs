@@ -42,12 +42,14 @@ use crate::fabric::{
 use crate::scenario::json_num;
 use crate::spec::json::Json;
 use crate::spec::{ExperimentSpec, SpecError};
-use hqw_math::stats::percentile_sorted;
+use crate::telemetry::{Collector, CounterSample, LogHistogram, TelemetrySummary};
+use hqw_math::stats::safe_ratio;
 use hqw_phy::detect::{Detector, Mmse};
 use hqw_phy::metrics::bit_error_rate;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Queues
@@ -93,6 +95,11 @@ impl<T> SharedQueue<T> {
             }
             guard = self.cv.wait(guard).expect("queue poisoned");
         }
+    }
+
+    /// Instantaneous depth (the telemetry sampler's read; racy by nature).
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").0.len()
     }
 }
 
@@ -150,6 +157,15 @@ impl DeliveryShards {
             }
         }
     }
+
+    /// Instantaneous total depth across shards (the telemetry sampler's
+    /// read; racy by nature).
+    fn depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -189,23 +205,94 @@ pub struct FabricRtReport {
     pub replay_divergences: usize,
 }
 
+/// Telemetry lane (tid) allocation within a point's trace process: the
+/// sequencer, then one lane per backend worker, the fallback worker,
+/// producers from 500, and per-cell frame lanes from 1000.
+const TID_SEQUENCER: u32 = 1;
+const TID_WORKER_BASE: u32 = 2;
+const TID_PRODUCER_BASE: u32 = 500;
+const TID_FRAME_BASE: u32 = 1000;
+
 /// Runs one realtime point and returns its metrics plus the recorded
 /// routing trace.
-fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtReport, RouteTrace) {
+///
+/// With a collector, the run emits the full frame-lifecycle span chain
+/// (`enqueue → admit → form → wait → solve` per job, contiguous by
+/// construction so the stage sum equals the end-to-end span), per-batch
+/// worker spans, and ~1 ms queue-depth / in-flight / backend-utilization
+/// counter samples under trace process `pid`. Instrumentation reads clocks
+/// and counters but feeds nothing back into scheduling: the routing trace
+/// and every deterministic report field are identical with telemetry on or
+/// off.
+fn run_fabric_rt_point(
+    config: &FabricConfig,
+    rt: RealtimeConfig,
+    telemetry: Option<&Collector>,
+    pid: u32,
+) -> (FabricRtReport, RouteTrace) {
     let jobs = generate_jobs(config);
     let n_jobs = jobs.len();
     let n_backends = config.backends.len();
     let n_producers = rt.producers.min(config.n_cells).max(1);
 
+    if n_jobs == 0 {
+        // A zero-frame point has nothing to run and nothing to divide by:
+        // every ratio reports 0.0, not NaN.
+        return (
+            FabricRtReport {
+                mix: String::new(),
+                n_cells: config.n_cells,
+                arrival_period_us: config.arrival_period_us,
+                jobs: 0,
+                ber: 0.0,
+                fallback_rate: 0.0,
+                frames_per_sec: 0.0,
+                p50_ms: 0.0,
+                p99_ms: 0.0,
+                p999_ms: 0.0,
+                decision_ns_per_job: 0.0,
+                wall_ms: 0.0,
+                replay_divergences: 0,
+            },
+            Vec::new(),
+        );
+    }
+
+    if let Some(collector) = telemetry {
+        collector.label_process(
+            pid,
+            &format!(
+                "fabric-rt cells={} period={}us",
+                config.n_cells, config.arrival_period_us
+            ),
+        );
+    }
+
     let delivery = DeliveryShards::new(rt.queue_shards);
-    let exec_queues: Vec<SharedQueue<Vec<usize>>> =
+    // Batches carry their formation instant so workers can attribute
+    // exec-queue wait; the stamp is one clock read per batch, taken after
+    // the routing decision is already made.
+    let exec_queues: Vec<SharedQueue<(Vec<usize>, Instant)>> =
         (0..n_backends).map(|_| SharedQueue::new()).collect();
-    let fallback_queue: SharedQueue<usize> = SharedQueue::new();
+    let fallback_queue: SharedQueue<(usize, Instant)> = SharedQueue::new();
 
     let mut scheduler =
         FabricScheduler::new_charge_only(&config.backends, config.cost, config.deadline_us);
+    let backend_names = scheduler.backend_names();
     let mut delivered_at: Vec<Option<Instant>> = vec![None; n_jobs];
     let mut decision_ns: u128 = 0;
+
+    // Telemetry-only stage bookkeeping (allocated only when observing).
+    let mut admit_bounds: Option<Vec<(Instant, Instant)>> =
+        telemetry.map(|_| Vec::with_capacity(n_jobs));
+    let mut formed_at: Option<Vec<Option<Instant>>> = telemetry.map(|_| vec![None; n_jobs]);
+
+    // Sampler-visible gauges: jobs admitted/completed and per-lane busy ns
+    // (backends, then the fallback). Touched only when observing.
+    let admitted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let busy_ns: Vec<AtomicU64> = (0..n_backends + 1).map(|_| AtomicU64::new(0)).collect();
+    let sampler_stop = AtomicBool::new(false);
 
     // `(job id, ber, completion instant)` per worker, joined below.
     let mut worker_results: Vec<Vec<(usize, f64, Instant)>> = Vec::new();
@@ -237,14 +324,29 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
                 let spec = config.backends[b];
                 let cost = config.cost;
                 let queue = &exec_queues[b];
+                let busy_ns = &busy_ns;
+                let completed = &completed;
                 s.spawn(move || {
                     let mut backend = spec.build();
+                    let mut recorder = telemetry
+                        .map(|c| c.recorder(pid, TID_WORKER_BASE + b as u32, backend.name()));
                     let mut results = Vec::new();
-                    while let Some(batch) = queue.pop() {
+                    while let Some((batch, formed)) = queue.pop() {
+                        let popped = Instant::now();
                         let batch_jobs: Vec<&FabricJob> =
                             batch.iter().map(|&id| &jobs[id]).collect();
                         let outcome = backend.solve_batch(&cost, &batch_jobs);
                         let done = Instant::now();
+                        if let Some(rec) = &mut recorder {
+                            busy_ns[b]
+                                .fetch_add((done - popped).as_nanos() as u64, Ordering::Relaxed);
+                            completed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            rec.span_wall("batch", backend.name(), None, popped, done);
+                            for &id in &batch {
+                                rec.span_wall("stage", "wait", Some(id as u64), formed, popped);
+                                rec.span_wall("stage", "solve", Some(id as u64), popped, done);
+                            }
+                        }
                         for (&id, decision) in batch.iter().zip(&outcome.decisions) {
                             let ber =
                                 bit_error_rate(&jobs[id].inst.tx_gray_bits, &decision.gray_bits);
@@ -262,18 +364,94 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
             let jobs = &jobs;
             let queue = &fallback_queue;
             let noise_variance = config.track.noise_variance;
+            let busy_ns = &busy_ns;
+            let completed = &completed;
             s.spawn(move || {
                 let classical = Mmse::new(noise_variance);
+                let mut recorder = telemetry
+                    .map(|c| c.recorder(pid, TID_WORKER_BASE + n_backends as u32, "fallback-mmse"));
                 let mut results = Vec::new();
-                while let Some(id) = queue.pop() {
+                while let Some((id, formed)) = queue.pop() {
+                    let popped = Instant::now();
                     let job = &jobs[id];
                     let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
+                    let done = Instant::now();
+                    if let Some(rec) = &mut recorder {
+                        busy_ns[n_backends]
+                            .fetch_add((done - popped).as_nanos() as u64, Ordering::Relaxed);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        rec.span_wall("stage", "wait", Some(id as u64), formed, popped);
+                        rec.span_wall("stage", "solve", Some(id as u64), popped, done);
+                    }
                     let ber = bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits);
-                    results.push((id, ber, Instant::now()));
+                    results.push((id, ber, done));
                 }
                 results
             })
         };
+
+        // Periodic sampler (telemetry only): queue depths, in-flight count
+        // and per-lane utilization roughly every millisecond, entirely
+        // read-only against the data plane.
+        let sampler_handle = telemetry.map(|collector| {
+            let delivery = &delivery;
+            let exec_queues = &exec_queues;
+            let fallback_queue = &fallback_queue;
+            let admitted = &admitted;
+            let completed = &completed;
+            let busy_ns = &busy_ns;
+            let sampler_stop = &sampler_stop;
+            let backend_names = backend_names.clone();
+            s.spawn(move || {
+                let mut last = Instant::now();
+                let mut last_busy = vec![0u64; busy_ns.len()];
+                while !sampler_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                    let now = Instant::now();
+                    let ts_us = collector.us_since_origin(now);
+
+                    let mut values = vec![("delivery".to_string(), delivery.depth() as f64)];
+                    for (b, queue) in exec_queues.iter().enumerate() {
+                        values.push((format!("exec_{}", backend_names[b]), queue.len() as f64));
+                    }
+                    values.push(("fallback".to_string(), fallback_queue.len() as f64));
+                    let in_flight = admitted.load(Ordering::Relaxed) as i64
+                        - completed.load(Ordering::Relaxed) as i64;
+                    values.push(("in_flight".to_string(), in_flight.max(0) as f64));
+                    collector.push_counter(CounterSample {
+                        pid,
+                        name: "queues",
+                        ts_us,
+                        values,
+                    });
+
+                    let wall_ns = (now - last).as_nanos() as f64;
+                    if wall_ns > 0.0 {
+                        let values = busy_ns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, busy)| {
+                                let total = busy.load(Ordering::Relaxed);
+                                let delta = total.saturating_sub(last_busy[i]) as f64;
+                                last_busy[i] = total;
+                                let name = backend_names
+                                    .get(i)
+                                    .map(|n| (*n).to_string())
+                                    .unwrap_or_else(|| "fallback".to_string());
+                                (name, (delta / wall_ns).min(1.0))
+                            })
+                            .collect();
+                        collector.push_counter(CounterSample {
+                            pid,
+                            name: "utilization",
+                            ts_us,
+                            values,
+                        });
+                    }
+                    last = now;
+                }
+            })
+        });
 
         // Sequencer (control plane), on this thread: consume deliveries,
         // admit in virtual-arrival order, dispatch formed batches.
@@ -296,12 +474,27 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
                 let t0 = Instant::now();
                 scheduler.advance_to(t_a, &jobs);
                 scheduler.admit_charged(next, t_a, &jobs);
-                decision_ns += t0.elapsed().as_nanos();
+                let t1 = Instant::now();
+                decision_ns += (t1 - t0).as_nanos();
+                if let Some(bounds) = &mut admit_bounds {
+                    bounds.push((t0, t1));
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                }
                 for formed in scheduler.take_formed() {
-                    exec_queues[formed.backend].push(formed.jobs);
+                    let at = Instant::now();
+                    if let Some(stamps) = &mut formed_at {
+                        for &id in &formed.jobs {
+                            stamps[id] = Some(at);
+                        }
+                    }
+                    exec_queues[formed.backend].push((formed.jobs, at));
                 }
                 if scheduler.trace()[next].is_none() {
-                    fallback_queue.push(next);
+                    let at = Instant::now();
+                    if let Some(stamps) = &mut formed_at {
+                        stamps[next] = Some(at);
+                    }
+                    fallback_queue.push((next, at));
                 }
                 next += 1;
             }
@@ -310,7 +503,13 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
         // jobs coalesce into their final batches, then release the pools.
         scheduler.drain(&jobs);
         for formed in scheduler.take_formed() {
-            exec_queues[formed.backend].push(formed.jobs);
+            let at = Instant::now();
+            if let Some(stamps) = &mut formed_at {
+                for &id in &formed.jobs {
+                    stamps[id] = Some(at);
+                }
+            }
+            exec_queues[formed.backend].push((formed.jobs, at));
         }
         for queue in &exec_queues {
             queue.close();
@@ -321,6 +520,10 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
             worker_results.push(handle.join().expect("backend worker panicked"));
         }
         worker_results.push(fallback_handle.join().expect("fallback worker panicked"));
+        if let Some(handle) = sampler_handle {
+            sampler_stop.store(true, Ordering::Relaxed);
+            handle.join().expect("sampler panicked");
+        }
     });
 
     let trace: RouteTrace = scheduler.trace().to_vec();
@@ -335,6 +538,41 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
         completed_at[id] = Some(done);
     }
 
+    // Sequencer-side stage spans and per-cell frame lanes, emitted after
+    // the run from the recorded instants.
+    if let Some(collector) = telemetry {
+        let bounds = admit_bounds.as_ref().expect("observing");
+        let stamps = formed_at.as_ref().expect("observing");
+        {
+            let mut seq = collector.recorder(pid, TID_SEQUENCER, "sequencer");
+            for id in 0..n_jobs {
+                let delivered = delivered_at[id].expect("delivered");
+                let (t0, t1) = bounds[id];
+                let job = Some(id as u64);
+                seq.span_wall("stage", "enqueue", job, delivered, t0);
+                seq.span_wall("stage", "admit", job, t0, t1);
+                seq.span_wall("stage", "form", job, t1, stamps[id].expect("formed"));
+            }
+        }
+        let mut producer_recs: Vec<_> = (0..n_producers)
+            .map(|p| collector.recorder(pid, TID_PRODUCER_BASE + p as u32, &format!("producer{p}")))
+            .collect();
+        let mut frame_recs: Vec<_> = (0..config.n_cells)
+            .map(|c| collector.recorder(pid, TID_FRAME_BASE + c as u32, &format!("cell{c} frames")))
+            .collect();
+        for (id, job) in jobs.iter().enumerate() {
+            let delivered = delivered_at[id].expect("delivered");
+            producer_recs[job.cell % n_producers].mark_wall("produce", Some(id as u64), delivered);
+            frame_recs[job.cell].span_wall(
+                "job",
+                "frame",
+                Some(id as u64),
+                delivered,
+                completed_at[id].expect("completed"),
+            );
+        }
+    }
+
     let started = delivered_at
         .iter()
         .map(|t| t.expect("every job was delivered"))
@@ -347,14 +585,14 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
         .expect("non-empty point");
     let makespan = finished.duration_since(started);
 
-    let mut latencies_ms: Vec<f64> = (0..n_jobs)
-        .map(|id| {
-            let from = delivered_at[id].expect("delivered");
-            let to = completed_at[id].expect("completed");
-            to.duration_since(from).as_secs_f64() * 1e3
-        })
-        .collect();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // Log-bucketed latency digest: bounded-relative-error percentiles
+    // without keeping (or sorting) the full latency vector.
+    let mut latency_hist = LogHistogram::new();
+    for id in 0..n_jobs {
+        let from = delivered_at[id].expect("delivered");
+        let to = completed_at[id].expect("completed");
+        latency_hist.record(to.duration_since(from).as_secs_f64() * 1e3);
+    }
 
     // Self-check: the virtual-time sim must make the same decisions.
     let (_, sim_trace) = run_fabric_traced(config);
@@ -367,21 +605,19 @@ fn run_fabric_rt_point(config: &FabricConfig, rt: RealtimeConfig) -> (FabricRtRe
         n_cells: config.n_cells,
         arrival_period_us: config.arrival_period_us,
         jobs: n_jobs,
-        ber: ber_by_job
-            .iter()
-            .map(|b| b.expect("every job has a result"))
-            .sum::<f64>()
-            / n,
-        fallback_rate: fallbacks as f64 / n,
-        frames_per_sec: if makespan.as_secs_f64() > 0.0 {
-            n / makespan.as_secs_f64()
-        } else {
-            0.0
-        },
-        p50_ms: percentile_sorted(&latencies_ms, 50.0),
-        p99_ms: percentile_sorted(&latencies_ms, 99.0),
-        p999_ms: percentile_sorted(&latencies_ms, 99.9),
-        decision_ns_per_job: decision_ns as f64 / n,
+        ber: safe_ratio(
+            ber_by_job
+                .iter()
+                .map(|b| b.expect("every job has a result"))
+                .sum::<f64>(),
+            n,
+        ),
+        fallback_rate: safe_ratio(fallbacks as f64, n),
+        frames_per_sec: safe_ratio(n, makespan.as_secs_f64()),
+        p50_ms: latency_hist.percentile(50.0),
+        p99_ms: latency_hist.percentile(99.0),
+        p999_ms: latency_hist.percentile(99.9),
+        decision_ns_per_job: safe_ratio(decision_ns as f64, n),
         wall_ms: makespan.as_secs_f64() * 1e3,
         replay_divergences,
     };
@@ -421,6 +657,11 @@ pub struct FabricRtGridReport {
     pub points: Vec<FabricRtReport>,
     /// Per-point routing traces, parallel to `points`.
     pub traces: Vec<RouteTrace>,
+    /// Telemetry digest across all points — present only when the grid ran
+    /// with a collector (`--telemetry`); rendered as the `"telemetry"`
+    /// stanza of `BENCH_fabric_rt.json`. `None` leaves the document
+    /// byte-identical to a pre-telemetry run.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Runs the full realtime (mix × cells × load) grid. Points run
@@ -432,6 +673,21 @@ pub struct FabricRtGridReport {
 /// Panics when `config.mode` is not [`FabricMode::Realtime`], or on any
 /// [`FabricGridConfig::validate`] violation.
 pub fn run_fabric_rt_grid(config: &FabricGridConfig) -> FabricRtGridReport {
+    run_fabric_rt_grid_observed(config, None)
+}
+
+/// [`run_fabric_rt_grid`] with optional telemetry: point `i` of the flat
+/// mix-major grid records its spans and counter samples under trace
+/// process `i + 1`, and the returned report carries the
+/// [`TelemetrySummary`] digest. The routing traces and every deterministic
+/// report field are identical with and without a collector.
+///
+/// # Panics
+/// As [`run_fabric_rt_grid`].
+pub fn run_fabric_rt_grid_observed(
+    config: &FabricGridConfig,
+    telemetry: Option<&Collector>,
+) -> FabricRtGridReport {
     config.validate_or_panic();
     let FabricMode::Realtime(rt) = config.mode else {
         panic!("run_fabric_rt_grid needs a realtime-mode config (FabricMode::Realtime)");
@@ -439,8 +695,8 @@ pub fn run_fabric_rt_grid(config: &FabricGridConfig) -> FabricRtGridReport {
 
     let mut points = Vec::new();
     let mut traces = Vec::new();
-    for (mix_name, point) in grid_points(config) {
-        let (mut report, trace) = run_fabric_rt_point(&point, rt);
+    for (i, (mix_name, point)) in grid_points(config).into_iter().enumerate() {
+        let (mut report, trace) = run_fabric_rt_point(&point, rt, telemetry, 1 + i as u32);
         report.mix = mix_name;
         points.push(report);
         traces.push(trace);
@@ -459,6 +715,7 @@ pub fn run_fabric_rt_grid(config: &FabricGridConfig) -> FabricRtGridReport {
         queue_shards: rt.queue_shards,
         points,
         traces,
+        telemetry: telemetry.map(TelemetrySummary::from_collector),
     }
 }
 
@@ -531,7 +788,13 @@ impl FabricRtGridReport {
                 "\n"
             });
         }
-        s.push_str("  ]\n}\n");
+        if let Some(summary) = &self.telemetry {
+            s.push_str("  ],\n  \"telemetry\": ");
+            s.push_str(&summary.to_json_stanza(2));
+            s.push_str("\n}\n");
+        } else {
+            s.push_str("  ]\n}\n");
+        }
         s
     }
 }
@@ -888,7 +1151,7 @@ mod tests {
                 producers: 3,
                 queue_shards: 2,
             };
-            let (report, trace) = run_fabric_rt_point(&config, rt);
+            let (report, trace) = run_fabric_rt_point(&config, rt, None, 1);
             assert_eq!(report.replay_divergences, 0, "routing diverged");
             assert_eq!(report.jobs, 3 * 12);
             let sim = run_fabric(&config);
@@ -919,7 +1182,7 @@ mod tests {
                     producers: 2,
                     queue_shards: 3,
                 };
-                let (report, _) = run_fabric_rt_point(&config, rt);
+                let (report, _) = run_fabric_rt_point(&config, rt, None, 1);
                 assert_eq!(report.replay_divergences, 0, "{} diverged", arrival.name());
                 let sim = run_fabric(&config);
                 assert_eq!(report.ber.to_bits(), sim.ber.to_bits());
@@ -990,6 +1253,110 @@ mod tests {
                     .is_some());
                 assert_eq!(p.get("replay_divergences").and_then(Json::as_u64), Some(0));
             }
+        });
+    }
+
+    #[test]
+    fn zero_job_point_reports_zeroed_ratios_not_nan() {
+        // Regression: a point that admits zero jobs used to divide by zero
+        // (NaN decision_ns_per_job) or panic on the empty latency vector.
+        let mut config = point(2, 100.0, 500.0, ArrivalProcess::Periodic, quick_pool());
+        config.frames_per_cell = 0;
+        let rt = RealtimeConfig {
+            producers: 2,
+            queue_shards: 2,
+        };
+        let (report, trace) = run_fabric_rt_point(&config, rt, None, 1);
+        assert!(trace.is_empty());
+        assert_eq!(report.jobs, 0);
+        for ratio in [
+            report.ber,
+            report.fallback_rate,
+            report.frames_per_sec,
+            report.p50_ms,
+            report.p99_ms,
+            report.p999_ms,
+            report.decision_ns_per_job,
+            report.wall_ms,
+        ] {
+            assert_eq!(ratio, 0.0, "zero-job ratios must be 0.0, not NaN");
+        }
+        assert_eq!(report.replay_divergences, 0);
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_routing_and_spans_are_well_formed() {
+        with_watchdog("telemetry", || {
+            let config = rt_grid(
+                ArrivalProcess::Bursty { burst: 2 },
+                RealtimeConfig {
+                    producers: 2,
+                    queue_shards: 2,
+                },
+            );
+            let baseline = run_fabric_rt_grid(&config);
+            let collector = Collector::new();
+            let observed = run_fabric_rt_grid_observed(&config, Some(&collector));
+
+            // The zero-perturbation contract: identical routing, identical
+            // deterministic fields, zero divergence — bit for bit.
+            assert_eq!(baseline.traces, observed.traces);
+            for (a, b) in baseline.points.iter().zip(&observed.points) {
+                assert_eq!(a.ber.to_bits(), b.ber.to_bits());
+                assert_eq!(a.fallback_rate, b.fallback_rate);
+                assert_eq!(b.replay_divergences, 0);
+            }
+
+            // Per-job stage chains are contiguous: the stage sum equals the
+            // end-to-end span (within float eps), and every lifecycle stage
+            // shows up.
+            let events = collector.events();
+            let mut stage_sum: std::collections::BTreeMap<(u32, u64), f64> =
+                std::collections::BTreeMap::new();
+            let mut end_to_end: std::collections::BTreeMap<(u32, u64), f64> =
+                std::collections::BTreeMap::new();
+            for e in &events {
+                let Some(job) = e.job else { continue };
+                match e.cat {
+                    "stage" => *stage_sum.entry((e.pid, job)).or_insert(0.0) += e.dur_us,
+                    "job" => {
+                        end_to_end.insert((e.pid, job), e.dur_us);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(!end_to_end.is_empty());
+            for (key, &total) in &end_to_end {
+                let sum = stage_sum.get(key).copied().unwrap_or(f64::NAN);
+                assert!(
+                    (sum - total).abs() <= 1.0 + total * 1e-9,
+                    "job {key:?}: stage sum {sum} vs end-to-end {total}"
+                );
+            }
+            for stage in ["enqueue", "admit", "form", "wait", "solve"] {
+                assert!(
+                    events.iter().any(|e| e.cat == "stage" && e.name == stage),
+                    "missing stage {stage}"
+                );
+            }
+            assert!(
+                collector.counters().iter().any(|c| c.name == "queues"),
+                "sampler emitted no queue samples"
+            );
+
+            // The stanza renders, parses, and appears in the JSON document
+            // only when telemetry ran.
+            let summary = observed.telemetry.as_ref().expect("summary present");
+            assert!(summary.end_to_end.count() > 0);
+            assert!(!summary.table().is_empty());
+            let with = FabricRtGridReport::to_json(&observed);
+            let without = FabricRtGridReport::to_json(&baseline);
+            assert!(with.contains("\"telemetry\""));
+            assert!(!without.contains("\"telemetry\""));
+            Json::parse(&with).expect("telemetry-bearing report parses");
+
+            // The Chrome trace document parses too.
+            Json::parse(&collector.to_chrome_json()).expect("chrome trace parses");
         });
     }
 

@@ -49,6 +49,9 @@
 //! * [`shard`] — the distributed experiment plane: deterministic grid
 //!   sharding, byte-stable [`shard::merge_shards`] reassembly, and the
 //!   streaming [`shard::Checkpoint`] journal long runs resume from.
+//! * [`telemetry`] — zero-perturbation observability: per-thread span
+//!   recorders, the mergeable [`telemetry::LogHistogram`], the periodic
+//!   queue/backend sampler series, and the Chrome trace-event exporter.
 
 #![warn(missing_docs)]
 
@@ -69,15 +72,17 @@ pub mod spec;
 pub mod stages;
 pub mod stream;
 pub mod sweep;
+pub mod telemetry;
 
 pub use fabric::{
-    run_fabric, run_fabric_grid, run_fabric_points, run_fabric_traced, ArrivalProcess, BackendMix,
-    BackendSpec, FabricConfig, FabricGridConfig, FabricGridReport, FabricMode, FabricReport,
-    FabricScheduler, NetworkModel, RealtimeConfig, RouteTrace, SolverBackend,
+    run_fabric, run_fabric_grid, run_fabric_grid_observed, run_fabric_points,
+    run_fabric_points_observed, run_fabric_traced, ArrivalProcess, BackendMix, BackendSpec,
+    FabricConfig, FabricGridConfig, FabricGridReport, FabricMode, FabricReport, FabricScheduler,
+    NetworkModel, RealtimeConfig, RouteTrace, SolverBackend,
 };
 pub use fabric_rt::{
-    diff_traces, replay_trace_doc, run_fabric_rt_grid, FabricRtGridReport, FabricRtReport,
-    ReplayReport,
+    diff_traces, replay_trace_doc, run_fabric_rt_grid, run_fabric_rt_grid_observed,
+    FabricRtGridReport, FabricRtReport, ReplayReport,
 };
 pub use protocol::Protocol;
 pub use report::{MergeableReport, PointRecord, Report};
@@ -92,6 +97,8 @@ pub use solver::{HybridConfig, HybridResult, HybridSolver};
 pub use spec::{CannedKind, CannedSpec, ExperimentSpec, SpecError, SPEC_VERSION};
 pub use stages::{ClassicalInitializer, GreedyInitializer, InitialState};
 pub use stream::{
-    run_stream, run_stream_grid, run_stream_points, CostModel, DispatchPolicy, StreamConfig,
-    StreamGridConfig, StreamGridReport, StreamReport,
+    run_stream, run_stream_grid, run_stream_grid_observed, run_stream_points,
+    run_stream_points_observed, CostModel, DispatchPolicy, StreamConfig, StreamGridConfig,
+    StreamGridReport, StreamReport,
 };
+pub use telemetry::{Collector, CounterSample, LogHistogram, TelemetrySummary, TraceEvent};

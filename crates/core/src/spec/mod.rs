@@ -243,6 +243,15 @@ impl ExperimentSpec {
         )
     }
 
+    /// Whether the experiment's runner can emit telemetry (span traces,
+    /// histograms, counter series). True for the stream and fabric engines
+    /// — both the virtual-time sims and the realtime service; BER sweeps
+    /// and canned experiments have no frame lifecycle to trace, so the
+    /// CLI `--telemetry` flag is rejected for them.
+    pub fn supports_telemetry(&self) -> bool {
+        matches!(self, ExperimentSpec::Stream(_) | ExperimentSpec::Fabric(_))
+    }
+
     /// The spec's RNG seed.
     pub fn seed(&self) -> u64 {
         match self {

@@ -38,7 +38,7 @@ use crate::scenario::json_num;
 use crate::spec::json::Json;
 use crate::spec::{check_keys, req_f64, req_str, req_usize, ExperimentSpec, SpecError};
 use hqw_math::parallel::parallel_map_indexed;
-use hqw_math::stats::percentile_sorted;
+use hqw_math::stats::percentiles_of;
 use hqw_math::Rng64;
 use hqw_phy::channel::{ChannelTrack, TrackConfig};
 use hqw_phy::detect::{Detector, DetectorMeta};
@@ -273,7 +273,42 @@ pub struct StreamReport {
 /// exactly 0 is accepted: every frame then misses it, and the
 /// deadline-aware policy downgrades everything to the classical arm.
 pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamReport {
+    run_stream_observed(config, classical, None, 0)
+}
+
+/// [`run_stream`] with optional telemetry: when a collector is given, each
+/// frame emits virtual-time spans under trace process `pid` — a `"stage"`
+/// span for queue wait (when non-zero) and one for service on the server
+/// lane (named after the serving arm), plus an end-to-end `"job"` span on
+/// the frame lane. Timestamps are the virtual clock's µs, so the trace is
+/// byte-stable across runs; the report is byte-identical with and without
+/// a collector.
+///
+/// # Panics
+/// As [`run_stream`].
+pub fn run_stream_observed(
+    config: &StreamConfig,
+    classical: &dyn Detector,
+    telemetry: Option<&crate::telemetry::Collector>,
+    pid: u32,
+) -> StreamReport {
     config.validate_or_panic();
+
+    let mut recorders = telemetry.map(|collector| {
+        collector.label_process(
+            pid,
+            &format!(
+                "stream rho={} period={}us {}",
+                config.track.rho,
+                config.arrival_period_us,
+                config.policy.name()
+            ),
+        );
+        (
+            collector.recorder(pid, 1, "server"),
+            collector.recorder(pid, 2, "frames"),
+        )
+    });
 
     let mut track = ChannelTrack::new(config.track, config.seed);
     let single_read = SaParams {
@@ -371,6 +406,19 @@ pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamRepo
         let finish = start + service;
         server_free = finish;
         let latency = finish - arrival;
+        if let Some((server_rec, frame_rec)) = &mut recorders {
+            let job = Some(t as u64);
+            if queue_wait > 0.0 {
+                server_rec.span_at("stage", "queue", job, arrival, queue_wait);
+            }
+            let arm = if take_hybrid {
+                "hybrid-sa"
+            } else {
+                "classical"
+            };
+            server_rec.span_at("stage", arm, job, start, service);
+            frame_rec.span_at("job", "frame", job, arrival, latency);
+        }
         latencies.push(latency);
         if latency > config.deadline_us {
             misses += 1;
@@ -381,10 +429,13 @@ pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamRepo
         warm = Some(natural_decision);
     }
 
+    drop(recorders);
+
     let makespan_us = (config.frames - 1) as f64 * config.arrival_period_us
         + latencies.last().expect("frames > 0");
-    let mut sorted = latencies.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // `latencies.last()` above is the *unsorted* final frame's latency;
+    // only the percentile queries see the sorted order.
+    let percentiles = percentiles_of(&latencies, &[50.0, 99.0]);
     let n = config.frames as f64;
     StreamReport {
         policy: config.policy,
@@ -395,8 +446,8 @@ pub fn run_stream(config: &StreamConfig, classical: &dyn Detector) -> StreamRepo
         seed: config.seed,
         ber: ber_sum / n,
         deadline_miss_rate: misses as f64 / n,
-        p50_latency_us: percentile_sorted(&sorted, 50.0),
-        p99_latency_us: percentile_sorted(&sorted, 99.0),
+        p50_latency_us: percentiles[0],
+        p99_latency_us: percentiles[1],
         throughput_per_ms: n / makespan_us * 1000.0,
         avg_service_us: service_sum / n,
         classical_frames,
@@ -630,6 +681,20 @@ pub struct StreamGridReport {
 /// Panics on an empty load/ρ/policy axis or invalid cell parameters (see
 /// [`StreamGridConfig::validate`] for the non-panicking check).
 pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> StreamGridReport {
+    run_stream_grid_observed(config, classical, None)
+}
+
+/// [`run_stream_grid`] with optional telemetry: cell `i` of the flat
+/// policy-major grid emits its virtual-time spans under trace process
+/// `i + 1`. The report is byte-identical with and without a collector.
+///
+/// # Panics
+/// As [`run_stream_grid`].
+pub fn run_stream_grid_observed(
+    config: &StreamGridConfig,
+    classical: &dyn Detector,
+    telemetry: Option<&crate::telemetry::Collector>,
+) -> StreamGridReport {
     config.validate_or_panic();
     let ids: Vec<usize> =
         (0..config.policies.len() * config.rhos.len() * config.arrival_periods_us.len()).collect();
@@ -641,7 +706,7 @@ pub fn run_stream_grid(config: &StreamGridConfig, classical: &dyn Detector) -> S
         frames: config.frames,
         deadline_us: config.deadline_us,
         seed: config.seed,
-        cells: run_stream_points(config, classical, &ids),
+        cells: run_stream_points_observed(config, classical, &ids, telemetry),
     }
 }
 
@@ -683,6 +748,21 @@ pub fn run_stream_points(
     classical: &dyn Detector,
     ids: &[usize],
 ) -> Vec<StreamReport> {
+    run_stream_points_observed(config, classical, ids, None)
+}
+
+/// [`run_stream_points`] with optional telemetry: flat grid id `i` emits
+/// its virtual-time spans under trace process `i + 1` (stable whether the
+/// cell runs alone or as part of the full grid).
+///
+/// # Panics
+/// As [`run_stream_points`].
+pub fn run_stream_points_observed(
+    config: &StreamGridConfig,
+    classical: &dyn Detector,
+    ids: &[usize],
+    telemetry: Option<&crate::telemetry::Collector>,
+) -> Vec<StreamReport> {
     config.validate_or_panic();
     let total = config.policies.len() * config.rhos.len() * config.arrival_periods_us.len();
     for w in ids.windows(2) {
@@ -697,12 +777,12 @@ pub fn run_stream_points(
             "run_stream_points: id {last} out of range (grid has {total} points)"
         );
     }
-    let cells: Vec<StreamConfig> = ids
+    let cells: Vec<(usize, StreamConfig)> = ids
         .iter()
-        .map(|&id| stream_cell_config(config, id))
+        .map(|&id| (id, stream_cell_config(config, id)))
         .collect();
-    parallel_map_indexed(&cells, config.threads, |_, cell| {
-        run_stream(cell, classical)
+    parallel_map_indexed(&cells, config.threads, |_, (id, cell)| {
+        run_stream_observed(cell, classical, telemetry, 1 + *id as u32)
     })
 }
 
