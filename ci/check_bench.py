@@ -39,9 +39,9 @@ BENCH_ber.json
 
 hqw_manifest.json (--manifest, checked when the file is given)
   * the `hqw list --json` registry manifest is well-formed: a spec_version,
-    unique experiment names with non-empty descriptions, all four headline
-    grid experiments (ber/stream/fabric/fabric-rt) present, and at least 18
-    registered experiments (the four grids + every canned figure).
+    unique experiment names with non-empty descriptions, all five headline
+    grid experiments (ber/stream/fabric/fabric-rt/sched) present, and at
+    least 19 registered experiments (the five grids + every canned figure).
 
 BENCH_fabric_rt.json
   * every realtime point's rates are in [0, 1], wall-clock latency
@@ -86,6 +86,25 @@ BENCH_fabric.json
     carries survivor bias;
   * at least one point actually formed a multi-job batch.
 
+BENCH_sched.json (--sched, standalone mode)
+  * the static-vs-adaptive scheduling comparison: every point's rates are
+    probabilities, latency percentiles ordered, per-class accounting covers
+    every job;
+  * on the *calibrated* workload the adaptive arm is identical to the
+    static arm, point for point — the learned identity correction is a
+    bitwise no-op;
+  * on the *mispredicted* workload (admission quotes from a cost model
+    that underestimates sweep cost 10x) the adaptive arm's misses and p99
+    are <= the static arm's, strictly better on at least one — the
+    learned scheduler must dominate the static one exactly where the
+    static model is wrong;
+  * class tails are ordered on every summary row
+    (URLLC p99 <= eMBB p99 <= Bulk p99) and the adaptive arm surfaces a
+    positive prediction error under miscalibration;
+  * preemption counts are consistent with the class mix: a single-class
+    row never preempts, the calibrated arms preempt identically, and a
+    multi-class overloaded grid preempts somewhere.
+
 --telemetry-trace TRACE.json [--telemetry-bench BENCH_fabric_rt.json]
   (standalone mode)
   * the Chrome trace-event document is well-formed: only M/X/i/C phases,
@@ -116,6 +135,7 @@ SHARD_*.json (via --shards, standalone mode)
 
 Usage: ci/check_bench.py [--kernels PATH] [--stream PATH] [--fabric PATH]
                          [--fabric-rt PATH] [--ber PATH] [--manifest PATH]
+       ci/check_bench.py --sched BENCH_sched.json
        ci/check_bench.py --history
        ci/check_bench.py --shards SHARD.json [SHARD.json ...]
        ci/check_bench.py --telemetry-trace TRACE.json [--telemetry-bench PATH]
@@ -254,10 +274,10 @@ def check_manifest(path):
         f"{path}: missing integer spec_version",
     )
     experiments = manifest.get("experiments", [])
-    check(len(experiments) >= 18, f"{path}: registry shrank to {len(experiments)}")
+    check(len(experiments) >= 19, f"{path}: registry shrank to {len(experiments)}")
     names = [e.get("name") for e in experiments]
     check(len(set(names)) == len(names), f"{path}: duplicate experiment names")
-    for headline in ("ber", "stream", "fabric", "fabric-rt"):
+    for headline in ("ber", "stream", "fabric", "fabric-rt", "sched"):
         check(headline in names, f"{path}: headline experiment '{headline}' missing")
     for e in experiments:
         check(
@@ -459,6 +479,150 @@ def check_fabric_rt(path):
     print(f"{path}: {len(points)} realtime points OK (peak {peak:.0f} frames/s)")
 
 
+# Urgency order of the scheduling plane's priority classes: tails must be
+# ordered this way on every (workload, arm) summary row.
+SCHED_CLASS_ORDER = ("urllc", "embb", "bulk")
+
+
+def check_sched(path):
+    """Validate a BENCH_sched.json static-vs-adaptive comparison document."""
+    with open(path) as f:
+        bench = json.load(f)
+    check(bench.get("bench") == "sched", f"{path}: wrong bench tag")
+    points = bench.get("points", [])
+    check(bool(points), f"{path}: no sched points")
+
+    frames_per_cell = bench["scenario"]["frames_per_cell"]
+    for p in points:
+        tag = (
+            f"{path}: [{p['workload']} cells={p['n_cells']} "
+            f"period={p['arrival_period_us']}]"
+        )
+        for arm in ("static", "adaptive"):
+            r = p[arm]
+            atag = f"{tag} {arm}"
+            check(
+                r["jobs"] == frames_per_cell * p["n_cells"],
+                f"{atag}: wrong job count",
+            )
+            for rate in ("ber", "deadline_miss_rate", "fallback_rate"):
+                check(
+                    0.0 <= r[rate] <= 1.0, f"{atag}: {rate} {r[rate]} out of range"
+                )
+            check(
+                r["p99_latency_us"] >= r["p50_latency_us"] > 0.0,
+                f"{atag}: latency percentiles disordered",
+            )
+            classes = r.get("classes", [])
+            check(bool(classes), f"{atag}: no per-class accounting")
+            check(
+                sum(c["jobs"] for c in classes) == r["jobs"],
+                f"{atag}: per-class jobs do not cover the run",
+            )
+            for c in classes:
+                check(
+                    c["misses"] <= c["jobs"],
+                    f"{atag}: class {c['class']} misses exceed its jobs",
+                )
+        # The static policy never learns, so it must report zero
+        # prediction error (the key is omitted at zero).
+        check(
+            p["static"].get("prediction_mae_us", 0.0) == 0.0,
+            f"{tag}: static arm claims a learned prediction error",
+        )
+        if p["workload"] == "calibrated":
+            check(
+                p["static"] == p["adaptive"],
+                f"{tag}: calibrated arms diverge — the identity correction "
+                f"must be a bitwise no-op",
+            )
+
+    check(
+        any(
+            p["adaptive"].get("prediction_mae_us", 0.0) > 0.0
+            for p in points
+            if p["workload"] == "mispredicted"
+        ),
+        f"{path}: adaptive arm surfaces no prediction error under "
+        f"miscalibration",
+    )
+
+    summary = bench.get("summary", [])
+    rows = {(a["workload"], a["arm"]): a for a in summary}
+    check(
+        len(rows) == len(summary) == 4,
+        f"{path}: expected 4 summary rows (2 workloads x 2 arms), "
+        f"got {len(summary)}",
+    )
+    multi_class = False
+    for a in summary:
+        tag = f"{path}: [{a['workload']}/{a['arm']}]"
+        check(
+            sum(c["jobs"] for c in a["classes"]) == a["jobs"],
+            f"{tag} summary classes do not cover the arm's jobs",
+        )
+        if len(a["classes"]) >= 2:
+            multi_class = True
+        else:
+            check(
+                a["preemptions"] == 0,
+                f"{tag} preempted {a['preemptions']} job(s) with a single "
+                f"class — nothing outranks anything",
+            )
+        p99s = {c["class"]: c["p99_latency_us"] for c in a["classes"]}
+        present = [name for name in SCHED_CLASS_ORDER if name in p99s]
+        for hi, lo in zip(present, present[1:]):
+            check(
+                p99s[hi] <= p99s[lo],
+                f"{tag} class tails disordered: {hi} p99 {p99s[hi]} > "
+                f"{lo} p99 {p99s[lo]}",
+            )
+
+    cal_static = rows.get(("calibrated", "static"))
+    cal_adaptive = rows.get(("calibrated", "adaptive"))
+    if cal_static and cal_adaptive:
+        for key in ("jobs", "misses", "fallback_rate", "p99_latency_us", "preemptions"):
+            check(
+                cal_static[key] == cal_adaptive[key],
+                f"{path}: calibrated summaries differ on {key} "
+                f"({cal_static[key]} vs {cal_adaptive[key]})",
+            )
+
+    mis_static = rows.get(("mispredicted", "static"))
+    mis_adaptive = rows.get(("mispredicted", "adaptive"))
+    if mis_static and mis_adaptive:
+        check(
+            mis_adaptive["misses"] <= mis_static["misses"],
+            f"{path}: adaptive misses {mis_adaptive['misses']} exceed static "
+            f"{mis_static['misses']} on the mispredicted workload",
+        )
+        check(
+            mis_adaptive["p99_latency_us"] <= mis_static["p99_latency_us"],
+            f"{path}: adaptive p99 {mis_adaptive['p99_latency_us']} us exceeds "
+            f"static {mis_static['p99_latency_us']} us on the mispredicted "
+            f"workload",
+        )
+        check(
+            mis_adaptive["misses"] < mis_static["misses"]
+            or mis_adaptive["p99_latency_us"] < mis_static["p99_latency_us"],
+            f"{path}: adaptive does not strictly beat static anywhere on the "
+            f"mispredicted workload",
+        )
+
+    if multi_class:
+        check(
+            sum(a["preemptions"] for a in summary) > 0,
+            f"{path}: a multi-class overloaded grid never preempted",
+        )
+    if not failures:
+        print(
+            f"{path}: {len(points)} points OK (mispredicted misses "
+            f"{mis_adaptive['misses']} adaptive vs {mis_static['misses']} "
+            f"static; p99 {mis_adaptive['p99_latency_us']} vs "
+            f"{mis_static['p99_latency_us']} us)"
+        )
+
+
 # The realtime frame lifecycle, in pipeline order. The sequencer emits the
 # first three stages, the worker lanes the last two; together they tile the
 # delivered -> completed interval exactly.
@@ -642,7 +806,7 @@ def check_overhead(on_path, off_path):
 
 
 # Experiment families `hqw run --shard` can produce documents for.
-SHARDABLE_FAMILIES = {"ber", "stream", "fabric"}
+SHARDABLE_FAMILIES = {"ber", "stream", "fabric", "sched"}
 
 
 def check_shard(paths):
@@ -723,6 +887,25 @@ def check_shard(paths):
         )
 
 
+def _sched_summary(bench, workload, arm):
+    """The (workload, arm) summary row of a BENCH_sched.json document."""
+    for a in bench["summary"]:
+        if a["workload"] == workload and a["arm"] == arm:
+            return a
+    return None
+
+
+def _sched_class_p99(bench, workload, arm, name):
+    """Per-class p99 from a BENCH_sched.json summary row, None if absent."""
+    row = _sched_summary(bench, workload, arm)
+    if row is None:
+        return None
+    for c in row["classes"]:
+        if c["class"] == name:
+            return c["p99_latency_us"]
+    return None
+
+
 def _stage_p50(bench, stage):
     """p50 of a telemetry stage, None when the run carried no telemetry
     (the committed BENCH files are generated without --telemetry)."""
@@ -745,6 +928,11 @@ HISTORY_COLUMNS = [
     ("BENCH_fabric_rt.json", "solve_p50", lambda b: _stage_p50(b, "solve")),
     ("BENCH_fabric_rt.json", "wait_p50", lambda b: _stage_p50(b, "wait")),
     ("BENCH_fabric_rt.json", "e2e_p50", lambda b: b["telemetry"]["end_to_end"]["p50_us"]),
+    ("BENCH_sched.json", "sch_ad_p99", lambda b: _sched_summary(b, "mispredicted", "adaptive")["p99_latency_us"]),
+    ("BENCH_sched.json", "sch_st_p99", lambda b: _sched_summary(b, "mispredicted", "static")["p99_latency_us"]),
+    ("BENCH_sched.json", "urllc_p99", lambda b: _sched_class_p99(b, "mispredicted", "adaptive", "urllc")),
+    ("BENCH_sched.json", "embb_p99", lambda b: _sched_class_p99(b, "mispredicted", "adaptive", "embb")),
+    ("BENCH_sched.json", "bulk_p99", lambda b: _sched_class_p99(b, "mispredicted", "adaptive", "bulk")),
 ]
 
 # Floor the newest commit in the walk must hold (the committed state, as
@@ -876,6 +1064,14 @@ def main():
         help="standalone mode: gate telemetry-on vs telemetry-off "
         "aggregate realtime throughput (one-sided 5%% band)",
     )
+    parser.add_argument(
+        "--sched",
+        default=None,
+        metavar="BENCH_sched.json",
+        help="standalone mode: gate the static-vs-adaptive scheduler "
+        "comparison (calibrated byte-identity, adaptive dominance on the "
+        "mispredicted workload, per-class tail ordering)",
+    )
     args = parser.parse_args()
 
     if args.history:
@@ -886,6 +1082,8 @@ def main():
         check_telemetry(args.telemetry_trace, bench_path=args.telemetry_bench)
     elif args.overhead is not None:
         check_overhead(args.overhead[0], args.overhead[1])
+    elif args.sched is not None:
+        check_sched(args.sched)
     else:
         check_kernels(args.kernels, baseline_path=args.kernels_baseline)
         check_ber(args.ber)

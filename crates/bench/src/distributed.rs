@@ -31,6 +31,7 @@ fn emit_names(family: &str) -> (&'static str, &'static str) {
         "ber" => ("fig_ber.csv", "BENCH_ber.json"),
         "stream" => ("fig_stream.csv", "BENCH_stream.json"),
         "fabric" => ("fig_fabric.csv", "BENCH_fabric.json"),
+        "sched" => ("fig_sched.csv", "BENCH_sched.json"),
         other => unreachable!("no emission names for unshardable family '{other}'"),
     }
 }
@@ -65,6 +66,14 @@ pub fn run_spec_points(spec: &ExperimentSpec, ids: &[usize]) -> Result<Vec<Point
                 .collect()
         }
         ExperimentSpec::Fabric(config) => run_fabric_points(config, ids)
+            .iter()
+            .zip(ids)
+            .map(|(point, &id)| PointRecord {
+                id,
+                payload: point.to_json_object(),
+            })
+            .collect(),
+        ExperimentSpec::Sched(config) => hqw_core::run_sched_points(config, ids)
             .iter()
             .zip(ids)
             .map(|(point, &id)| PointRecord {
@@ -310,6 +319,31 @@ mod tests {
         }
         parts.sort_by_key(|p| p.id);
         let rebuilt = hqw_core::FabricGridReport::from_points(&spec, parts).expect("records merge");
+        assert_eq!(rebuilt.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn sched_points_match_the_full_grid_run() {
+        // Satellite of the adaptive-scheduling plane: sharding a sched grid
+        // must not lose per-class aggregation — the merged report (whose
+        // summary block is recomputed from merged per-class histograms) is
+        // byte-identical to the single-process run.
+        let spec = quick_spec("sched");
+        let ExperimentSpec::Sched(config) = &spec else {
+            unreachable!()
+        };
+        let mut config = config.clone();
+        config.frames_per_cell = 8;
+        let spec = ExperimentSpec::Sched(config.clone());
+        let total = grid_len(&spec).unwrap();
+
+        let full = hqw_core::run_sched_grid(&config);
+        let mut parts: Vec<PointRecord> = Vec::new();
+        for index in 1..=3 {
+            parts.extend(run_spec_points(&spec, &shard_ids(total, index, 3)).unwrap());
+        }
+        parts.sort_by_key(|p| p.id);
+        let rebuilt = hqw_core::SchedGridReport::from_points(&spec, parts).expect("records merge");
         assert_eq!(rebuilt.to_json(), full.to_json());
     }
 

@@ -23,7 +23,7 @@ pub struct RegistryEntry {
 
 /// Every registered experiment, in listing order: the three grid
 /// experiments first, then the canned figures in [`CannedKind::ALL`] order.
-pub const ALL: [RegistryEntry; 18] = [
+pub const ALL: [RegistryEntry; 19] = [
     RegistryEntry {
         name: "ber",
         description: "end-to-end BER/SER-vs-SNR across every detector family",
@@ -39,6 +39,10 @@ pub const ALL: [RegistryEntry; 18] = [
     RegistryEntry {
         name: "fabric-rt",
         description: "wall-clock realtime fabric service with sim-replayable routing",
+    },
+    RegistryEntry {
+        name: "sched",
+        description: "static-vs-adaptive scheduling under calibrated and mispredicted cost models",
     },
     RegistryEntry {
         name: "fig3",
@@ -122,6 +126,7 @@ pub fn spec(name: &str, opts: &Options) -> Option<ExperimentSpec> {
         "stream" => ExperimentSpec::Stream(runs::stream_config(opts.scale_name, opts.seed, 0)),
         "fabric" => ExperimentSpec::Fabric(runs::fabric_config(opts.scale_name, opts.seed, 0)),
         "fabric-rt" => ExperimentSpec::Fabric(runs::fabric_rt_config(opts.scale_name, opts.seed)),
+        "sched" => ExperimentSpec::Sched(runs::sched_config(opts.scale_name, opts.seed, 0)),
         other => {
             find(other)?;
             ExperimentSpec::Canned(CannedSpec {
@@ -153,6 +158,7 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &Options) {
                 runs::run_fabric(config, &opts);
             }
         }
+        ExperimentSpec::Sched(config) => runs::run_sched(config, &opts),
         ExperimentSpec::Canned(canned) => run_canned(canned, &opts),
     }
 }
@@ -329,7 +335,7 @@ mod tests {
         let canned: Vec<&str> = all()
             .iter()
             .map(|e| e.name)
-            .filter(|n| !matches!(*n, "ber" | "stream" | "fabric" | "fabric-rt"))
+            .filter(|n| !matches!(*n, "ber" | "stream" | "fabric" | "fabric-rt" | "sched"))
             .collect();
         let kinds: Vec<&str> = CannedKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(canned, kinds);
@@ -425,7 +431,7 @@ mod tests {
     fn telemetry_flag_on_an_unsupported_spec_is_rejected() {
         let mut cli = opts(&["--quick"]);
         cli.telemetry = Some(std::path::PathBuf::from("trace.json"));
-        for unsupported in ["ber", "fig3", "headline"] {
+        for unsupported in ["ber", "sched", "fig3", "headline"] {
             let err = resolve_target(unsupported, &cli, NO_FLAGS).unwrap_err();
             assert!(err.contains("--telemetry cannot apply"), "{err}");
         }

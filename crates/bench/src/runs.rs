@@ -13,11 +13,14 @@ use hqw_anneal::sampler::{EngineKind, QuantumSampler, SamplerConfig};
 use hqw_anneal::DWaveProfile;
 use hqw_core::fabric::{
     run_fabric_grid_observed, AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec,
-    FabricGridConfig, FabricMode, MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
+    FabricGridConfig, FabricMode, MockQpuConfig, NetworkModel, PtConfig, RealtimeConfig,
+    SaPoolConfig, TabuConfig,
 };
 use hqw_core::fabric_rt::{run_fabric_rt_grid_observed, trace_doc};
 use hqw_core::protocol::Protocol;
 use hqw_core::scenario::{run_ber_sweep, HybridDetector, ScenarioDetector, SnrSweepConfig};
+use hqw_core::sched::{ClassMix, SchedOptions, SchedPolicy};
+use hqw_core::sched_grid::{run_sched_grid, SchedGridConfig};
 use hqw_core::solver::{HybridConfig, HybridSolver};
 use hqw_core::stages::GreedyInitializer;
 use hqw_core::stream::run_stream_grid_observed;
@@ -26,7 +29,9 @@ use hqw_core::telemetry::Collector;
 use hqw_phy::channel::{snr_db_to_noise_variance, ChannelModel, TrackConfig};
 use hqw_phy::detect::{Fcsd, KBest, Mmse, QuboDetector, SphereDecoder, ZeroForcing};
 use hqw_phy::modulation::Modulation;
+use hqw_qubo::pt::PtParams;
 use hqw_qubo::sa::{SaParams, SweepKernel};
+use hqw_qubo::tabu::TabuParams;
 use std::sync::Arc;
 
 /// Operating SNR of the streaming/fabric uplinks (dB).
@@ -195,6 +200,7 @@ pub fn fabric_config(scale_name: &str, seed: u64, threads: usize) -> FabricGridC
         mixes: fabric_mixes(),
         arrival: ArrivalProcess::Periodic,
         mode: FabricMode::Virtual,
+        sched: SchedOptions::default(),
         deadline_us: 700.0,
         cost: CostModel::default(),
         seed,
@@ -230,10 +236,92 @@ pub fn fabric_rt_config(scale_name: &str, seed: u64) -> FabricGridConfig {
             producers: 2,
             queue_shards: 2,
         }),
+        sched: SchedOptions::default(),
         deadline_us: 700.0,
         cost: CostModel::default(),
         seed,
         threads: 0, // ignored in realtime mode: worker counts come from the spec
+    }
+}
+
+/// The pool composition of the `sched` experiment: the three jitter-free
+/// classical solver pools (SA, parallel tempering, tabu). Jitter-free
+/// matters: with the true cost model every admission quote is exact, so
+/// the calibrated workload pins the adaptive arm byte-identical to static
+/// and the comparison isolates miscalibration.
+pub fn sched_mix() -> BackendMix {
+    BackendMix {
+        name: "classical-pool".into(),
+        backends: vec![
+            BackendSpec::SaPool(SaPoolConfig {
+                workers: 2,
+                max_batch: 4,
+                sa: SaParams {
+                    sweeps: 48,
+                    num_reads: 2,
+                    threads: 1,
+                    ..SaParams::default()
+                },
+            }),
+            BackendSpec::Pt(PtConfig {
+                workers: 1,
+                max_batch: 2,
+                pt: PtParams {
+                    replicas: 4,
+                    sweeps: 24,
+                    ..PtParams::default()
+                },
+            }),
+            BackendSpec::Tabu(TabuConfig {
+                workers: 1,
+                max_batch: 2,
+                tabu: TabuParams {
+                    max_iters: 150,
+                    stall_limit: 60,
+                    ..TabuParams::default()
+                },
+            }),
+        ],
+    }
+}
+
+/// The `sched` preset at a given scale: the static-vs-adaptive scheduling
+/// comparison. The mispredicted workload's planner model underestimates
+/// sweep cost 10x (`us_per_sweep` 0.15 vs the true 1.5), which is the
+/// miscalibration the adaptive arm must learn away.
+pub fn sched_config(scale_name: &str, seed: u64, threads: usize) -> SchedGridConfig {
+    let (frames_per_cell, cell_counts, arrival_periods_us) = match scale_name {
+        "quick" => (24, vec![2], vec![240.0, 60.0]),
+        "full" => (128, vec![2, 4, 8], vec![300.0, 160.0, 100.0, 70.0]),
+        _ => (48, vec![2, 4], vec![300.0, 140.0, 80.0]),
+    };
+    let n_users = 2;
+    SchedGridConfig {
+        track: TrackConfig {
+            n_users,
+            n_rx: n_users,
+            modulation: Modulation::Qpsk,
+            rho: 0.9,
+            noise_variance: snr_db_to_noise_variance(SNR_DB, n_users),
+        },
+        frames_per_cell,
+        cell_counts,
+        arrival_periods_us,
+        mix: sched_mix(),
+        policy: SchedPolicy::Ewma { shift: 1 },
+        classes: ClassMix {
+            urllc: 1,
+            embb: 2,
+            bulk: 1,
+        },
+        assumed_cost: CostModel {
+            us_per_sweep: 0.15,
+            ..CostModel::default()
+        },
+        deadline_us: 700.0,
+        cost: CostModel::default(),
+        seed,
+        threads,
     }
 }
 
@@ -362,6 +450,33 @@ pub fn run_fabric(config: &FabricGridConfig, opts: &Options) {
     println!();
     let report = with_telemetry(opts, |t| run_fabric_grid_observed(config, t));
     opts.emit_report(&report, "fig_fabric.csv", "BENCH_fabric.json");
+}
+
+/// Runs the static-vs-adaptive scheduling comparison and emits table +
+/// CSV + JSON.
+pub fn run_sched(config: &SchedGridConfig, opts: &Options) {
+    opts.banner(
+        "Scheduling comparison",
+        "static-vs-adaptive scheduling under calibrated and mispredicted cost models",
+    );
+    println!(
+        "{} users QPSK at {SNR_DB} dB per cell, {} frames/cell, deadline {} us, \
+         policy {}, classes urllc:embb:bulk = {}:{}:{}, \
+         2 workloads x {} cell-counts x {} loads x 2 arms, threads={} (0 = all cores)",
+        config.track.n_users,
+        config.frames_per_cell,
+        config.deadline_us,
+        config.policy.name(),
+        config.classes.urllc,
+        config.classes.embb,
+        config.classes.bulk,
+        config.cell_counts.len(),
+        config.arrival_periods_us.len(),
+        config.threads
+    );
+    println!();
+    let report = run_sched_grid(config);
+    opts.emit_report(&report, "fig_sched.csv", "BENCH_sched.json");
 }
 
 /// Runs the wall-clock realtime fabric service and emits table + CSV +

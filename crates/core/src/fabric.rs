@@ -35,11 +35,13 @@
 use crate::pipeline::item_seed;
 use crate::report::PointRecord;
 use crate::scenario::json_num;
+use crate::sched::{corrected_us, ClassReport, PriorityClass, SchedOptions, ServicePredictor};
 use crate::spec::json::Json;
 use crate::spec::{
     check_keys, req, req_f64, req_str, req_u64, req_usize, ExperimentSpec, SpecError,
 };
 use crate::stream::CostModel;
+use crate::telemetry::LogHistogram;
 use hqw_anneal::engine::FreezeOut;
 use hqw_anneal::{
     AnnealParams, AnnealSchedule, ChainStrength, Chimera, CliqueEmbedding, DWaveProfile,
@@ -52,7 +54,9 @@ use hqw_phy::channel::{ChannelTrack, TrackConfig};
 use hqw_phy::detect::{Detector, DetectorMeta, Mmse};
 use hqw_phy::instance::DetectionInstance;
 use hqw_phy::metrics::bit_error_rate;
+use hqw_qubo::pt::{parallel_tempering, PtParams};
 use hqw_qubo::sa::{sample_qubo_batch_seeded, SaParams, SweepKernel};
+use hqw_qubo::tabu::{tabu_from_random, TabuParams};
 use std::collections::VecDeque;
 
 /// One detection frame offered to the fabric.
@@ -66,6 +70,9 @@ pub struct FabricJob {
     pub arrival_us: f64,
     /// Per-job solver seed (stable under routing and batching).
     pub seed: u64,
+    /// Wireless service tier — a pure seeded function of `(seed, cell,
+    /// frame)`; always [`PriorityClass::Embb`] for the default class mix.
+    pub class: PriorityClass,
     /// The detection problem.
     pub inst: DetectionInstance,
 }
@@ -255,6 +262,222 @@ impl SolverBackend for SaPoolBackend {
             .map(|(job, set)| {
                 let best = set.best().expect("SA batch produced no samples");
                 natural_to_gray_decision(job, &best.bits, meta)
+            })
+            .collect();
+        BatchOutcome {
+            decisions,
+            service_us: self.charge_batch_us(cost, jobs),
+        }
+    }
+
+    fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64 {
+        rounds_us(
+            jobs.len(),
+            self.config.workers,
+            self.predict_job_us(cost, jobs[0].inst.num_vars()),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-tempering / tabu classical baselines
+// ---------------------------------------------------------------------------
+
+/// Configuration of the [`PtBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtConfig {
+    /// Worker slots (parallel capacity).
+    pub workers: usize,
+    /// Most jobs coalesced per call.
+    pub max_batch: usize,
+    /// Replica-exchange schedule per job.
+    pub pt: PtParams,
+}
+
+impl PtConfig {
+    /// Validates the pool configuration.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("PtConfig: need >= 1 worker".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("PtConfig: need max_batch >= 1".to_string());
+        }
+        self.pt.validate()
+    }
+}
+
+/// A pool of parallel-tempering workers: the strongest general-purpose
+/// classical rung of the fabric, keeping the quantum(-inspired) backends
+/// honest. Each job runs one replica-exchange search seeded from the job
+/// alone, so decisions never depend on batch composition. Charged work is
+/// `replicas × sweeps` Metropolis sweeps per job — exactly the work the
+/// kernel performs, so the static cost model is perfectly calibrated for
+/// this backend.
+#[derive(Debug)]
+pub struct PtBackend {
+    config: PtConfig,
+}
+
+impl PtBackend {
+    /// Creates the pool.
+    ///
+    /// # Panics
+    /// Panics on zero workers/batch or invalid PT parameters.
+    pub fn new(config: PtConfig) -> Self {
+        expect_valid(config.validate());
+        PtBackend { config }
+    }
+
+    fn sweeps_per_job(&self) -> u64 {
+        (self.config.pt.replicas * self.config.pt.sweeps) as u64
+    }
+}
+
+impl SolverBackend for PtBackend {
+    fn name(&self) -> &'static str {
+        "pt"
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.workers
+    }
+
+    fn max_batch(&self) -> usize {
+        self.config.max_batch
+    }
+
+    fn predict_job_us(&self, cost: &CostModel, _n_logical: usize) -> f64 {
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: self.sweeps_per_job(),
+        };
+        cost.service_us(&meta)
+    }
+
+    fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: self.sweeps_per_job(),
+        };
+        let decisions = jobs
+            .iter()
+            .map(|job| {
+                let (bits, _energy) = parallel_tempering(
+                    &job.inst.reduction.qubo,
+                    &self.config.pt,
+                    job.seed ^ 0x97_7E3A,
+                );
+                natural_to_gray_decision(job, &bits, meta)
+            })
+            .collect();
+        BatchOutcome {
+            decisions,
+            service_us: self.charge_batch_us(cost, jobs),
+        }
+    }
+
+    fn charge_batch_us(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> f64 {
+        rounds_us(
+            jobs.len(),
+            self.config.workers,
+            self.predict_job_us(cost, jobs[0].inst.num_vars()),
+        )
+    }
+}
+
+/// Configuration of the [`TabuBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TabuConfig {
+    /// Worker slots (parallel capacity).
+    pub workers: usize,
+    /// Most jobs coalesced per call.
+    pub max_batch: usize,
+    /// Tabu-search schedule per job.
+    pub tabu: TabuParams,
+}
+
+impl TabuConfig {
+    /// Validates the pool configuration.
+    ///
+    /// # Errors
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("TabuConfig: need >= 1 worker".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("TabuConfig: need max_batch >= 1".to_string());
+        }
+        if self.tabu.max_iters == 0 {
+            return Err("TabuConfig: tabu max_iters must be > 0".to_string());
+        }
+        if self.tabu.stall_limit == 0 {
+            return Err("TabuConfig: tabu stall_limit must be > 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// A pool of tabu-search workers ([`hqw_qubo::tabu`]): the memory-based
+/// classical baseline D-Wave's own hybrid offering pairs with annealing.
+/// Each job runs one search from a seeded random start. Charged work is
+/// the **full** `max_iters` move budget per job (a sweep-equivalent per
+/// move): the search may stop early on stall, but admission control must
+/// budget the worst case, and a fixed charge keeps the virtual clock a
+/// pure function of the job stream rather than of search dynamics.
+#[derive(Debug)]
+pub struct TabuBackend {
+    config: TabuConfig,
+}
+
+impl TabuBackend {
+    /// Creates the pool.
+    ///
+    /// # Panics
+    /// Panics on zero workers/batch or a zero tabu budget.
+    pub fn new(config: TabuConfig) -> Self {
+        expect_valid(config.validate());
+        TabuBackend { config }
+    }
+}
+
+impl SolverBackend for TabuBackend {
+    fn name(&self) -> &'static str {
+        "tabu"
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.workers
+    }
+
+    fn max_batch(&self) -> usize {
+        self.config.max_batch
+    }
+
+    fn predict_job_us(&self, cost: &CostModel, _n_logical: usize) -> f64 {
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: self.config.tabu.max_iters as u64,
+        };
+        cost.service_us(&meta)
+    }
+
+    fn solve_batch(&mut self, cost: &CostModel, jobs: &[&FabricJob]) -> BatchOutcome {
+        let meta = DetectorMeta {
+            nodes_visited: 0,
+            sweeps: self.config.tabu.max_iters as u64,
+        };
+        let decisions = jobs
+            .iter()
+            .map(|job| {
+                let mut rng = Rng64::new(job.seed ^ 0x7AB_005);
+                let (bits, _energy) =
+                    tabu_from_random(&job.inst.reduction.qubo, &self.config.tabu, &mut rng);
+                natural_to_gray_decision(job, &bits, meta)
             })
             .collect();
         BatchOutcome {
@@ -721,6 +944,10 @@ impl SolverBackend for MockQpuBackend {
 pub enum BackendSpec {
     /// Classical SA worker pool.
     SaPool(SaPoolConfig),
+    /// Classical parallel-tempering worker pool.
+    Pt(PtConfig),
+    /// Classical tabu-search worker pool.
+    Tabu(TabuConfig),
     /// PIMC annealer simulator.
     Pimc(AnnealerConfig),
     /// SVMC annealer simulator.
@@ -737,6 +964,8 @@ impl BackendSpec {
     pub fn build(&self) -> Box<dyn SolverBackend> {
         match *self {
             BackendSpec::SaPool(c) => Box::new(SaPoolBackend::new(c)),
+            BackendSpec::Pt(c) => Box::new(PtBackend::new(c)),
+            BackendSpec::Tabu(c) => Box::new(TabuBackend::new(c)),
             BackendSpec::Pimc(c) => Box::new(PimcBackend::new(c)),
             BackendSpec::Svmc(c) => Box::new(SvmcBackend::new(c)),
             BackendSpec::MockQpu(c) => Box::new(MockQpuBackend::new(c)),
@@ -750,6 +979,8 @@ impl BackendSpec {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             BackendSpec::SaPool(c) => c.validate(),
+            BackendSpec::Pt(c) => c.validate(),
+            BackendSpec::Tabu(c) => c.validate(),
             BackendSpec::Pimc(c) | BackendSpec::Svmc(c) => c.validate(),
             BackendSpec::MockQpu(c) => c.validate(),
         }
@@ -963,6 +1194,10 @@ pub struct FabricConfig {
     pub cost: CostModel,
     /// The shared backend pool.
     pub backends: Vec<BackendSpec>,
+    /// Adaptive-scheduling knobs (predictor policy, assumed cost model,
+    /// priority-class mix). The default reproduces the historical static
+    /// scheduler byte-for-byte.
+    pub sched: SchedOptions,
     /// Simulation seed; cell tracks and job seeds derive from it.
     pub seed: u64,
 }
@@ -1000,6 +1235,9 @@ impl FabricConfig {
             .validate()
             .map_err(|msg| SpecError::new(ctx, msg))?;
         crate::stream::validate_cost(&self.cost).map_err(|msg| SpecError::new(ctx, msg))?;
+        self.sched
+            .validate()
+            .map_err(|msg| SpecError::new(ctx, msg))?;
         for backend in &self.backends {
             backend.validate().map_err(|msg| SpecError::new(ctx, msg))?;
         }
@@ -1083,6 +1321,16 @@ pub struct FabricReport {
     pub mean_served_latency_us: f64,
     /// Per-backend statistics, in pool order.
     pub backends: Vec<BackendReport>,
+    /// Queued jobs evicted by class-aware preemptive admission (0 unless
+    /// priority classes are enabled and an urgent arrival displaced work).
+    pub preemptions: u64,
+    /// Mean absolute service-prediction error of the learned scheduler
+    /// (µs; 0.0 under the static policy, which never predicts adaptively).
+    pub prediction_mae_us: f64,
+    /// Per-priority-class latency/miss statistics, in `Urllc, Embb, Bulk`
+    /// order, omitting empty classes. Empty when the class mix is the
+    /// default (every job eMBB), which keeps legacy reports byte-stable.
+    pub classes: Vec<ClassReport>,
 }
 
 /// Bookkeeping entry of one finished job.
@@ -1110,21 +1358,47 @@ struct BackendState {
 }
 
 impl BackendState {
-    fn predicted_completion(&self, now: f64, cost: &CostModel, n_logical: usize) -> f64 {
-        let job_us = self.backend.predict_job_us(cost, n_logical);
-        // The backlog plus this job will form at least this many batch
-        // calls — each paying the per-call overhead — and serve in
-        // capacity-wide rounds, the same accounting `solve_batch` charges.
-        let jobs_ahead = self.queue.len() + 1;
-        let batches_ahead = jobs_ahead.div_ceil(self.backend.max_batch()) as f64;
+    /// Predicted completion of a job of `n_logical` variables joining this
+    /// backend's queue at `now`, with `evict` queued jobs hypothetically
+    /// removed and the learned Q16.16 `correction` applied to both the
+    /// per-job and per-call quotes (a [`Q16_ONE`] correction is a bitwise
+    /// no-op).
+    ///
+    /// The backlog plus this job forms `batches_ahead` batch calls — each
+    /// paying the per-call overhead — and each batch serves in
+    /// capacity-wide rounds. Rounds are counted **per batch** (full
+    /// batches of `max_batch` jobs plus a tail batch), not as one
+    /// `ceil(jobs/capacity)` over the whole backlog: with `max_batch` not
+    /// a multiple of `capacity` the per-backlog shortcut under-counts
+    /// (e.g. capacity 4, max_batch 2, 4 jobs = two 2-job batches = 2
+    /// rounds, not 1) and admission quotes would undercut what
+    /// `solve_batch` charges. When `capacity` divides `max_batch` the two
+    /// counts are the same integer, so historical quotes are preserved
+    /// bit-for-bit.
+    fn predicted_completion(
+        &self,
+        now: f64,
+        cost: &CostModel,
+        n_logical: usize,
+        correction: i64,
+        evict: usize,
+    ) -> f64 {
+        let job_us = corrected_us(self.backend.predict_job_us(cost, n_logical), correction);
+        let overhead_us = corrected_us(self.backend.predict_overhead_us(), correction);
+        debug_assert!(evict <= self.queue.len());
+        let jobs_ahead = self.queue.len() + 1 - evict;
+        let max_batch = self.backend.max_batch();
+        let capacity = self.backend.capacity();
+        let full = jobs_ahead / max_batch;
+        let tail = jobs_ahead % max_batch;
+        let batches_ahead = (full + usize::from(tail > 0)) as f64;
+        let rounds = full * max_batch.div_ceil(capacity) + tail.div_ceil(capacity);
         let ready = if self.in_flight.is_empty() {
             now
         } else {
             self.free_at.max(now)
         };
-        ready
-            + batches_ahead * self.backend.predict_overhead_us()
-            + rounds_us(jobs_ahead, self.backend.capacity(), job_us)
+        ready + batches_ahead * overhead_us + rounds as f64 * job_us
     }
 
     /// Starts the next batch from the queue at `start` (queue must be
@@ -1132,14 +1406,15 @@ impl BackendState {
     /// With `solve` the batch is solved inline (the virtual-time sim); in
     /// charge-only mode the backend is charged the identical `service_us`
     /// but returns no decisions, and the formed batch's job ids are the
-    /// caller's to dispatch. Returns the batch in queue order.
+    /// caller's to dispatch. Returns the batch in queue order plus the
+    /// charged service µs (the predictor's learning signal).
     fn start_batch(
         &mut self,
         start: f64,
         cost: &CostModel,
         jobs: &[FabricJob],
         solve: bool,
-    ) -> Vec<usize> {
+    ) -> (Vec<usize>, f64) {
         debug_assert!(self.in_flight.is_empty());
         let head_vars = jobs[*self.queue.front().expect("start_batch: empty queue")].num_vars();
         let mut batch_ids = Vec::new();
@@ -1179,7 +1454,19 @@ impl BackendState {
         }
         self.batch_histogram[batch_ids.len() - 1] += 1;
         self.in_flight = batch_ids.iter().copied().zip(decisions).collect();
-        batch_ids
+        (batch_ids, service_us)
+    }
+
+    /// The static admission quote for a batch of `batch_len` jobs of
+    /// `n_logical` variables under `cost` — the prediction the learned
+    /// correctors are trained against.
+    fn static_batch_quote_us(&self, cost: &CostModel, batch_len: usize, n_logical: usize) -> f64 {
+        self.backend.predict_overhead_us()
+            + rounds_us(
+                batch_len,
+                self.backend.capacity(),
+                self.backend.predict_job_us(cost, n_logical),
+            )
     }
 }
 
@@ -1211,6 +1498,7 @@ pub(crate) fn generate_jobs(config: &FabricConfig) -> Vec<FabricJob> {
                 frame,
                 arrival_us,
                 seed: item_seed(item_seed(config.seed ^ 0xFAB_0B5, cell), frame),
+                class: config.sched.classes.assign(config.seed, cell, frame),
                 inst,
             });
         }
@@ -1238,18 +1526,40 @@ pub(crate) fn generate_jobs(config: &FabricConfig) -> Vec<FabricJob> {
 /// same-shape batch when the backend frees.
 pub struct FabricScheduler {
     cost: CostModel,
+    /// The cost model admission quotes are computed from: the true `cost`
+    /// unless the sched options carry a (deliberately miscalibrated)
+    /// assumed model. Charging always uses the true `cost`.
+    route_cost: CostModel,
     deadline_us: f64,
+    options: SchedOptions,
+    /// The learned service corrector (a no-op for the static policy).
+    predictor: Box<dyn ServicePredictor>,
     backends: Vec<BackendState>,
     fallbacks: usize,
+    /// Queued lower-class jobs evicted by preempting admissions.
+    preemptions: u64,
     /// Whether batches are solved inline (virtual sim) or only charged
     /// (realtime control plane; solves happen on worker threads).
     solve: bool,
     /// Per-job routing decision, indexed by job id: `Some(backend)` or
     /// `None` for the classical fallback. This is the replay trace.
+    /// Preemption **rewrites** a victim's entry from `Some(b)` to `None` —
+    /// deterministically, inside the same admission step on both the
+    /// virtual and realtime paths.
     trace: Vec<Option<usize>>,
     /// Batches formed in charge-only mode, in formation order, for the
     /// realtime service to dispatch to its worker pools.
     formed: Vec<FormedBatch>,
+    /// Jobs evicted in charge-only mode since the last
+    /// [`FabricScheduler::take_evicted`] — the realtime service routes
+    /// them to its fallback worker.
+    evicted: Vec<usize>,
+    /// `(virtual µs, |observed − corrected prediction| µs)` per batch —
+    /// the prediction-error telemetry series. Empty for the static policy.
+    pred_events: Vec<(f64, f64)>,
+    /// `(virtual µs, cumulative preemptions)` — the preemption telemetry
+    /// series. Empty when nothing is ever preempted.
+    preempt_events: Vec<(f64, u64)>,
 }
 
 /// A batch formed by the charge-only scheduler, ready for dispatch to a
@@ -1273,8 +1583,10 @@ impl std::fmt::Debug for FabricScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FabricScheduler")
             .field("deadline_us", &self.deadline_us)
+            .field("policy", &self.options.policy.name())
             .field("backends", &self.backends.len())
             .field("fallbacks", &self.fallbacks)
+            .field("preemptions", &self.preemptions)
             .field("solve", &self.solve)
             .finish()
     }
@@ -1287,7 +1599,22 @@ impl FabricScheduler {
     /// Panics on an empty pool, a negative deadline, or invalid backend
     /// parameters.
     pub fn new(specs: &[BackendSpec], cost: CostModel, deadline_us: f64) -> Self {
-        Self::with_mode(specs, cost, deadline_us, true)
+        Self::with_mode(specs, cost, deadline_us, SchedOptions::default(), true)
+    }
+
+    /// [`FabricScheduler::new`] with explicit adaptive-scheduling options
+    /// (predictor policy, assumed routing cost model, class handling).
+    /// Default options reproduce [`FabricScheduler::new`] byte-for-byte.
+    ///
+    /// # Panics
+    /// As [`FabricScheduler::new`], plus invalid sched options.
+    pub fn with_options(
+        specs: &[BackendSpec],
+        cost: CostModel,
+        deadline_us: f64,
+        options: SchedOptions,
+    ) -> Self {
+        Self::with_mode(specs, cost, deadline_us, options, true)
     }
 
     /// Builds a **charge-only** scheduler: admission and batch formation run
@@ -1299,19 +1626,30 @@ impl FabricScheduler {
         specs: &[BackendSpec],
         cost: CostModel,
         deadline_us: f64,
+        options: SchedOptions,
     ) -> Self {
-        Self::with_mode(specs, cost, deadline_us, false)
+        Self::with_mode(specs, cost, deadline_us, options, false)
     }
 
-    fn with_mode(specs: &[BackendSpec], cost: CostModel, deadline_us: f64, solve: bool) -> Self {
+    fn with_mode(
+        specs: &[BackendSpec],
+        cost: CostModel,
+        deadline_us: f64,
+        options: SchedOptions,
+        solve: bool,
+    ) -> Self {
         assert!(!specs.is_empty(), "FabricScheduler: empty backend pool");
         assert!(
             deadline_us >= 0.0,
             "FabricScheduler: deadline must be >= 0 (0 = everything falls back)"
         );
+        expect_valid(options.validate());
         FabricScheduler {
             cost,
+            route_cost: options.assumed_cost.unwrap_or(cost),
             deadline_us,
+            predictor: options.policy.predictor(),
+            options,
             backends: specs
                 .iter()
                 .map(|spec| BackendState {
@@ -1326,9 +1664,13 @@ impl FabricScheduler {
                 })
                 .collect(),
             fallbacks: 0,
+            preemptions: 0,
             solve,
             trace: Vec::new(),
             formed: Vec::new(),
+            evicted: Vec::new(),
+            pred_events: Vec::new(),
+            preempt_events: Vec::new(),
         }
     }
 
@@ -1340,6 +1682,66 @@ impl FabricScheduler {
     /// Drains the batches formed since the last call (charge-only mode).
     pub(crate) fn take_formed(&mut self) -> Vec<FormedBatch> {
         std::mem::take(&mut self.formed)
+    }
+
+    /// Drains the job ids evicted by preempting admissions since the last
+    /// call (charge-only mode): the realtime service routes them to its
+    /// classical fallback worker.
+    pub(crate) fn take_evicted(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Queued lower-class jobs evicted by preempting admissions so far.
+    pub(crate) fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Mean absolute service-prediction error (µs) of the learned
+    /// predictor; 0.0 under the static policy.
+    pub(crate) fn prediction_mae_us(&self) -> f64 {
+        self.predictor.mae_us()
+    }
+
+    /// Starts the next batch on backend `b_idx` at `start` (its queue must
+    /// be non-empty and nothing in flight), feeds the completion back to
+    /// the service predictor, and in charge-only mode records the formed
+    /// batch for dispatch.
+    fn start_and_learn(&mut self, b_idx: usize, start: f64, jobs: &[FabricJob]) {
+        let head_vars = jobs[*self.backends[b_idx]
+            .queue
+            .front()
+            .expect("start_and_learn: empty queue")]
+        .num_vars();
+        let correction = self.predictor.correction_q16(b_idx, head_vars);
+        let (batch, service_us) =
+            self.backends[b_idx].start_batch(start, &self.cost, jobs, self.solve);
+        let quote =
+            self.backends[b_idx].static_batch_quote_us(&self.route_cost, batch.len(), head_vars);
+        self.predictor.observe(b_idx, head_vars, quote, service_us);
+        if self.options.policy != crate::sched::SchedPolicy::Static {
+            let err = (service_us - corrected_us(quote, correction)).abs();
+            self.pred_events.push((start, err));
+        }
+        if !self.solve {
+            self.formed.push(FormedBatch {
+                backend: b_idx,
+                jobs: batch,
+            });
+        }
+    }
+
+    /// Inserts `job_id` into backend `b_idx`'s queue in class-rank order
+    /// (stable: equal ranks keep FIFO order, so the single-class default
+    /// degenerates to the historical `push_back`).
+    fn enqueue_ranked(&mut self, b_idx: usize, job_id: usize, jobs: &[FabricJob]) {
+        let rank = jobs[job_id].class.rank();
+        let state = &mut self.backends[b_idx];
+        let pos = state
+            .queue
+            .iter()
+            .position(|&id| jobs[id].class.rank() < rank)
+            .unwrap_or(state.queue.len());
+        state.queue.insert(pos, job_id);
     }
 
     /// The earliest in-flight batch completion, as `(time, backend index)`
@@ -1379,14 +1781,8 @@ impl FabricScheduler {
             }
             state.jobs_done += 1;
         }
-        if !state.queue.is_empty() {
-            let batch = state.start_batch(t_c, &self.cost, jobs, self.solve);
-            if !self.solve {
-                self.formed.push(FormedBatch {
-                    backend: b_idx,
-                    jobs: batch,
-                });
-            }
+        if !self.backends[b_idx].queue.is_empty() {
+            self.start_and_learn(b_idx, t_c, jobs);
         }
     }
 
@@ -1425,10 +1821,19 @@ impl FabricScheduler {
     }
 
     /// Admits job `job_id` arriving at `t_a`: routes it to the backend with
-    /// the lowest predicted completion when that fits the deadline, or runs
-    /// the local classical fallback immediately (recording its result into
-    /// `finished`; charge-only mode skips the fallback solve, so `classical`
-    /// is `None` there).
+    /// the lowest predicted completion when that fits the job's
+    /// class-effective deadline, or runs the local classical fallback
+    /// immediately (recording its result into `finished`; charge-only mode
+    /// skips the fallback solve, so `classical` is `None` there).
+    ///
+    /// A higher-class job whose best quote misses its deadline may
+    /// **preempt**: evict the fewest queued lower-class jobs (never
+    /// in-flight ones) that make some backend's quote fit. Victims are
+    /// taken from the back of the rank-ordered queue — lowest class,
+    /// newest first — and are downgraded to the classical fallback with
+    /// their queueing delay charged honestly (`t_a − arrival` plus the
+    /// classical service). When even maximal eviction cannot meet the
+    /// deadline, nothing is evicted and the job itself falls back.
     fn admit(
         &mut self,
         job_id: usize,
@@ -1439,45 +1844,137 @@ impl FabricScheduler {
     ) {
         let job = &jobs[job_id];
         let n = job.num_vars();
+        let eff_deadline_us = self.deadline_us * job.class.deadline_factor();
         let best = self
             .backends
             .iter()
             .enumerate()
-            .map(|(i, b)| (b.predicted_completion(t_a, &self.cost, n), i))
+            .map(|(i, b)| {
+                (
+                    b.predicted_completion(
+                        t_a,
+                        &self.route_cost,
+                        n,
+                        self.predictor.correction_q16(i, n),
+                        0,
+                    ),
+                    i,
+                )
+            })
             .min_by(|a, b| {
                 a.0.partial_cmp(&b.0)
                     .expect("finite predictions")
                     .then(a.1.cmp(&b.1))
             })
             .expect("backend pool is non-empty");
-        if best.0 - t_a <= self.deadline_us {
+        if best.0 - t_a <= eff_deadline_us {
             self.trace.push(Some(best.1));
-            let state = &mut self.backends[best.1];
-            state.queue.push_back(job_id);
-            if state.in_flight.is_empty() {
-                let batch = state.start_batch(t_a, &self.cost, jobs, self.solve);
-                if !self.solve {
-                    self.formed.push(FormedBatch {
-                        backend: best.1,
-                        jobs: batch,
-                    });
-                }
+            self.enqueue_ranked(best.1, job_id, jobs);
+            if self.backends[best.1].in_flight.is_empty() {
+                self.start_and_learn(best.1, t_a, jobs);
             }
-        } else {
-            // Admission control rejects: local classical fallback,
-            // uncontended at the cell.
-            self.trace.push(None);
-            self.fallbacks += 1;
-            if self.solve {
-                let classical = classical.expect("solving scheduler needs a classical fallback");
-                let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
-                finished[job_id] = Some(JobFinish {
-                    latency_us: self.cost.service_us(&result.meta),
-                    ber: bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits),
-                    fallback: true,
-                });
+            return;
+        }
+        if job.class.rank() > 0 {
+            if let Some((k, b_idx)) = self.preemption_plan(t_a, n, job.class, eff_deadline_us, jobs)
+            {
+                self.evict(b_idx, k, t_a, jobs, classical, finished);
+                self.trace.push(Some(b_idx));
+                self.enqueue_ranked(b_idx, job_id, jobs);
+                if self.backends[b_idx].in_flight.is_empty() {
+                    self.start_and_learn(b_idx, t_a, jobs);
+                }
+                return;
             }
         }
+        // Admission control rejects: local classical fallback,
+        // uncontended at the cell.
+        self.trace.push(None);
+        self.fallbacks += 1;
+        if self.solve {
+            let classical = classical.expect("solving scheduler needs a classical fallback");
+            let result = classical.detect(&job.inst.system, &job.inst.h, &job.inst.y);
+            finished[job_id] = Some(JobFinish {
+                latency_us: self.cost.service_us(&result.meta),
+                ber: bit_error_rate(&job.inst.tx_gray_bits, &result.gray_bits),
+                fallback: true,
+            });
+        }
+    }
+
+    /// The cheapest eviction that makes some backend's quote fit
+    /// `eff_deadline_us`: `(victims, backend)` minimizing victims, then
+    /// quote, then backend index. `None` when no eviction plan meets the
+    /// deadline.
+    fn preemption_plan(
+        &self,
+        t_a: f64,
+        n: usize,
+        class: PriorityClass,
+        eff_deadline_us: f64,
+        jobs: &[FabricJob],
+    ) -> Option<(usize, usize)> {
+        let mut choice: Option<(usize, f64, usize)> = None;
+        for (i, b) in self.backends.iter().enumerate() {
+            let correction = self.predictor.correction_q16(i, n);
+            let evictable = b
+                .queue
+                .iter()
+                .filter(|&&id| jobs[id].class.rank() < class.rank())
+                .count();
+            for k in 1..=evictable {
+                let quote = b.predicted_completion(t_a, &self.route_cost, n, correction, k);
+                if quote - t_a <= eff_deadline_us {
+                    let better = match choice {
+                        None => true,
+                        Some((ck, cq, _)) => k < ck || (k == ck && quote < cq),
+                    };
+                    if better {
+                        choice = Some((k, quote, i));
+                    }
+                    break; // minimal k for this backend found
+                }
+            }
+        }
+        choice.map(|(k, _, i)| (k, i))
+    }
+
+    /// Evicts the `k` lowest-priority queued jobs of backend `b_idx` (from
+    /// the back of its rank-ordered queue), rewriting their trace entries
+    /// to the fallback and charging the classical downgrade honestly.
+    fn evict(
+        &mut self,
+        b_idx: usize,
+        k: usize,
+        t_a: f64,
+        jobs: &[FabricJob],
+        classical: Option<&dyn Detector>,
+        finished: &mut [Option<JobFinish>],
+    ) {
+        for _ in 0..k {
+            let victim = self.backends[b_idx]
+                .queue
+                .pop_back()
+                .expect("preemption_plan counted evictable jobs");
+            self.trace[victim] = None;
+            self.fallbacks += 1;
+            self.preemptions += 1;
+            if self.solve {
+                let classical = classical.expect("solving scheduler needs a classical fallback");
+                let v = &jobs[victim];
+                let result = classical.detect(&v.inst.system, &v.inst.h, &v.inst.y);
+                finished[victim] = Some(JobFinish {
+                    // The victim waited in queue from arrival to the
+                    // eviction instant, then ran the classical fallback.
+                    latency_us: (t_a - v.arrival_us) + self.cost.service_us(&result.meta),
+                    ber: bit_error_rate(&v.inst.tx_gray_bits, &result.gray_bits),
+                    fallback: true,
+                });
+            } else {
+                self.evicted.push(victim);
+            }
+        }
+        self.preempt_events.push((t_a, self.preemptions));
     }
 }
 
@@ -1522,7 +2019,12 @@ pub fn run_fabric_observed(
 
     let jobs = generate_jobs(config);
     let classical = Mmse::new(config.track.noise_variance);
-    let mut scheduler = FabricScheduler::new(&config.backends, config.cost, config.deadline_us);
+    let mut scheduler = FabricScheduler::with_options(
+        &config.backends,
+        config.cost,
+        config.deadline_us,
+        config.sched,
+    );
 
     // Per-job outcomes; filled as jobs finish.
     let mut finished: Vec<Option<JobFinish>> = vec![None; jobs.len()];
@@ -1546,6 +2048,10 @@ pub fn run_fabric_observed(
     }
 
     let trace = std::mem::take(&mut scheduler.trace);
+    let preemptions = scheduler.preemptions();
+    let prediction_mae_us = scheduler.prediction_mae_us();
+    let pred_events = std::mem::take(&mut scheduler.pred_events);
+    let preempt_events = std::mem::take(&mut scheduler.preempt_events);
     let backends = scheduler.backends;
     let fallbacks = scheduler.fallbacks;
     let per_job: Vec<JobFinish> = finished
@@ -1554,6 +2060,7 @@ pub fn run_fabric_observed(
         .collect();
     if let Some(collector) = telemetry {
         emit_virtual_spans(collector, pid, config, &jobs, &per_job, &trace, &backends);
+        emit_sched_counters(collector, pid, &pred_events, &preempt_events);
     }
     let n = per_job.len() as f64;
     let makespan_us = jobs
@@ -1574,6 +2081,36 @@ pub fn run_fabric_observed(
         .map(|f| f.latency_us)
         .collect();
     let served_misses = served.iter().filter(|&&l| l > config.deadline_us).count();
+
+    let mut classes = Vec::new();
+    if !config.sched.classes.is_default() {
+        for class in PriorityClass::ALL {
+            let mut lat: Vec<f64> = jobs
+                .iter()
+                .zip(&per_job)
+                .filter(|(job, _)| job.class == class)
+                .map(|(_, f)| f.latency_us)
+                .collect();
+            if lat.is_empty() {
+                continue;
+            }
+            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let cutoff = config.deadline_us * class.deadline_factor();
+            let mut hist = LogHistogram::new();
+            for &l in &lat {
+                hist.record(l);
+            }
+            classes.push(ClassReport {
+                class,
+                jobs: lat.len(),
+                misses: lat.iter().filter(|&&l| l > cutoff).count(),
+                mean_latency_us: lat.iter().sum::<f64>() / lat.len() as f64,
+                p50_latency_us: hist.percentile(50.0),
+                p99_latency_us: hist.percentile(99.0),
+                hist,
+            });
+        }
+    }
 
     let report = FabricReport {
         mix: String::new(), // filled by the grid runner
@@ -1621,8 +2158,40 @@ pub fn run_fabric_observed(
                 }
             })
             .collect(),
+        preemptions,
+        prediction_mae_us,
+        classes,
     };
     (report, trace)
+}
+
+/// Emits the adaptive-scheduler counter series: one `"prediction_error"`
+/// sample (absolute µs error of the static quote vs. the charged service)
+/// per observed batch, and one cumulative `"preemptions"` sample per
+/// eviction event. Both series are empty under the static policy /
+/// default class mix, so telemetry output for legacy runs is unchanged.
+fn emit_sched_counters(
+    collector: &crate::telemetry::Collector,
+    pid: u32,
+    pred_events: &[(f64, f64)],
+    preempt_events: &[(f64, u64)],
+) {
+    for &(ts_us, err_us) in pred_events {
+        collector.push_counter(crate::telemetry::CounterSample {
+            pid,
+            name: "prediction_error",
+            ts_us,
+            values: vec![("abs_err_us".to_string(), err_us)],
+        });
+    }
+    for &(ts_us, total) in preempt_events {
+        collector.push_counter(crate::telemetry::CounterSample {
+            pid,
+            name: "preemptions",
+            ts_us,
+            values: vec![("total".to_string(), total as f64)],
+        });
+    }
 }
 
 /// Emits the virtual-time span set for one finished fabric run: a lane per
@@ -1694,6 +2263,9 @@ pub struct FabricGridConfig {
     pub deadline_us: f64,
     /// Work-counter → service-time model.
     pub cost: CostModel,
+    /// Adaptive-scheduling options shared by every point (default: static
+    /// routing, all-eMBB class mix — the legacy behaviour).
+    pub sched: SchedOptions,
     /// Grid seed. Point seeds derive from it and the **cell-count index**
     /// only, so points differing in load or mix see identical frames.
     pub seed: u64,
@@ -1717,6 +2289,7 @@ impl FabricGridConfig {
                 mode: FabricMode::Virtual,
                 deadline_us: 700.0,
                 cost: CostModel::default(),
+                sched: SchedOptions::default(),
                 seed: 0,
                 threads: 0,
             },
@@ -1764,6 +2337,7 @@ impl FabricGridConfig {
                 deadline_us: self.deadline_us,
                 cost: self.cost,
                 backends: mix.backends.clone(),
+                sched: self.sched,
                 seed: self.seed,
             }
             .validate()?;
@@ -1844,6 +2418,13 @@ impl FabricGridConfigBuilder {
         self
     }
 
+    /// Sets the adaptive-scheduling options (default static routing with
+    /// the all-eMBB class mix — the legacy behaviour).
+    pub fn sched(mut self, sched: SchedOptions) -> Self {
+        self.config.sched = sched;
+        self
+    }
+
     /// Sets the grid seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -1908,6 +2489,7 @@ pub(crate) fn grid_points(config: &FabricGridConfig) -> Vec<(String, FabricConfi
                         deadline_us: config.deadline_us,
                         cost: config.cost,
                         backends: mix.backends.clone(),
+                        sched: config.sched,
                         // Cell-count-indexed only: same frames across loads
                         // and mixes.
                         seed: item_seed(config.seed, cells_idx),
@@ -2108,6 +2690,9 @@ impl FabricReport {
                 "mean_latency_us",
                 "mean_served_latency_us",
                 "backends",
+                "preemptions",
+                "prediction_mae_us",
+                "classes",
             ],
             ctx,
         )?;
@@ -2118,6 +2703,31 @@ impl FabricReport {
             .enumerate()
             .map(|(i, b)| BackendReport::from_json(b, &format!("{ctx}.backends[{i}]")))
             .collect::<Result<Vec<_>, _>>()?;
+        // Scheduling fields are serialized only when non-default, so legacy
+        // documents (and static-policy points) parse without them.
+        let preemptions = match o.get("preemptions") {
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| SpecError::new(ctx.to_string(), "\"preemptions\" must be a u64"))?,
+            None => 0,
+        };
+        let prediction_mae_us = match o.get("prediction_mae_us") {
+            Some(v) => v.as_f64().ok_or_else(|| {
+                SpecError::new(ctx.to_string(), "\"prediction_mae_us\" must be a number")
+            })?,
+            None => 0.0,
+        };
+        let classes = match o.get("classes") {
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| {
+                    SpecError::new(ctx.to_string(), "field \"classes\" must be an array")
+                })?
+                .iter()
+                .map(ClassReport::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(FabricReport {
             mix: req_str(o, "mix", ctx)?.to_string(),
             n_cells: req_usize(o, "n_cells", ctx)?,
@@ -2132,6 +2742,9 @@ impl FabricReport {
             mean_latency_us: req_f64(o, "mean_latency_us", ctx)?,
             mean_served_latency_us: req_f64(o, "mean_served_latency_us", ctx)?,
             backends,
+            preemptions,
+            prediction_mae_us,
+            classes,
         })
     }
 
@@ -2144,13 +2757,35 @@ impl FabricReport {
             .map(|b| b.to_json_object())
             .collect::<Vec<_>>()
             .join(", ");
+        // The scheduling fields trail the legacy layout and render only
+        // when non-default, keeping committed static-policy documents
+        // byte-identical.
+        let mut sched = String::new();
+        if self.preemptions > 0 {
+            sched.push_str(&format!(", \"preemptions\": {}", self.preemptions));
+        }
+        if self.prediction_mae_us != 0.0 {
+            sched.push_str(&format!(
+                ", \"prediction_mae_us\": {}",
+                json_num(self.prediction_mae_us)
+            ));
+        }
+        if !self.classes.is_empty() {
+            let classes = self
+                .classes
+                .iter()
+                .map(|c| c.to_json().to_string_compact())
+                .collect::<Vec<_>>()
+                .join(", ");
+            sched.push_str(&format!(", \"classes\": [{classes}]"));
+        }
         format!(
             "{{\"mix\": \"{}\", \"n_cells\": {}, \"arrival_period_us\": {}, \
              \"jobs\": {}, \"ber\": {}, \"deadline_miss_rate\": {}, \
              \"fallback_rate\": {}, \"served_miss_rate\": {}, \
              \"p50_latency_us\": {}, \
              \"p99_latency_us\": {}, \"mean_latency_us\": {}, \
-             \"mean_served_latency_us\": {}, \"backends\": [{}]}}",
+             \"mean_served_latency_us\": {}, \"backends\": [{}]{}}}",
             self.mix,
             self.n_cells,
             json_num(self.arrival_period_us),
@@ -2164,6 +2799,7 @@ impl FabricReport {
             json_num(self.mean_latency_us),
             json_num(self.mean_served_latency_us),
             backends,
+            sched,
         )
     }
 }
@@ -2330,6 +2966,7 @@ impl crate::report::MergeableReport for FabricGridReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{ClassMix, SchedPolicy};
     use crate::stream::{run_stream, DispatchPolicy, StreamConfig};
     use hqw_phy::channel::snr_db_to_noise_variance;
     use hqw_phy::modulation::Modulation;
@@ -2412,6 +3049,7 @@ mod tests {
             deadline_us: deadline,
             cost: CostModel::default(),
             backends,
+            sched: SchedOptions::default(),
             seed: 42,
         }
     }
@@ -2578,6 +3216,7 @@ mod tests {
                 max_batch: 1,
                 sa,
             })],
+            sched: SchedOptions::default(),
             seed,
         });
         // The fabric's cell-0 track seed, per ChannelTrack::cells.
@@ -2630,6 +3269,7 @@ mod tests {
             mode: FabricMode::Virtual,
             deadline_us: 600.0,
             cost: CostModel::default(),
+            sched: SchedOptions::default(),
             seed: 7,
             threads,
         }
@@ -2783,5 +3423,165 @@ mod tests {
             .build()
             .expect_err("missing mixes must be rejected");
         assert!(err.to_string().contains("empty mix axis"));
+    }
+
+    fn annealer_spec(capacity: usize, max_batch: usize) -> BackendSpec {
+        BackendSpec::Pimc(AnnealerConfig {
+            num_reads: 2,
+            anneal_us: 2.0,
+            sweeps_per_us: 4,
+            capacity,
+            max_batch,
+            kernel: SweepKernel::Exact,
+        })
+    }
+
+    /// The admission-quote regression: for every (capacity, max_batch)
+    /// shape — including ones where the batch splits into multiple service
+    /// rounds and the backlog splits into multiple batches — the completion
+    /// time `predicted_completion` quoted at admission must never undercut
+    /// what the backend is actually charged. For jitter-free backends the
+    /// two agree to float rounding; an inversion here is the bug where
+    /// rounds were counted per-backlog instead of per-batch.
+    #[test]
+    fn predicted_completion_never_undercuts_charged_service() {
+        for &(capacity, max_batch) in &[(1, 4), (2, 3), (3, 4), (2, 5), (4, 4), (1, 1)] {
+            for backlog in 1..=9usize {
+                let mut config = fabric(1, 50.0, 1e9, vec![annealer_spec(capacity, max_batch)]);
+                config.frames_per_cell = backlog;
+                let jobs = generate_jobs(&config);
+                let n = jobs[0].num_vars();
+                let mut sched =
+                    FabricScheduler::new(&config.backends, config.cost, config.deadline_us);
+                let mut finished: Vec<Option<JobFinish>> = vec![None; jobs.len()];
+                let mut predicted = 0.0f64;
+                for id in 0..jobs.len() {
+                    let correction = sched.predictor.correction_q16(0, n);
+                    predicted = sched.backends[0].predicted_completion(
+                        0.0,
+                        &sched.route_cost,
+                        n,
+                        correction,
+                        0,
+                    );
+                    sched.admit(id, 0.0, &jobs, None, &mut finished);
+                }
+                let mut charged = 0.0f64;
+                while let Some((t_c, b_idx)) = sched.next_completion() {
+                    sched.complete(b_idx, t_c, &jobs, &mut finished);
+                    charged = t_c;
+                }
+                assert_eq!(sched.fallbacks, 0, "huge deadline must admit everything");
+                assert!(finished.iter().all(Option::is_some));
+                let slack = 1e-9 * predicted.max(1.0);
+                assert!(
+                    charged <= predicted + slack,
+                    "capacity {capacity} max_batch {max_batch} backlog {backlog}: \
+                     charged {charged} us exceeds the admission quote {predicted} us"
+                );
+                assert!(
+                    (charged - predicted).abs() <= 1e-6 * predicted.max(1.0),
+                    "capacity {capacity} max_batch {max_batch} backlog {backlog}: \
+                     quote {predicted} us drifted from charged {charged} us"
+                );
+            }
+        }
+    }
+
+    fn class_p99(report: &FabricReport, class: PriorityClass) -> f64 {
+        report
+            .classes
+            .iter()
+            .find(|c| c.class == class)
+            .unwrap_or_else(|| panic!("missing class report for {}", class.name()))
+            .p99_latency_us
+    }
+
+    /// An overloaded single-worker pool with a three-class mix: URLLC
+    /// admissions must preempt queued Bulk/eMBB jobs (counted and charged
+    /// honestly — victims become fallbacks), per-class accounting must
+    /// cover every job, and the rank-ordered queue must leave URLLC with
+    /// the best tail latency.
+    #[test]
+    fn priority_classes_preempt_and_order_tail_latencies() {
+        let pool = BackendSpec::SaPool(SaPoolConfig {
+            workers: 1,
+            max_batch: 2,
+            sa: SaParams {
+                sweeps: 32,
+                num_reads: 2,
+                threads: 1,
+                ..SaParams::default()
+            },
+        });
+        let mut config = fabric(2, 60.0, 250.0, vec![pool]);
+        config.sched.classes = ClassMix {
+            urllc: 1,
+            embb: 1,
+            bulk: 1,
+        };
+        let report = run_fabric(&config);
+        assert!(
+            report.preemptions > 0,
+            "overload with a class mix must preempt"
+        );
+        assert_eq!(report.classes.len(), 3, "one report per class");
+        let class_jobs: usize = report.classes.iter().map(|c| c.jobs).sum();
+        assert_eq!(class_jobs, report.jobs, "class accounting covers all jobs");
+        for c in &report.classes {
+            assert!(c.misses <= c.jobs);
+            assert!(c.jobs > 0, "mix 1/1/1 must populate {}", c.class.name());
+        }
+        let urllc = class_p99(&report, PriorityClass::Urllc);
+        let bulk = class_p99(&report, PriorityClass::Bulk);
+        assert!(
+            urllc <= bulk,
+            "URLLC p99 {urllc} us must not trail Bulk p99 {bulk} us"
+        );
+
+        // The single-class default never preempts: nothing outranks anything.
+        let default_report = run_fabric(&fabric(2, 60.0, 250.0, vec![quick_sa_pool()]));
+        assert_eq!(default_report.preemptions, 0);
+    }
+
+    /// The tentpole claim at the unit level: when admission quotes come
+    /// from a cost model that underestimates true service 10x, the EWMA
+    /// scheduler (which learns the correction online) must beat the static
+    /// scheduler on deadline misses, while a calibrated model leaves the
+    /// adaptive run byte-identical to the static one.
+    #[test]
+    fn adaptive_scheduler_beats_static_under_miscalibration() {
+        let assumed = CostModel {
+            us_per_sweep: 0.15,
+            ..CostModel::default()
+        };
+        let mut config = fabric(2, 40.0, 300.0, vec![quick_sa_pool()]);
+        config.sched.assumed_cost = Some(assumed);
+        let static_report = run_fabric(&config);
+        config.sched.policy = SchedPolicy::Ewma { shift: 1 };
+        let adaptive_report = run_fabric(&config);
+
+        assert_eq!(static_report.prediction_mae_us, 0.0);
+        assert!(
+            adaptive_report.prediction_mae_us > 0.0,
+            "the learning predictor must report its error"
+        );
+        assert!(
+            adaptive_report.deadline_miss_rate < static_report.deadline_miss_rate,
+            "adaptive miss rate {} must beat static {} under a 10x cost misprediction",
+            adaptive_report.deadline_miss_rate,
+            static_report.deadline_miss_rate
+        );
+
+        // Calibrated quotes: the identity correction is bitwise, so the
+        // adaptive run reproduces the static scheduler exactly.
+        let mut calibrated = fabric(2, 110.0, 600.0, vec![quick_sa_pool()]);
+        let baseline = run_fabric(&calibrated);
+        calibrated.sched.policy = SchedPolicy::Ewma { shift: 1 };
+        let adaptive_calibrated = run_fabric(&calibrated);
+        assert_eq!(
+            baseline.to_json_object(),
+            adaptive_calibrated.to_json_object()
+        );
     }
 }

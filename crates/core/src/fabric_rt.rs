@@ -276,8 +276,12 @@ fn run_fabric_rt_point(
         (0..n_backends).map(|_| SharedQueue::new()).collect();
     let fallback_queue: SharedQueue<(usize, Instant)> = SharedQueue::new();
 
-    let mut scheduler =
-        FabricScheduler::new_charge_only(&config.backends, config.cost, config.deadline_us);
+    let mut scheduler = FabricScheduler::new_charge_only(
+        &config.backends,
+        config.cost,
+        config.deadline_us,
+        config.sched,
+    );
     let backend_names = scheduler.backend_names();
     let mut delivered_at: Vec<Option<Instant>> = vec![None; n_jobs];
     let mut decision_ns: u128 = 0;
@@ -495,6 +499,16 @@ fn run_fabric_rt_point(
                         stamps[next] = Some(at);
                     }
                     fallback_queue.push((next, at));
+                }
+                // Preempted victims were still queued (never dispatched),
+                // so they take the classical path here exactly as in the
+                // sim; their trace entries already read `None`.
+                for victim in scheduler.take_evicted() {
+                    let at = Instant::now();
+                    if let Some(stamps) = &mut formed_at {
+                        stamps[victim] = Some(at);
+                    }
+                    fallback_queue.push((victim, at));
                 }
                 next += 1;
             }
@@ -1023,6 +1037,7 @@ mod tests {
         run_fabric, AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, MockQpuConfig,
         NetworkModel, SaPoolConfig,
     };
+    use crate::sched::SchedOptions;
     use crate::stream::CostModel;
     use hqw_phy::channel::{snr_db_to_noise_variance, TrackConfig};
     use hqw_phy::modulation::Modulation;
@@ -1111,6 +1126,7 @@ mod tests {
             deadline_us: deadline,
             cost: CostModel::default(),
             backends,
+            sched: SchedOptions::default(),
             seed: 42,
         }
     }
@@ -1129,6 +1145,7 @@ mod tests {
             mode: FabricMode::Realtime(rt),
             deadline_us: 600.0,
             cost: CostModel::default(),
+            sched: SchedOptions::default(),
             seed: 7,
             threads: 0,
         }

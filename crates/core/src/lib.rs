@@ -33,6 +33,15 @@
 //!   heterogeneous pool of solver backends (SA pool, PIMC, SVMC, mock QPU
 //!   behind a network with cached embeddings) through the batching,
 //!   deadline-aware [`fabric::FabricScheduler`].
+//! * [`sched`] — the adaptive scheduling plane: deterministic learned
+//!   service predictors (EWMA and UCB-bandit over fixed-point correction
+//!   ratios), wireless priority classes (URLLC/eMBB/Bulk) with class-aware
+//!   deadlines, and the [`sched::SchedOptions`] knobs the fabric
+//!   scheduler consumes.
+//! * [`sched_grid`] — the paired static-vs-adaptive scheduling experiment:
+//!   every grid point run under a calibrated and a deliberately
+//!   mispredicted planner cost model, both arms over identical frames, with
+//!   merged-histogram per-class summaries (`BENCH_sched.json`).
 //! * [`fabric_rt`] — the fabric's wall-clock realtime twin: concurrent
 //!   frame producers, sharded MPMC delivery queues, per-backend worker
 //!   pools, and a charge-only control plane whose routing decisions replay
@@ -66,6 +75,8 @@ pub mod pipeline;
 pub mod protocol;
 pub mod report;
 pub mod scenario;
+pub mod sched;
+pub mod sched_grid;
 pub mod shard;
 pub mod solver;
 pub mod spec;
@@ -88,6 +99,14 @@ pub use protocol::Protocol;
 pub use report::{MergeableReport, PointRecord, Report};
 pub use scenario::{
     run_ber_points, run_ber_sweep, BerReport, HybridDetector, ScenarioDetector, SnrSweepConfig,
+};
+pub use sched::{
+    ClassMix, ClassReport, EwmaPredictor, PriorityClass, SchedOptions, SchedPolicy,
+    ServicePredictor, StaticPredictor, UcbPredictor,
+};
+pub use sched_grid::{
+    run_sched_grid, run_sched_points, ArmSummary, ClassSummary, SchedGridConfig, SchedGridReport,
+    SchedPointReport, SCHED_WORKLOADS,
 };
 pub use shard::{
     grid_len, merge_shards, shard_ids, spec_fingerprint, Checkpoint, GridReport, ShardReport,

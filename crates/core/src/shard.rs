@@ -31,6 +31,7 @@
 use crate::fabric::{FabricGridReport, FabricMode};
 use crate::report::{MergeableReport, PointRecord, Report};
 use crate::scenario::BerReport;
+use crate::sched_grid::SchedGridReport;
 use crate::spec::json::Json;
 use crate::spec::{check_keys, req, req_str, req_u64, req_usize, ExperimentSpec, SpecError};
 use crate::stream::StreamGridReport;
@@ -75,6 +76,7 @@ pub fn grid_len(spec: &ExperimentSpec) -> Result<usize, SpecError> {
                  (points occupy wall-clock worker threads)",
             ));
         }
+        ExperimentSpec::Sched(c) => c.grid_len(),
         ExperimentSpec::Canned(c) => {
             return Err(SpecError::new(
                 ctx,
@@ -386,6 +388,8 @@ pub enum GridReport {
     Stream(StreamGridReport),
     /// A virtual fabric-grid report.
     Fabric(FabricGridReport),
+    /// A static-vs-adaptive scheduling report.
+    Sched(SchedGridReport),
 }
 
 impl GridReport {
@@ -408,6 +412,9 @@ impl GridReport {
             ExperimentSpec::Fabric(_) => Ok(GridReport::Fabric(FabricGridReport::from_points(
                 spec, points,
             )?)),
+            ExperimentSpec::Sched(_) => Ok(GridReport::Sched(SchedGridReport::from_points(
+                spec, points,
+            )?)),
             ExperimentSpec::Canned(_) => unreachable!("grid_len rejects canned specs"),
         }
     }
@@ -418,6 +425,7 @@ impl GridReport {
             GridReport::Ber(r) => r,
             GridReport::Stream(r) => r,
             GridReport::Fabric(r) => r,
+            GridReport::Sched(r) => r,
         }
     }
 }

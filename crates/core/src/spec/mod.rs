@@ -30,13 +30,17 @@ pub mod json;
 use crate::experiments::Scale;
 use crate::fabric::{
     AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig, FabricMode,
-    MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
+    MockQpuConfig, NetworkModel, PtConfig, RealtimeConfig, SaPoolConfig, TabuConfig,
 };
 use crate::scenario::SnrSweepConfig;
+use crate::sched::{ClassMix, SchedOptions, SchedPolicy};
+use crate::sched_grid::SchedGridConfig;
 use crate::stream::{CostModel, DispatchPolicy, StreamGridConfig};
 use hqw_phy::channel::{ChannelModel, TrackConfig};
 use hqw_phy::modulation::Modulation;
+use hqw_qubo::pt::PtParams;
 use hqw_qubo::sa::{SaParams, SweepKernel};
+use hqw_qubo::tabu::TabuParams;
 use json::Json;
 
 /// Version of the spec JSON document format this build reads and writes.
@@ -210,6 +214,9 @@ pub enum ExperimentSpec {
     Stream(StreamGridConfig),
     /// Compute-fabric (mix × cells × load) grid sweep.
     Fabric(FabricGridConfig),
+    /// Paired static-vs-adaptive scheduling sweep over calibrated and
+    /// mispredicted planner cost models.
+    Sched(SchedGridConfig),
     /// One of the canned figure experiments.
     Canned(CannedSpec),
 }
@@ -227,6 +234,7 @@ impl ExperimentSpec {
                 FabricMode::Virtual => "fabric",
                 FabricMode::Realtime(_) => "fabric-rt",
             },
+            ExperimentSpec::Sched(_) => "sched",
             ExperimentSpec::Canned(c) => c.experiment.name(),
         }
     }
@@ -258,6 +266,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => c.seed,
             ExperimentSpec::Stream(c) => c.seed,
             ExperimentSpec::Fabric(c) => c.seed,
+            ExperimentSpec::Sched(c) => c.seed,
             ExperimentSpec::Canned(c) => c.seed,
         }
     }
@@ -269,6 +278,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => c.threads,
             ExperimentSpec::Stream(c) => c.threads,
             ExperimentSpec::Fabric(c) => c.threads,
+            ExperimentSpec::Sched(c) => c.threads,
             ExperimentSpec::Canned(_) => 0,
         }
     }
@@ -281,6 +291,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => c.threads = threads,
             ExperimentSpec::Stream(c) => c.threads = threads,
             ExperimentSpec::Fabric(c) => c.threads = threads,
+            ExperimentSpec::Sched(c) => c.threads = threads,
             ExperimentSpec::Canned(_) => {}
         }
     }
@@ -292,6 +303,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => c.seed = seed,
             ExperimentSpec::Stream(c) => c.seed = seed,
             ExperimentSpec::Fabric(c) => c.seed = seed,
+            ExperimentSpec::Sched(c) => c.seed = seed,
             ExperimentSpec::Canned(c) => c.seed = seed,
         }
     }
@@ -305,6 +317,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => c.validate(),
             ExperimentSpec::Stream(c) => c.validate(),
             ExperimentSpec::Fabric(c) => c.validate(),
+            ExperimentSpec::Sched(c) => c.validate(),
             ExperimentSpec::Canned(c) => c.validate(),
         }
     }
@@ -317,6 +330,7 @@ impl ExperimentSpec {
             ExperimentSpec::Ber(c) => ber_json(c),
             ExperimentSpec::Stream(c) => stream_json(c),
             ExperimentSpec::Fabric(c) => fabric_json(c),
+            ExperimentSpec::Sched(c) => sched_grid_json(c),
             ExperimentSpec::Canned(c) => canned_json(c),
         };
         obj(vec![
@@ -351,6 +365,7 @@ impl ExperimentSpec {
             "stream" => ExperimentSpec::Stream(parse_stream(config)?),
             "fabric" => ExperimentSpec::Fabric(parse_fabric(config, false)?),
             "fabric-rt" => ExperimentSpec::Fabric(parse_fabric(config, true)?),
+            "sched" => ExperimentSpec::Sched(parse_sched_grid(config)?),
             other => match CannedKind::from_name(other) {
                 Some(kind) => ExperimentSpec::Canned(parse_canned(kind, config)?),
                 None => {
@@ -486,6 +501,34 @@ fn backend_json(b: &BackendSpec) -> Json {
             fields.extend(annealer_fields(c));
             obj(fields)
         }
+        BackendSpec::Pt(c) => obj(vec![
+            ("backend", Json::Str("pt".to_string())),
+            ("workers", uint(c.workers)),
+            ("max_batch", uint(c.max_batch)),
+            (
+                "pt",
+                obj(vec![
+                    ("replicas", uint(c.pt.replicas)),
+                    ("sweeps", uint(c.pt.sweeps)),
+                    ("swap_interval", uint(c.pt.swap_interval)),
+                    ("beta_min", num(c.pt.beta_min)),
+                    ("beta_max", num(c.pt.beta_max)),
+                ]),
+            ),
+        ]),
+        BackendSpec::Tabu(c) => obj(vec![
+            ("backend", Json::Str("tabu".to_string())),
+            ("workers", uint(c.workers)),
+            ("max_batch", uint(c.max_batch)),
+            (
+                "tabu",
+                obj(vec![
+                    ("tenure", uint(c.tabu.tenure)),
+                    ("max_iters", uint(c.tabu.max_iters)),
+                    ("stall_limit", uint(c.tabu.stall_limit)),
+                ]),
+            ),
+        ]),
         BackendSpec::MockQpu(c) => obj(vec![
             ("backend", Json::Str("mock-qpu".to_string())),
             ("num_reads", uint(c.num_reads)),
@@ -527,29 +570,54 @@ fn arrival_json(a: &ArrivalProcess) -> Json {
     obj(fields)
 }
 
+fn mix_json(m: &BackendMix) -> Json {
+    obj(vec![
+        ("name", Json::Str(m.name.clone())),
+        (
+            "backends",
+            Json::Arr(m.backends.iter().map(backend_json).collect()),
+        ),
+    ])
+}
+
+fn class_mix_json(c: &ClassMix) -> Json {
+    obj(vec![
+        ("urllc", Json::UInt(u64::from(c.urllc))),
+        ("embb", Json::UInt(u64::from(c.embb))),
+        ("bulk", Json::UInt(u64::from(c.bulk))),
+    ])
+}
+
+fn policy_json(p: &SchedPolicy) -> Json {
+    let mut fields = vec![("name", Json::Str(p.name().to_string()))];
+    match *p {
+        SchedPolicy::Static => {}
+        SchedPolicy::Ewma { shift } => fields.push(("shift", Json::UInt(u64::from(shift)))),
+        SchedPolicy::Ucb { explore_milli } => {
+            fields.push(("explore_milli", Json::UInt(u64::from(explore_milli))));
+        }
+    }
+    obj(fields)
+}
+
+fn sched_opts_json(s: &SchedOptions) -> Json {
+    let mut fields = vec![("policy", policy_json(&s.policy))];
+    if let Some(c) = &s.assumed_cost {
+        fields.push(("assumed_cost", cost_json(c)));
+    }
+    if !s.classes.is_default() {
+        fields.push(("classes", class_mix_json(&s.classes)));
+    }
+    obj(fields)
+}
+
 fn fabric_json(c: &FabricGridConfig) -> Json {
     let mut fields = vec![
         ("track", track_json(&c.track)),
         ("frames_per_cell", uint(c.frames_per_cell)),
         ("cell_counts", usize_arr(&c.cell_counts)),
         ("arrival_periods_us", f64_arr(&c.arrival_periods_us)),
-        (
-            "mixes",
-            Json::Arr(
-                c.mixes
-                    .iter()
-                    .map(|m| {
-                        obj(vec![
-                            ("name", Json::Str(m.name.clone())),
-                            (
-                                "backends",
-                                Json::Arr(m.backends.iter().map(backend_json).collect()),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("mixes", Json::Arr(c.mixes.iter().map(mix_json).collect())),
     ];
     // Periodic is the implicit default: pre-arrival fabric specs stay
     // parseable and serialize unchanged.
@@ -567,6 +635,11 @@ fn fabric_json(c: &FabricGridConfig) -> Json {
             ]),
         ));
     }
+    // The all-default scheduler (static policy, no miscalibration, pure
+    // eMBB) is implicit: pre-sched fabric specs serialize unchanged.
+    if !c.sched.is_default() {
+        fields.push(("sched", sched_opts_json(&c.sched)));
+    }
     fields.extend(vec![
         ("deadline_us", num(c.deadline_us)),
         ("cost", cost_json(&c.cost)),
@@ -574,6 +647,23 @@ fn fabric_json(c: &FabricGridConfig) -> Json {
         ("threads", uint(c.threads)),
     ]);
     obj(fields)
+}
+
+fn sched_grid_json(c: &SchedGridConfig) -> Json {
+    obj(vec![
+        ("track", track_json(&c.track)),
+        ("frames_per_cell", uint(c.frames_per_cell)),
+        ("cell_counts", usize_arr(&c.cell_counts)),
+        ("arrival_periods_us", f64_arr(&c.arrival_periods_us)),
+        ("mix", mix_json(&c.mix)),
+        ("policy", policy_json(&c.policy)),
+        ("classes", class_mix_json(&c.classes)),
+        ("assumed_cost", cost_json(&c.assumed_cost)),
+        ("deadline_us", num(c.deadline_us)),
+        ("cost", cost_json(&c.cost)),
+        ("seed", Json::UInt(c.seed)),
+        ("threads", uint(c.threads)),
+    ])
 }
 
 fn canned_json(c: &CannedSpec) -> Json {
@@ -731,8 +821,10 @@ fn parse_track(o: &Json, ctx: &str) -> Result<TrackConfig, SpecError> {
 }
 
 fn parse_cost(o: &Json, ctx: &str) -> Result<CostModel, SpecError> {
-    let cost = req(o, "cost", ctx)?;
-    let ctx = &format!("{ctx}.cost");
+    parse_cost_obj(req(o, "cost", ctx)?, &format!("{ctx}.cost"))
+}
+
+fn parse_cost_obj(cost: &Json, ctx: &str) -> Result<CostModel, SpecError> {
     check_keys(cost, &["base_us", "us_per_node", "us_per_sweep"], ctx)?;
     Ok(CostModel {
         base_us: req_f64(cost, "base_us", ctx)?,
@@ -863,6 +955,48 @@ fn parse_backend(o: &Json, ctx: &str) -> Result<BackendSpec, SpecError> {
             check_keys(o, ANNEALER_KEYS, ctx)?;
             Ok(BackendSpec::Svmc(parse_annealer(o, ctx)?))
         }
+        "pt" => {
+            check_keys(o, &["backend", "workers", "max_batch", "pt"], ctx)?;
+            let pt = req(o, "pt", ctx)?;
+            let pt_ctx = &format!("{ctx}.pt");
+            check_keys(
+                pt,
+                &[
+                    "replicas",
+                    "sweeps",
+                    "swap_interval",
+                    "beta_min",
+                    "beta_max",
+                ],
+                pt_ctx,
+            )?;
+            Ok(BackendSpec::Pt(PtConfig {
+                workers: req_usize(o, "workers", ctx)?,
+                max_batch: req_usize(o, "max_batch", ctx)?,
+                pt: PtParams {
+                    replicas: req_usize(pt, "replicas", pt_ctx)?,
+                    sweeps: req_usize(pt, "sweeps", pt_ctx)?,
+                    swap_interval: req_usize(pt, "swap_interval", pt_ctx)?,
+                    beta_min: req_f64(pt, "beta_min", pt_ctx)?,
+                    beta_max: req_f64(pt, "beta_max", pt_ctx)?,
+                },
+            }))
+        }
+        "tabu" => {
+            check_keys(o, &["backend", "workers", "max_batch", "tabu"], ctx)?;
+            let tabu = req(o, "tabu", ctx)?;
+            let tabu_ctx = &format!("{ctx}.tabu");
+            check_keys(tabu, &["tenure", "max_iters", "stall_limit"], tabu_ctx)?;
+            Ok(BackendSpec::Tabu(TabuConfig {
+                workers: req_usize(o, "workers", ctx)?,
+                max_batch: req_usize(o, "max_batch", ctx)?,
+                tabu: TabuParams {
+                    tenure: req_usize(tabu, "tenure", tabu_ctx)?,
+                    max_iters: req_usize(tabu, "max_iters", tabu_ctx)?,
+                    stall_limit: req_usize(tabu, "stall_limit", tabu_ctx)?,
+                },
+            }))
+        }
         "mock-qpu" => {
             check_keys(
                 o,
@@ -942,6 +1076,125 @@ fn parse_arrival(config: &Json, ctx: &str) -> Result<ArrivalProcess, SpecError> 
     }
 }
 
+fn parse_mix(m: &Json, ctx: &str) -> Result<BackendMix, SpecError> {
+    check_keys(m, &["name", "backends"], ctx)?;
+    let backends = req(m, "backends", ctx)?
+        .as_arr()
+        .ok_or_else(|| SpecError::new(ctx, "field \"backends\" must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(j, b)| parse_backend(b, &format!("{ctx}.backends[{j}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BackendMix {
+        name: req_str(m, "name", ctx)?.to_string(),
+        backends,
+    })
+}
+
+fn req_u32(o: &Json, key: &str, ctx: &str) -> Result<u32, SpecError> {
+    u32::try_from(req_u64(o, key, ctx)?)
+        .map_err(|_| SpecError::new(ctx, format!("field \"{key}\" overflows u32")))
+}
+
+fn parse_class_mix(c: &Json, ctx: &str) -> Result<ClassMix, SpecError> {
+    check_keys(c, &["urllc", "embb", "bulk"], ctx)?;
+    Ok(ClassMix {
+        urllc: req_u32(c, "urllc", ctx)?,
+        embb: req_u32(c, "embb", ctx)?,
+        bulk: req_u32(c, "bulk", ctx)?,
+    })
+}
+
+fn parse_policy(p: &Json, ctx: &str) -> Result<SchedPolicy, SpecError> {
+    let name = req_str(p, "name", ctx)?;
+    match name {
+        "static" => {
+            check_keys(p, &["name"], ctx)?;
+            Ok(SchedPolicy::Static)
+        }
+        "ewma" => {
+            check_keys(p, &["name", "shift"], ctx)?;
+            Ok(SchedPolicy::Ewma {
+                shift: req_u32(p, "shift", ctx)?,
+            })
+        }
+        "ucb" => {
+            check_keys(p, &["name", "explore_milli"], ctx)?;
+            Ok(SchedPolicy::Ucb {
+                explore_milli: req_u32(p, "explore_milli", ctx)?,
+            })
+        }
+        other => Err(SpecError::new(
+            ctx,
+            format!("unknown scheduling policy '{other}'"),
+        )),
+    }
+}
+
+/// `"sched"` is optional (pre-sched fabric specs default to the historical
+/// static scheduler); within the stanza every knob is individually
+/// optional.
+fn parse_sched_opts(config: &Json, ctx: &str) -> Result<SchedOptions, SpecError> {
+    let Some(s) = config.get("sched") else {
+        return Ok(SchedOptions::default());
+    };
+    let s_ctx = &format!("{ctx}.sched");
+    check_keys(s, &["policy", "assumed_cost", "classes"], s_ctx)?;
+    Ok(SchedOptions {
+        policy: match s.get("policy") {
+            None => SchedPolicy::Static,
+            Some(p) => parse_policy(p, &format!("{s_ctx}.policy"))?,
+        },
+        assumed_cost: match s.get("assumed_cost") {
+            None => None,
+            Some(c) => Some(parse_cost_obj(c, &format!("{s_ctx}.assumed_cost"))?),
+        },
+        classes: match s.get("classes") {
+            None => ClassMix::default(),
+            Some(c) => parse_class_mix(c, &format!("{s_ctx}.classes"))?,
+        },
+    })
+}
+
+fn parse_sched_grid(config: &Json) -> Result<SchedGridConfig, SpecError> {
+    let ctx = "spec.config (sched)";
+    check_keys(
+        config,
+        &[
+            "track",
+            "frames_per_cell",
+            "cell_counts",
+            "arrival_periods_us",
+            "mix",
+            "policy",
+            "classes",
+            "assumed_cost",
+            "deadline_us",
+            "cost",
+            "seed",
+            "threads",
+        ],
+        ctx,
+    )?;
+    Ok(SchedGridConfig {
+        track: parse_track(config, ctx)?,
+        frames_per_cell: req_usize(config, "frames_per_cell", ctx)?,
+        cell_counts: req_usize_arr(config, "cell_counts", ctx)?,
+        arrival_periods_us: req_f64_arr(config, "arrival_periods_us", ctx)?,
+        mix: parse_mix(req(config, "mix", ctx)?, &format!("{ctx}.mix"))?,
+        policy: parse_policy(req(config, "policy", ctx)?, &format!("{ctx}.policy"))?,
+        classes: parse_class_mix(req(config, "classes", ctx)?, &format!("{ctx}.classes"))?,
+        assumed_cost: parse_cost_obj(
+            req(config, "assumed_cost", ctx)?,
+            &format!("{ctx}.assumed_cost"),
+        )?,
+        deadline_us: req_f64(config, "deadline_us", ctx)?,
+        cost: parse_cost(config, ctx)?,
+        seed: req_u64(config, "seed", ctx)?,
+        threads: req_usize(config, "threads", ctx)?,
+    })
+}
+
 fn parse_fabric(config: &Json, realtime: bool) -> Result<FabricGridConfig, SpecError> {
     let ctx = if realtime {
         "spec.config (fabric-rt)"
@@ -958,6 +1211,7 @@ fn parse_fabric(config: &Json, realtime: bool) -> Result<FabricGridConfig, SpecE
             "mixes",
             "arrival",
             "realtime",
+            "sched",
             "deadline_us",
             "cost",
             "seed",
@@ -993,21 +1247,7 @@ fn parse_fabric(config: &Json, realtime: bool) -> Result<FabricGridConfig, SpecE
         .ok_or_else(|| SpecError::new(ctx, "field \"mixes\" must be an array"))?
         .iter()
         .enumerate()
-        .map(|(i, m)| {
-            let mix_ctx = &format!("{ctx}.mixes[{i}]");
-            check_keys(m, &["name", "backends"], mix_ctx)?;
-            let backends = req(m, "backends", mix_ctx)?
-                .as_arr()
-                .ok_or_else(|| SpecError::new(mix_ctx, "field \"backends\" must be an array"))?
-                .iter()
-                .enumerate()
-                .map(|(j, b)| parse_backend(b, &format!("{mix_ctx}.backends[{j}]")))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(BackendMix {
-                name: req_str(m, "name", mix_ctx)?.to_string(),
-                backends,
-            })
-        })
+        .map(|(i, m)| parse_mix(m, &format!("{ctx}.mixes[{i}]")))
         .collect::<Result<Vec<_>, SpecError>>()?;
     Ok(FabricGridConfig {
         track: parse_track(config, ctx)?,
@@ -1017,6 +1257,7 @@ fn parse_fabric(config: &Json, realtime: bool) -> Result<FabricGridConfig, SpecE
         mixes,
         arrival: parse_arrival(config, ctx)?,
         mode,
+        sched: parse_sched_opts(config, ctx)?,
         deadline_us: req_f64(config, "deadline_us", ctx)?,
         cost: parse_cost(config, ctx)?,
         seed: req_u64(config, "seed", ctx)?,
@@ -1153,6 +1394,63 @@ mod tests {
             ],
             arrival: ArrivalProcess::Periodic,
             mode: FabricMode::Virtual,
+            sched: SchedOptions::default(),
+            deadline_us: 700.0,
+            cost: CostModel::default(),
+            seed: 2026,
+            threads: 0,
+        })
+    }
+
+    fn adaptive_fabric_spec() -> ExperimentSpec {
+        let ExperimentSpec::Fabric(mut config) = fabric_spec() else {
+            unreachable!()
+        };
+        config.mixes[0].backends.push(BackendSpec::Pt(PtConfig {
+            workers: 1,
+            max_batch: 2,
+            pt: PtParams::default(),
+        }));
+        config.mixes[0].backends.push(BackendSpec::Tabu(TabuConfig {
+            workers: 1,
+            max_batch: 2,
+            tabu: TabuParams::default(),
+        }));
+        config.sched = SchedOptions {
+            policy: SchedPolicy::Ewma { shift: 2 },
+            assumed_cost: Some(CostModel {
+                us_per_sweep: 0.15,
+                ..CostModel::default()
+            }),
+            classes: ClassMix {
+                urllc: 1,
+                embb: 2,
+                bulk: 1,
+            },
+        };
+        ExperimentSpec::Fabric(config)
+    }
+
+    fn sched_spec() -> ExperimentSpec {
+        let ExperimentSpec::Fabric(fabric) = fabric_spec() else {
+            unreachable!()
+        };
+        ExperimentSpec::Sched(SchedGridConfig {
+            track: fabric.track,
+            frames_per_cell: 16,
+            cell_counts: vec![2, 4],
+            arrival_periods_us: vec![400.0, 200.0],
+            mix: fabric.mixes[0].clone(),
+            policy: SchedPolicy::Ucb { explore_milli: 250 },
+            classes: ClassMix {
+                urllc: 1,
+                embb: 2,
+                bulk: 1,
+            },
+            assumed_cost: CostModel {
+                us_per_sweep: 0.15,
+                ..CostModel::default()
+            },
             deadline_us: 700.0,
             cost: CostModel::default(),
             seed: 2026,
@@ -1186,6 +1484,8 @@ mod tests {
             ber_spec(),
             stream_spec(),
             fabric_spec(),
+            adaptive_fabric_spec(),
+            sched_spec(),
             fabric_rt_spec(),
             canned_spec(),
         ] {
@@ -1256,10 +1556,49 @@ mod tests {
     }
 
     #[test]
+    fn default_sched_stanza_is_omitted_and_typos_are_rejected() {
+        // The all-default scheduler serializes to nothing: pre-sched specs
+        // and their byte-identical outputs are untouched.
+        let text = fabric_spec().to_json();
+        assert!(!text.contains("\"sched\""), "{text}");
+
+        let text = adaptive_fabric_spec().to_json();
+        assert!(text.contains("\"sched\""), "{text}");
+        let bad = text.replace("\"name\": \"ewma\"", "\"name\": \"ewmaa\"");
+        let err = ExperimentSpec::parse(&bad).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown scheduling policy 'ewmaa'"),
+            "got: {err}"
+        );
+
+        let bad = sched_spec().to_json().replace("\"urllc\"", "\"urlcc\"");
+        let err = ExperimentSpec::parse(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown field \"urlcc\""),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn sched_spec_rejects_a_static_policy() {
+        let ExperimentSpec::Sched(mut config) = sched_spec() else {
+            unreachable!()
+        };
+        config.policy = SchedPolicy::Static;
+        let err = ExperimentSpec::Sched(config).validate().unwrap_err();
+        assert!(
+            err.to_string().contains("must not be \"static\""),
+            "got: {err}"
+        );
+    }
+
+    #[test]
     fn family_names_and_seeds_are_exposed() {
         assert_eq!(ber_spec().family(), "ber");
         assert_eq!(stream_spec().family(), "stream");
         assert_eq!(fabric_spec().family(), "fabric");
+        assert_eq!(sched_spec().family(), "sched");
         assert_eq!(fabric_rt_spec().family(), "fabric-rt");
         assert!(fabric_rt_spec().is_realtime());
         assert!(!fabric_spec().is_realtime());

@@ -11,6 +11,7 @@ use hqw_core::fabric::{
 };
 use hqw_core::fabric_rt::{replay_trace_doc, trace_doc};
 use hqw_core::run_fabric_rt_grid;
+use hqw_core::sched::{ClassMix, SchedOptions, SchedPolicy};
 use hqw_core::stream::CostModel;
 use hqw_math::Rng64;
 use hqw_phy::channel::{snr_db_to_noise_variance, TrackConfig};
@@ -30,6 +31,40 @@ fn arbitrary_arrival(rng: &mut Rng64) -> ArrivalProcess {
         },
         _ => ArrivalProcess::HeavyTailed {
             alpha: rng.next_range(1.15, 3.0),
+        },
+    }
+}
+
+/// Half the runs keep the historical static scheduler, half enable the
+/// full adaptive plane (learned predictor + priority classes + the
+/// deliberately miscalibrated planner model) — the realtime admission
+/// equivalence and replay contract must hold under both.
+fn arbitrary_sched(rng: &mut Rng64) -> SchedOptions {
+    if rng.next_bool() {
+        return SchedOptions::default();
+    }
+    SchedOptions {
+        policy: if rng.next_bool() {
+            SchedPolicy::Ewma {
+                shift: rng.next_index(5) as u32,
+            }
+        } else {
+            SchedPolicy::Ucb {
+                explore_milli: rng.next_index(1001) as u32,
+            }
+        },
+        assumed_cost: if rng.next_bool() {
+            Some(CostModel {
+                us_per_sweep: rng.next_range(0.1, 4.0),
+                ..CostModel::default()
+            })
+        } else {
+            None
+        },
+        classes: ClassMix {
+            urllc: 1,
+            embb: 1 + rng.next_index(3) as u32,
+            bulk: rng.next_index(3) as u32,
         },
     }
 }
@@ -67,6 +102,7 @@ fn arbitrary_grid(seed: u64) -> FabricGridConfig {
             producers: 1,
             queue_shards: 1,
         }),
+        sched: arbitrary_sched(&mut rng),
         deadline_us: rng.next_range(150.0, 800.0),
         cost: CostModel::default(),
         seed: rng.next_u64(),

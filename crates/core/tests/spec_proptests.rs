@@ -6,15 +6,19 @@
 use hqw_core::experiments::Scale;
 use hqw_core::fabric::{
     AnnealerConfig, ArrivalProcess, BackendMix, BackendSpec, FabricGridConfig, FabricMode,
-    MockQpuConfig, NetworkModel, RealtimeConfig, SaPoolConfig,
+    MockQpuConfig, NetworkModel, PtConfig, RealtimeConfig, SaPoolConfig, TabuConfig,
 };
 use hqw_core::scenario::SnrSweepConfig;
+use hqw_core::sched::{ClassMix, SchedOptions, SchedPolicy};
+use hqw_core::sched_grid::SchedGridConfig;
 use hqw_core::spec::{CannedKind, CannedSpec, ExperimentSpec};
 use hqw_core::stream::{CostModel, DispatchPolicy, StreamGridConfig};
 use hqw_math::Rng64;
 use hqw_phy::channel::{ChannelModel, TrackConfig};
 use hqw_phy::modulation::Modulation;
+use hqw_qubo::pt::PtParams;
 use hqw_qubo::sa::{SaParams, SweepKernel};
+use hqw_qubo::tabu::TabuParams;
 use proptest::prelude::*;
 
 /// A "nice" positive float: numbers of the magnitude specs actually carry,
@@ -63,11 +67,34 @@ fn arbitrary_cost(rng: &mut Rng64) -> CostModel {
 }
 
 fn arbitrary_backend(rng: &mut Rng64) -> BackendSpec {
-    match rng.next_index(4) {
+    match rng.next_index(6) {
         0 => BackendSpec::SaPool(SaPoolConfig {
             workers: 1 + rng.next_index(4),
             max_batch: 1 + rng.next_index(8),
             sa: arbitrary_sa(rng),
+        }),
+        4 => {
+            let beta_min = pos_f64(rng, 0.01, 1.0);
+            BackendSpec::Pt(PtConfig {
+                workers: 1 + rng.next_index(4),
+                max_batch: 1 + rng.next_index(8),
+                pt: PtParams {
+                    replicas: 2 + rng.next_index(8),
+                    sweeps: 1 + rng.next_index(128),
+                    swap_interval: 1 + rng.next_index(8),
+                    beta_min,
+                    beta_max: beta_min + pos_f64(rng, 0.5, 20.0),
+                },
+            })
+        }
+        5 => BackendSpec::Tabu(TabuConfig {
+            workers: 1 + rng.next_index(4),
+            max_batch: 1 + rng.next_index(8),
+            tabu: TabuParams {
+                tenure: 1 + rng.next_index(20),
+                max_iters: 1 + rng.next_index(2000),
+                stall_limit: 1 + rng.next_index(500),
+            },
         }),
         k @ (1 | 2) => {
             let config = AnnealerConfig {
@@ -117,6 +144,42 @@ fn arbitrary_arrival(rng: &mut Rng64) -> ArrivalProcess {
     }
 }
 
+fn arbitrary_policy(rng: &mut Rng64) -> SchedPolicy {
+    match rng.next_index(3) {
+        0 => SchedPolicy::Static,
+        1 => SchedPolicy::Ewma {
+            shift: rng.next_index(17) as u32,
+        },
+        _ => SchedPolicy::Ucb {
+            explore_milli: rng.next_index(4001) as u32,
+        },
+    }
+}
+
+fn arbitrary_class_mix(rng: &mut Rng64) -> ClassMix {
+    if rng.next_bool() {
+        ClassMix::default()
+    } else {
+        ClassMix {
+            urllc: 1 + rng.next_index(4) as u32,
+            embb: rng.next_index(4) as u32,
+            bulk: rng.next_index(4) as u32,
+        }
+    }
+}
+
+fn arbitrary_sched(rng: &mut Rng64) -> SchedOptions {
+    SchedOptions {
+        policy: arbitrary_policy(rng),
+        assumed_cost: if rng.next_bool() {
+            Some(arbitrary_cost(rng))
+        } else {
+            None
+        },
+        classes: arbitrary_class_mix(rng),
+    }
+}
+
 fn arbitrary_mode(rng: &mut Rng64) -> FabricMode {
     if rng.next_bool() {
         FabricMode::Virtual
@@ -130,7 +193,7 @@ fn arbitrary_mode(rng: &mut Rng64) -> FabricMode {
 
 fn arbitrary_spec(seed: u64) -> ExperimentSpec {
     let mut rng = Rng64::new(seed);
-    match rng.next_index(4) {
+    match rng.next_index(5) {
         0 => {
             let n_users = 1 + rng.next_index(6);
             ExperimentSpec::Ber(SnrSweepConfig {
@@ -182,6 +245,30 @@ fn arbitrary_spec(seed: u64) -> ExperimentSpec {
                 .collect(),
             arrival: arbitrary_arrival(&mut rng),
             mode: arbitrary_mode(&mut rng),
+            sched: arbitrary_sched(&mut rng),
+            deadline_us: pos_f64(&mut rng, 0.0, 2000.0),
+            cost: arbitrary_cost(&mut rng),
+            seed: rng.next_u64(),
+            threads: rng.next_index(8),
+        }),
+        3 => ExperimentSpec::Sched(SchedGridConfig {
+            track: arbitrary_track(&mut rng),
+            frames_per_cell: 1 + rng.next_index(32),
+            cell_counts: (0..1 + rng.next_index(3))
+                .map(|_| 1 + rng.next_index(6))
+                .collect(),
+            arrival_periods_us: (0..1 + rng.next_index(3))
+                .map(|_| pos_f64(&mut rng, 50.0, 600.0))
+                .collect(),
+            mix: BackendMix {
+                name: "mix".into(),
+                backends: (0..1 + rng.next_index(3))
+                    .map(|_| arbitrary_backend(&mut rng))
+                    .collect(),
+            },
+            policy: arbitrary_policy(&mut rng),
+            classes: arbitrary_class_mix(&mut rng),
+            assumed_cost: arbitrary_cost(&mut rng),
             deadline_us: pos_f64(&mut rng, 0.0, 2000.0),
             cost: arbitrary_cost(&mut rng),
             seed: rng.next_u64(),

@@ -25,8 +25,8 @@
 //!   §3.1 / Figure 4.
 //! * Classical solvers: the paper's Greedy Search ([`greedy`], §4.1),
 //!   steepest-descent local search ([`local`]), tabu search ([`tabu`]),
-//!   simulated annealing ([`sa`]) and exact solvers ([`exact`]) used for
-//!   ground-truth verification.
+//!   simulated annealing ([`sa`]), parallel tempering ([`pt`]) and exact
+//!   solvers ([`exact`]) used for ground-truth verification.
 //! * [`generator`] — random problem generators for tests and benches.
 
 #![warn(missing_docs)]
@@ -44,6 +44,7 @@ pub mod ising;
 pub mod local;
 pub mod model;
 pub mod preprocess;
+pub mod pt;
 pub mod sa;
 pub mod solution;
 pub mod tabu;
@@ -52,5 +53,7 @@ pub use csr::{BitSpins, Coloring, CsrIsing, LocalFieldState};
 pub use greedy::{greedy_search, GreedyOrder, GreedyVariant};
 pub use ising::Ising;
 pub use model::Qubo;
+pub use pt::{parallel_tempering, PtParams};
 pub use sa::SweepKernel;
 pub use solution::{bits_to_spins, spins_to_bits, Sample, SampleSet};
+pub use tabu::{tabu_from_random, tabu_search, TabuParams};

@@ -14,7 +14,7 @@ use crate::model::Qubo;
 use hqw_math::Rng64;
 
 /// Tabu search parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TabuParams {
     /// Tabu tenure: number of iterations a flipped variable stays tabu.
     pub tenure: usize,
